@@ -1,0 +1,101 @@
+// Ablation: hit-detection data structure — NCBI lookup table (+ pv array,
+// thick backbone) vs FSA-BLAST's DFA (paper Related Work, [16] vs [37]).
+//
+// Measures raw scan throughput of both detectors over the same subject
+// stream, plus per-query index build time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "index/dfa_index.hpp"
+#include "index/query_index.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+using namespace mublastp;
+
+struct Fixture {
+  SequenceStore db;
+  NeighborTable neighbors{blosum62(), kDefaultNeighborThreshold};
+  std::vector<Residue> query;
+
+  Fixture()
+      : db(synth::generate_database(synth::envnr_like(std::size_t{1} << 21),
+                                    55)) {
+    Rng rng(56);
+    const SequenceStore q = synth::sample_queries(db, 1, 256, rng);
+    query.assign(q.sequence(0).begin(), q.sequence(0).end());
+  }
+
+  static const Fixture& get() {
+    static const Fixture f;
+    return f;
+  }
+};
+
+void BM_ScanLookupTable(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const QueryIndex idx(f.query, f.neighbors);
+  std::uint64_t hits = 0;
+  std::uint64_t residues = 0;
+  for (auto _ : state) {
+    for (SeqId s = 0; s < f.db.size(); ++s) {
+      const auto subject = f.db.sequence(s);
+      if (subject.size() < static_cast<std::size_t>(kWordLength)) continue;
+      residues += subject.size();
+      for (std::uint32_t soff = 0; soff + kWordLength <= subject.size();
+           ++soff) {
+        const std::uint32_t w = word_key(subject.data() + soff);
+        if (!idx.contains(w)) continue;
+        for (const std::uint32_t qoff : idx.positions(w)) {
+          hits += qoff + 1;  // consume to defeat DCE
+        }
+      }
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(residues));
+}
+
+void BM_ScanDfa(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const DfaQueryIndex dfa(f.query, f.neighbors);
+  std::uint64_t hits = 0;
+  std::uint64_t residues = 0;
+  for (auto _ : state) {
+    for (SeqId s = 0; s < f.db.size(); ++s) {
+      const auto subject = f.db.sequence(s);
+      residues += subject.size();
+      dfa.scan(subject, [&](std::uint32_t, std::uint32_t qoff) {
+        hits += qoff + 1;
+      });
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(residues));
+}
+
+void BM_BuildLookupTable(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    const QueryIndex idx(f.query, f.neighbors);
+    benchmark::DoNotOptimize(idx.total_positions());
+  }
+}
+
+void BM_BuildDfa(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    const DfaQueryIndex dfa(f.query, f.neighbors);
+    benchmark::DoNotOptimize(dfa.total_positions());
+  }
+}
+
+BENCHMARK(BM_ScanLookupTable)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanDfa)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildLookupTable)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildDfa)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

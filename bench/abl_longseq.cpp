@@ -1,0 +1,91 @@
+// Ablation A6: long-sequence splitting (paper Section IV-A).
+//
+// Compares indexing + searching a database containing very long sequences
+// (a) split into bounded fragments with overlapped boundaries plus the
+// assembly step, versus (b) indexed whole. Splitting bounds the per-block
+// diagonal range (last-hit array size) and keeps blocks homogeneous.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/mublastp_engine.hpp"
+#include "index/db_index.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+using namespace mublastp;
+
+SequenceStore longtail_db() {
+  // env_nr-like background plus a heavy tail of multi-10k sequences.
+  SequenceStore db =
+      synth::generate_database(synth::envnr_like(std::size_t{1} << 21), 7);
+  Rng rng(8);
+  for (int i = 0; i < 12; ++i) {
+    std::vector<Residue> s(20000 + rng.next_below(20000));
+    for (auto& r : s) r = static_cast<Residue>(rng.next_below(20));
+    db.add(s, "tail" + std::to_string(i));
+  }
+  return db;
+}
+
+struct Fixture {
+  SequenceStore db = longtail_db();
+  SequenceStore queries;
+
+  Fixture() {
+    Rng rng(9);
+    queries = synth::sample_queries(db, 4, 256, rng);
+  }
+
+  static const Fixture& get() {
+    static const Fixture f;
+    return f;
+  }
+};
+
+void run_search(benchmark::State& state, const DbIndexConfig& cfg) {
+  const Fixture& f = Fixture::get();
+  const DbIndex index = DbIndex::build(f.db, cfg);
+  std::size_t max_frag = 0;
+  for (const auto& b : index.blocks()) {
+    max_frag = std::max(max_frag, b.max_fragment_len());
+  }
+  state.counters["max_fragment_len"] = static_cast<double>(max_frag);
+  const MuBlastpEngine engine(index);
+  for (auto _ : state) {
+    for (SeqId q = 0; q < f.queries.size(); ++q) {
+      benchmark::DoNotOptimize(engine.search(f.queries.sequence(q)));
+    }
+  }
+}
+
+void BM_SplitLongSequences(benchmark::State& state) {
+  DbIndexConfig cfg;
+  cfg.long_seq_limit = 8192;
+  cfg.long_seq_overlap = 128;
+  run_search(state, cfg);
+}
+
+void BM_WholeLongSequences(benchmark::State& state) {
+  DbIndexConfig cfg;
+  cfg.long_seq_limit = 1 << 20;  // never split
+  run_search(state, cfg);
+}
+
+void BM_IndexBuildSplit(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  DbIndexConfig cfg;
+  cfg.long_seq_limit = 8192;
+  cfg.long_seq_overlap = 128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DbIndex::build(f.db, cfg));
+  }
+}
+
+BENCHMARK(BM_SplitLongSequences)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WholeLongSequences)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexBuildSplit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

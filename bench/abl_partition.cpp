@@ -1,0 +1,59 @@
+// Ablation: database partitioning strategy (paper Section IV-D3).
+//
+// Compares the balance and the simulated 128-node execution time of the
+// three partitioning policies on an env_nr-shaped database: mpiBLAST-style
+// contiguous fragments, muBLASTP's length-sorted round-robin, and greedy
+// LPT bin packing. Shows why the paper's cheap round-robin policy is
+// enough: it is within noise of LPT and far better than contiguous.
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "cluster/partition.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace mublastp;
+  using namespace mublastp::cluster;
+  const std::uint64_t seed = 20170404;
+
+  // env_nr-shaped lengths, with the realistic input-order length clustering
+  // (families uploaded together) that hurts contiguous fragmentation.
+  Rng rng(seed);
+  std::vector<std::size_t> lens(1000000);
+  double drift = 0.0;
+  for (auto& l : lens) {
+    drift = 0.995 * drift + 0.1 * rng.next_normal();
+    double v;
+    do {
+      v = std::exp(std::log(177.0) + drift +
+                   std::sqrt(2.0 * std::log(197.0 / 177.0)) *
+                       rng.next_normal());
+    } while (v < 40 || v > 5000);
+    l = static_cast<std::size_t>(v);
+  }
+  std::vector<std::size_t> qlens(128);
+  for (auto& q : qlens) q = lens[rng.next_below(lens.size())];
+
+  CostModelParams cost;
+  cost.sec_per_cell = 1e-10;
+
+  std::printf("partitioning 1M sequences for 128 nodes (muBLASTP design, "
+              "one partition per node)\n\n");
+  std::printf("%-22s %12s %18s\n", "strategy", "imbalance", "sim time @128");
+  for (const PartitionStrategy s :
+       {PartitionStrategy::kContiguous, PartitionStrategy::kRoundRobinSorted,
+        PartitionStrategy::kGreedyLpt}) {
+    const Partitioning part = make_partitioning(lens, 128, s);
+    const auto costs = cost_matrix(qlens, part.chars, cost, seed);
+    MuBlastpClusterConfig cfg;
+    cfg.nodes = 128;
+    const double t = simulate_mublastp(costs, cfg);
+    std::printf("%-22s %11.3f%% %17.2fs\n", strategy_name(s),
+                100.0 * part.imbalance(), t);
+  }
+  std::printf("\npaper: length-sorted round-robin gives every partition the "
+              "same size AND length mix,\nremoving the straggler nodes that "
+              "contiguous fragmentation produces.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the seed and workload parameters it ran with and
+// (b) a table whose rows mirror the corresponding figure in the paper, so
+// EXPERIMENTS.md can record paper-vs-measured side by side.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sequence.hpp"
+#include "common/timer.hpp"
+#include "synth/synth.hpp"
+
+namespace mublastp::bench {
+
+/// Parses "--key=value" style overrides: returns value or fallback.
+inline std::size_t arg_size(int argc, char** argv, const std::string& key,
+                            std::size_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) {
+      return std::strtoull(a.c_str() + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline void print_header(const char* figure, const char* what,
+                         std::uint64_t seed) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("seed %llu (rerun with the same seed for identical numbers)\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("==============================================================\n");
+}
+
+/// Builds and caches one synthetic database per (spec name, residues, seed).
+inline SequenceStore make_db(const synth::DatabaseSpec& spec,
+                             std::uint64_t seed) {
+  Timer t;
+  SequenceStore db = synth::generate_database(spec, seed);
+  std::printf("[setup] %s: %zu sequences, %zu residues (%.2fs)\n",
+              spec.name.c_str(), db.size(), db.total_residues(), t.seconds());
+  return db;
+}
+
+}  // namespace mublastp::bench

@@ -1,0 +1,68 @@
+// Figure 7: sequence-length distributions of the uniprot_sprot and env_nr
+// databases.
+//
+// Prints the length histograms of the two synthetic stand-ins with the
+// statistics the paper quotes: sprot median 292 / mean 355, env_nr median
+// 177 / mean 197, with "most sequences in the range 60..1000 bases and only
+// few longer than 1000".
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mublastp;
+  const std::uint64_t seed = bench::arg_size(argc, argv, "seed", 20170707);
+  const std::size_t residues =
+      bench::arg_size(argc, argv, "residues", std::size_t{1} << 23);
+  bench::print_header("Figure 7", "sequence length distributions", seed);
+
+  const std::vector<std::size_t> edges{60,  125, 250, 375, 500,  625,
+                                       750, 875, 1000, 1500, 2000};
+
+  for (const bool env : {false, true}) {
+    const synth::DatabaseSpec spec =
+        env ? synth::envnr_like(residues) : synth::sprot_like(residues);
+    const SequenceStore db = bench::make_db(spec, seed);
+
+    std::vector<std::size_t> lens;
+    for (SeqId i = 0; i < db.size(); ++i) lens.push_back(db.length(i));
+    std::sort(lens.begin(), lens.end());
+    const double median = static_cast<double>(lens[lens.size() / 2]);
+    const double mean = static_cast<double>(db.total_residues()) /
+                        static_cast<double>(db.size());
+
+    const auto hist = synth::length_histogram(db, edges);
+    std::printf("\n%s: median %.0f (paper %s), mean %.0f (paper %s)\n",
+                spec.name.c_str(), median, env ? "177" : "292", mean,
+                env ? "197" : "355");
+    std::printf("%-14s %10s %8s\n", "length bin", "count", "pct");
+    std::size_t prev = 0;
+    for (std::size_t b = 0; b < hist.size(); ++b) {
+      std::string label;
+      if (b < edges.size()) {
+        label = "(" + std::to_string(prev) + ", " +
+                std::to_string(edges[b]) + "]";
+        prev = edges[b];
+      } else {
+        label = "> " + std::to_string(prev);
+      }
+      std::printf("%-14s %10zu %7.2f%%  %s\n", label.c_str(), hist[b],
+                  100.0 * static_cast<double>(hist[b]) /
+                      static_cast<double>(db.size()),
+                  std::string(std::min<std::size_t>(
+                                  60, 60 * hist[b] / std::max<std::size_t>(
+                                                         1, db.size() / 4)),
+                              '#')
+                      .c_str());
+    }
+    const std::size_t over_1000 =
+        static_cast<std::size_t>(std::distance(
+            std::upper_bound(lens.begin(), lens.end(), std::size_t{1000}),
+            lens.end()));
+    std::printf("sequences > 1000 residues: %zu (%.2f%%; paper: 'only few')\n",
+                over_1000,
+                100.0 * static_cast<double>(over_1000) /
+                    static_cast<double>(db.size()));
+  }
+  return 0;
+}

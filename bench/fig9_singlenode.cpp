@@ -1,0 +1,80 @@
+// Figure 9: single-node performance comparison of NCBI (query-indexed),
+// NCBI-db (database-indexed, interleaved) and muBLASTP on uniprot_sprot and
+// env_nr, for query batches of length 128/256/512/mixed.
+//
+// Paper's headline numbers: muBLASTP up to 5.1x over NCBI and 3.3x over
+// NCBI-db on sprot; up to 3.3x over NCBI and 3.9x over NCBI-db on env_nr;
+// NCBI-db is SLOWER than NCBI on the larger env_nr database.
+//
+// The container has one core, so the batch runs single-threaded; the
+// paper's engine ordering is thread-count independent (all engines
+// parallelize over queries the same way).
+#include "baseline/interleaved_engine.hpp"
+#include "baseline/query_engine.hpp"
+#include "bench_common.hpp"
+#include "core/mublastp_engine.hpp"
+#include "index/db_index.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mublastp;
+  const std::uint64_t seed = bench::arg_size(argc, argv, "seed", 20170909);
+  const std::size_t sprot_res =
+      bench::arg_size(argc, argv, "sprot_residues", std::size_t{1} << 22);
+  const std::size_t envnr_res =
+      bench::arg_size(argc, argv, "envnr_residues", std::size_t{1} << 23);
+  const std::size_t batch = bench::arg_size(argc, argv, "batch", 16);
+  const int threads =
+      static_cast<int>(bench::arg_size(argc, argv, "threads", 1));
+  bench::print_header("Figure 9", "NCBI vs NCBI-db vs muBLASTP, single node",
+                      seed);
+
+  for (const bool env : {false, true}) {
+    const synth::DatabaseSpec spec = env ? synth::envnr_like(envnr_res)
+                                         : synth::sprot_like(sprot_res);
+    const SequenceStore db = bench::make_db(spec, seed);
+    DbIndexConfig cfg;
+    cfg.block_bytes = 512 * 1024;
+    Timer build_timer;
+    const DbIndex index = DbIndex::build(db, cfg);
+    std::printf("[setup] index: %zu blocks, built in %.2fs (excluded from "
+                "timings, as in the paper)\n",
+                index.blocks().size(), build_timer.seconds());
+
+    const QueryIndexedEngine ncbi(db);
+    const InterleavedDbEngine ncbi_db(index);
+    const MuBlastpEngine mu(index);
+
+    std::printf("\n[%s] batch of %zu queries, %d thread(s)\n",
+                spec.name.c_str(), batch, threads);
+    std::printf("%-8s %10s %10s %10s %12s %12s\n", "queries", "NCBI(s)",
+                "NCBI-db(s)", "muBLASTP(s)", "mu vs NCBI", "mu vs NCBI-db");
+
+    for (const std::string& label : {std::string("128"), std::string("256"),
+                                     std::string("512"),
+                                     std::string("mixed")}) {
+      Rng rng(seed + label.size() + label[0]);
+      const SequenceStore queries =
+          label == "mixed"
+              ? synth::sample_queries_mixed(db, batch, rng)
+              : synth::sample_queries(
+                    db, batch, std::strtoull(label.c_str(), nullptr, 10),
+                    rng);
+
+      const auto run = [&](const auto& engine) {
+        Timer t;
+        (void)engine.search_batch(queries, threads);
+        return t.seconds();
+      };
+      const double t_ncbi = run(ncbi);
+      const double t_db = run(ncbi_db);
+      const double t_mu = run(mu);
+      std::printf("%-8s %10.3f %10.3f %10.3f %11.2fx %11.2fx\n",
+                  label.c_str(), t_ncbi, t_db, t_mu, t_ncbi / t_mu,
+                  t_db / t_mu);
+    }
+  }
+  std::printf("\npaper: muBLASTP up to 5.1x (sprot) / 3.3x (env_nr) over "
+              "NCBI and 3.3x / 3.9x over NCBI-db;\nNCBI-db slower than NCBI "
+              "on env_nr.\n");
+  return 0;
+}

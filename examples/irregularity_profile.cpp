@@ -1,0 +1,92 @@
+// Demonstrates the paper's core diagnosis (Section II-B / Figure 2): run
+// the same query through the three engines with the trace-driven memory
+// hierarchy attached and show how the database index destroys locality in
+// the interleaved pipeline — and how muBLASTP's reordering restores it.
+//
+// Usage: irregularity_profile [--residues=R] [--qlen=L] [--seed=S]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baseline/interleaved_engine.hpp"
+#include "baseline/query_engine.hpp"
+#include "common/rng.hpp"
+#include "core/mublastp_engine.hpp"
+#include "index/db_index.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+std::size_t arg(int argc, char** argv, const std::string& key,
+                std::size_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+void report(const char* label, const mublastp::memsim::MemStats& s) {
+  std::printf("%-28s %10llu %9.2f%% %9.3f%% %9.2f%%\n", label,
+              static_cast<unsigned long long>(s.references),
+              100.0 * s.llc_miss_rate(), 100.0 * s.tlb_miss_rate(),
+              100.0 * s.stalled_cycle_fraction());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mublastp;
+  const std::uint64_t seed = arg(argc, argv, "seed", 5);
+  const std::size_t residues = arg(argc, argv, "residues", std::size_t{1} << 21);
+  const std::size_t qlen = arg(argc, argv, "qlen", 256);
+
+  const SequenceStore db =
+      synth::generate_database(synth::envnr_like(residues), seed);
+  // NCBI-db indexes the database whole (one giant block: the pre-blocking
+  // state of the art the paper profiles); muBLASTP uses its blocked index
+  // sized by the Section V-B formula.
+  DbIndexConfig whole_cfg;
+  whole_cfg.block_bytes = std::size_t{1} << 30;
+  const DbIndex whole_index = DbIndex::build(db, whole_cfg);
+  DbIndexConfig blocked_cfg;
+  blocked_cfg.block_bytes = 512 * 1024;
+  const DbIndex blocked_index = DbIndex::build(db, blocked_cfg);
+
+  Rng rng(seed + 1);
+  const SequenceStore queries = synth::sample_queries(db, 1, qlen, rng);
+  const auto query = queries.sequence(0);
+
+  std::printf("database %zu residues, one query of length %zu\n"
+              "simulated hierarchy: 32KB L1 / 256KB L2 / 30MB L3, 64+1024 "
+              "entry TLBs (Haswell)\n\n",
+              db.total_residues(), qlen);
+  std::printf("%-30s %10s %10s %10s %10s\n", "engine", "refs", "LLC miss",
+              "TLB miss", "stalled");
+
+  const QueryIndexedEngine ncbi(db);
+  memsim::MemoryHierarchy h1;
+  ncbi.search_traced(query, h1);
+  report("NCBI (query index)", h1.stats());
+
+  const InterleavedDbEngine ncbi_db(whole_index);
+  memsim::MemoryHierarchy h2;
+  ncbi_db.search_traced(query, h2);
+  report("NCBI-db (whole-db index)", h2.stats());
+
+  const MuBlastpEngine mu(blocked_index);
+  memsim::MemoryHierarchy h3;
+  mu.search_traced(query, h3);
+  report("muBLASTP (blocked+reordered)", h3.stats());
+
+  std::printf("\nreading the table:\n"
+              " * NCBI streams one subject at a time -> prefetch-friendly,\n"
+              "   low TLB pressure, few stalls;\n"
+              " * NCBI-db jumps between subjects and last-hit arrays on\n"
+              "   every hit -> TLB and LLC thrash (the paper's Figure 2);\n"
+              " * muBLASTP touches the same structures but in sorted order\n"
+              "   -> locality restored while keeping the database index.\n");
+  return 0;
+}

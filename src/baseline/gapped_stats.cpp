@@ -1,0 +1,73 @@
+#include "baseline/gapped_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baseline/smith_waterman.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp {
+namespace {
+
+constexpr double kEulerGamma = 0.57721566490153286;
+
+// Inverse-CDF sampler over the 20 standard residues.
+Residue draw_residue(const std::array<double, kAlphabetSize>& freqs,
+                     double total, Rng& rng) {
+  double u = rng.next_double() * total;
+  for (int i = 0; i < 20; ++i) {
+    u -= freqs[i];
+    if (u <= 0.0) return static_cast<Residue>(i);
+  }
+  return Residue{19};
+}
+
+}  // namespace
+
+KarlinParams estimate_gapped_params(const ScoreMatrix& matrix, Score gap_open,
+                                    Score gap_extend,
+                                    const GappedSimOptions& options) {
+  MUBLASTP_CHECK(options.num_pairs >= 16, "need at least 16 sample pairs");
+  MUBLASTP_CHECK(options.seq_len >= 32, "sequences too short for a fit");
+
+  const auto& freqs = robinson_frequencies();
+  double total_freq = 0.0;
+  for (int i = 0; i < 20; ++i) total_freq += freqs[i];
+
+  Rng rng(options.seed);
+  std::vector<Residue> a(options.seq_len);
+  std::vector<Residue> b(options.seq_len);
+  std::vector<double> scores;
+  scores.reserve(options.num_pairs);
+  for (std::size_t s = 0; s < options.num_pairs; ++s) {
+    for (auto& r : a) r = draw_residue(freqs, total_freq, rng);
+    for (auto& r : b) r = draw_residue(freqs, total_freq, rng);
+    scores.push_back(static_cast<double>(
+        smith_waterman_score(a, b, matrix, gap_open, gap_extend)));
+  }
+
+  double mean = 0.0;
+  for (const double x : scores) mean += x;
+  mean /= static_cast<double>(scores.size());
+  double var = 0.0;
+  for (const double x : scores) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(scores.size() - 1);
+  MUBLASTP_CHECK(var > 0.0, "degenerate score distribution");
+
+  // Method-of-moments Gumbel fit.
+  const double lambda = M_PI / std::sqrt(6.0 * var);
+  const double mu = mean - kEulerGamma / lambda;
+  const double mn = static_cast<double>(options.seq_len) *
+                    static_cast<double>(options.seq_len);
+  const double K = std::exp(lambda * mu) / mn;
+
+  KarlinParams out;
+  out.lambda = lambda;
+  out.K = K;
+  out.H = compute_karlin(matrix).H;  // gapped correction is second-order
+  return out;
+}
+
+}  // namespace mublastp

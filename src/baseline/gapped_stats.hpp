@@ -1,0 +1,41 @@
+// Simulation-based estimation of gapped Karlin-Altschul parameters.
+//
+// Gapped local-alignment statistics have no closed form; NCBI ships tables
+// of (lambda, K) per (matrix, gap penalties) triple that were fitted by
+// simulation. This module reproduces that fitting procedure so the library
+// can derive parameters for arbitrary scoring systems instead of relying
+// on the lookup table in karlin.cpp:
+//
+//   1. draw pairs of random sequences from the background composition;
+//   2. compute each pair's optimal gapped local score (Smith-Waterman);
+//   3. fit the scores to the extreme-value (Gumbel) distribution
+//      P(S >= x) ~ 1 - exp(-K m n e^{-lambda x}) by the method of moments:
+//      lambda = pi / sqrt(6 Var[S]),  K = exp(lambda mu) / (m n)
+//      with mu = E[S] - gamma / lambda (gamma = Euler-Mascheroni).
+//
+// This is a statistics substrate, not a hot path: accuracy grows with
+// sample count; the tests pin BLOSUM62 11/1 against NCBI's published
+// values at simulation-appropriate tolerances.
+#pragma once
+
+#include <cstdint>
+
+#include "score/karlin.hpp"
+
+namespace mublastp {
+
+/// Simulation controls.
+struct GappedSimOptions {
+  std::size_t num_pairs = 200;  ///< sample size (Gumbel fit accuracy ~1/sqrt)
+  std::size_t seq_len = 320;    ///< length of each random sequence
+  std::uint64_t seed = 1;       ///< RNG seed (deterministic result)
+};
+
+/// Estimates gapped (lambda, K, H) for `matrix` with the given penalties by
+/// Gumbel-fitting simulated optimal local scores. H is inherited from the
+/// ungapped computation (its gapped correction is second-order).
+KarlinParams estimate_gapped_params(const ScoreMatrix& matrix, Score gap_open,
+                                    Score gap_extend,
+                                    const GappedSimOptions& options = {});
+
+}  // namespace mublastp

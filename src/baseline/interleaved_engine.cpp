@@ -1,0 +1,142 @@
+#include "baseline/interleaved_engine.hpp"
+
+#include <omp.h>
+
+#include "common/error.hpp"
+#include "core/fragment_assembly.hpp"
+#include "core/hit_logic.hpp"
+
+namespace mublastp {
+namespace {
+
+// Validates before any member initializer dereferences params.matrix.
+const SearchParams& checked_params(const SearchParams& p) {
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+InterleavedDbEngine::InterleavedDbEngine(const DbIndex& index,
+                                         SearchParams params)
+    : index_(&index),
+      params_(checked_params(params)),
+      karlin_(gapped_params(*params.matrix, params.gap_open,
+                            params.gap_extend)) {
+  MUBLASTP_CHECK(params_.matrix == index.config().matrix,
+                 "search matrix must match the index's neighbor matrix");
+}
+
+template <typename Mem>
+void InterleavedDbEngine::search_block(std::span<const Residue> query,
+                                       const DbIndexBlock& block,
+                                       StageStats& stats,
+                                       std::vector<UngappedAlignment>& out,
+                                       DiagState& state, Mem mem) const {
+  const ScoreMatrix& matrix = *params_.matrix;
+  const SequenceStore& db = index_->db();
+  const NeighborTable& neighbors = index_->neighbors();
+
+  // One diagonal-state slot per (fragment, diagonal) — the "multiple last
+  // hit arrays, one for each subject sequence" of Section II-B. Fragment f
+  // owns the dense key range [bases[f], bases[f+1]).
+  const std::uint32_t qlen = static_cast<std::uint32_t>(query.size());
+  std::vector<std::uint32_t> bases(block.fragments().size() + 1, 0);
+  for (std::size_t f = 0; f < block.fragments().size(); ++f) {
+    bases[f + 1] = bases[f] + block.fragments()[f].len + qlen + 1;
+  }
+  state.resize(bases.back());
+  state.new_round(static_cast<std::int32_t>(qlen) + 1);
+
+  std::vector<UngappedSeg> segs;
+
+  for (std::uint32_t qoff = 0; qoff + kWordLength <= query.size(); ++qoff) {
+    if constexpr (Mem::kEnabled) {
+      mem.touch(query.data() + qoff, kWordLength);
+    }
+    const std::uint32_t w = word_key(query.data() + qoff);
+    const auto nbs = neighbors.neighbors(w);
+    if constexpr (Mem::kEnabled) {
+      mem.touch(nbs.data(), nbs.size_bytes());
+    }
+    for (const std::uint32_t nb : nbs) {
+      const auto entries = block.entries(nb);
+      if constexpr (Mem::kEnabled) {
+        mem.touch(entries.data(), entries.size_bytes());
+      }
+      for (const std::uint32_t entry : entries) {
+        const std::uint32_t local = block.entry_fragment(entry);
+        const std::uint32_t soff = block.entry_offset(entry);
+        const FragmentRef& frag = block.fragments()[local];
+        const std::span<const Residue> subject =
+            db.sequence(frag.seq).subspan(frag.start, frag.len);
+        const std::size_t key =
+            bases[local] +
+            static_cast<std::size_t>(static_cast<std::int64_t>(soff) - qoff +
+                                     qlen);
+        segs.clear();
+        // Interleaved: the extension runs right here, touching this
+        // fragment's residues while the scan is somewhere else entirely.
+        process_hit(state, key, query, subject, qoff, soff, matrix, params_,
+                    stats, segs, mem);
+        for (const UngappedSeg& seg : segs) {
+          out.push_back(resolve_fragment_segment(query, db, frag, seg, qoff,
+                                                 soff, matrix, params_));
+        }
+      }
+    }
+  }
+}
+
+template <typename Mem>
+QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
+                                             Mem mem) const {
+  MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
+                 "query shorter than word length");
+  QueryResult result;
+  std::vector<UngappedAlignment> ungapped;
+  DiagState state;
+  for (const DbIndexBlock& block : index_->blocks()) {
+    search_block(query, block, result.stats, ungapped, state, mem);
+  }
+
+  // Remap sorted-store ids to the caller's original database ids.
+  for (UngappedAlignment& u : ungapped) {
+    u.subject = index_->original_id(u.subject);
+  }
+  canonicalize_ungapped(ungapped);
+  result.ungapped = ungapped;
+
+  const ScoreMatrix& matrix = *params_.matrix;
+  const SubjectLookup lookup = [this](SeqId original) {
+    return index_->db().sequence(index_->sorted_id(original));
+  };
+  auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
+                             params_, &result.stats);
+  result.alignments =
+      finalize_stage(query, lookup, std::move(gapped), matrix, params_,
+                     karlin_, index_->db().total_residues());
+  return result;
+}
+
+QueryResult InterleavedDbEngine::search(std::span<const Residue> query) const {
+  return search_impl(query, memsim::NullMemoryModel{});
+}
+
+QueryResult InterleavedDbEngine::search_traced(
+    std::span<const Residue> query, memsim::MemoryHierarchy& mem) const {
+  return search_impl(query, memsim::TracingMemoryModel(mem));
+}
+
+std::vector<QueryResult> InterleavedDbEngine::search_batch(
+    const SequenceStore& queries, int threads) const {
+  MUBLASTP_CHECK(threads > 0, "thread count must be positive");
+  std::vector<QueryResult> results(queries.size());
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    results[i] = search(queries.sequence(static_cast<SeqId>(i)));
+  }
+  return results;
+}
+
+}  // namespace mublastp

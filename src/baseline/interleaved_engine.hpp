@@ -1,0 +1,57 @@
+// Database-indexed BLASTP with the *original* interleaved heuristics — the
+// "NCBI-db" baseline of the paper (Section III + Section II-B).
+//
+// Hit detection scans the query top-to-bottom against the block's position
+// lists and triggers ungapped extension immediately on every two-hit pair.
+// Because a word's position list spans many subject fragments, consecutive
+// extensions jump between unrelated subjects and last-hit regions: this is
+// the irregular engine whose LLC/TLB behaviour Figure 2 profiles and whose
+// block-size sensitivity Figure 8 shows. It exists to be measured against —
+// and to validate that muBLASTP's reordering does not change results.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/results.hpp"
+#include "core/two_hit.hpp"
+#include "index/db_index.hpp"
+#include "memsim/memsim.hpp"
+#include "score/karlin.hpp"
+
+namespace mublastp {
+
+/// Interleaved database-indexed engine ("NCBI-db").
+class InterleavedDbEngine {
+ public:
+  /// `index` must outlive the engine.
+  explicit InterleavedDbEngine(const DbIndex& index, SearchParams params = {});
+
+  /// Searches one query (all blocks, all four stages).
+  QueryResult search(std::span<const Residue> query) const;
+
+  /// Same search with stage-1/2 accesses traced through `mem`.
+  QueryResult search_traced(std::span<const Residue> query,
+                            memsim::MemoryHierarchy& mem) const;
+
+  /// OpenMP batch over queries, block loop outermost (same loop structure
+  /// as muBLASTP so the comparison isolates the irregularity).
+  std::vector<QueryResult> search_batch(const SequenceStore& queries,
+                                        int threads) const;
+
+  const DbIndex& index() const { return *index_; }
+  const SearchParams& params() const { return params_; }
+
+ private:
+  template <typename Mem>
+  void search_block(std::span<const Residue> query, const DbIndexBlock& block,
+                    StageStats& stats, std::vector<UngappedAlignment>& out,
+                    DiagState& state, Mem mem) const;
+
+  template <typename Mem>
+  QueryResult search_impl(std::span<const Residue> query, Mem mem) const;
+
+  const DbIndex* index_;
+  SearchParams params_;
+  KarlinParams karlin_;
+};
+
+}  // namespace mublastp

@@ -1,0 +1,191 @@
+#include "baseline/smith_waterman.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace mublastp {
+namespace {
+
+constexpr Score kNegInf = std::numeric_limits<Score>::min() / 4;
+
+// Traceback codes per cell for H / E / F lattices.
+enum : std::uint8_t {
+  kStop = 0,
+  kDiag = 1,
+  kFromE = 2,
+  kFromF = 3,
+};
+
+}  // namespace
+
+SwAlignment smith_waterman(std::span<const Residue> query,
+                           std::span<const Residue> subject,
+                           const ScoreMatrix& matrix, Score gap_open,
+                           Score gap_extend) {
+  const std::size_t n = query.size();
+  const std::size_t m = subject.size();
+  const Score open_cost = gap_open + gap_extend;
+
+  // Full matrices (test-scale inputs): H source, E-opened, F-opened bits.
+  std::vector<Score> h((n + 1) * (m + 1), 0);
+  std::vector<Score> e((n + 1) * (m + 1), kNegInf);
+  std::vector<Score> f((n + 1) * (m + 1), kNegInf);
+  std::vector<std::uint8_t> hsrc((n + 1) * (m + 1), kStop);
+  std::vector<std::uint8_t> eopen((n + 1) * (m + 1), 0);
+  std::vector<std::uint8_t> fopen((n + 1) * (m + 1), 0);
+  const auto at = [m](std::size_t i, std::size_t j) {
+    return i * (m + 1) + j;
+  };
+
+  Score best = 0;
+  std::size_t bi = 0;
+  std::size_t bj = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t c = at(i, j);
+      // E: gap in query (consume subject[j-1]).
+      const Score e_open = h[at(i, j - 1)] - open_cost;
+      const Score e_ext = e[at(i, j - 1)] - gap_extend;
+      if (e_open >= e_ext) {
+        e[c] = e_open;
+        eopen[c] = 1;
+      } else {
+        e[c] = e_ext;
+      }
+      // F: gap in subject (consume query[i-1]).
+      const Score f_open = h[at(i - 1, j)] - open_cost;
+      const Score f_ext = f[at(i - 1, j)] - gap_extend;
+      if (f_open >= f_ext) {
+        f[c] = f_open;
+        fopen[c] = 1;
+      } else {
+        f[c] = f_ext;
+      }
+      // H: local alignment can restart at 0.
+      const Score diag = h[at(i - 1, j - 1)] + matrix(query[i - 1], subject[j - 1]);
+      Score v = 0;
+      std::uint8_t src = kStop;
+      if (diag > v) {
+        v = diag;
+        src = kDiag;
+      }
+      if (e[c] > v) {
+        v = e[c];
+        src = kFromE;
+      }
+      if (f[c] > v) {
+        v = f[c];
+        src = kFromF;
+      }
+      h[c] = v;
+      hsrc[c] = src;
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+
+  SwAlignment out;
+  out.score = best;
+  if (best == 0) return out;
+
+  // Traceback from (bi, bj) until an H cell restarts (kStop).
+  std::string ops;
+  std::size_t i = bi;
+  std::size_t j = bj;
+  enum class St { H, E, F } st = St::H;
+  for (;;) {
+    const std::size_t c = at(i, j);
+    if (st == St::H) {
+      const std::uint8_t src = hsrc[c];
+      if (src == kStop) break;
+      if (src == kDiag) {
+        ops.push_back('M');
+        --i;
+        --j;
+      } else if (src == kFromE) {
+        st = St::E;
+      } else {
+        st = St::F;
+      }
+    } else if (st == St::E) {
+      ops.push_back('D');
+      const bool opened = eopen[c];
+      --j;
+      if (opened) st = St::H;
+    } else {
+      ops.push_back('I');
+      const bool opened = fopen[c];
+      --i;
+      if (opened) st = St::H;
+    }
+  }
+  std::reverse(ops.begin(), ops.end());
+  out.ops = std::move(ops);
+  out.q_start = static_cast<std::uint32_t>(i);
+  out.q_end = static_cast<std::uint32_t>(bi);
+  out.s_start = static_cast<std::uint32_t>(j);
+  out.s_end = static_cast<std::uint32_t>(bj);
+  return out;
+}
+
+Score smith_waterman_score(std::span<const Residue> query,
+                           std::span<const Residue> subject,
+                           const ScoreMatrix& matrix, Score gap_open,
+                           Score gap_extend) {
+  const std::size_t n = query.size();
+  const std::size_t m = subject.size();
+  const Score open_cost = gap_open + gap_extend;
+  // Rolling rows: H and F from the previous row; E carried along the row.
+  std::vector<Score> h_prev(m + 1, 0);
+  std::vector<Score> f_prev(m + 1, kNegInf);
+  std::vector<Score> h_cur(m + 1, 0);
+  std::vector<Score> f_cur(m + 1, kNegInf);
+  Score best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    Score e_run = kNegInf;
+    h_cur[0] = 0;
+    f_cur[0] = kNegInf;
+    const auto row = matrix.row(query[i - 1]);
+    for (std::size_t j = 1; j <= m; ++j) {
+      e_run = std::max<Score>(h_cur[j - 1] - open_cost, e_run - gap_extend);
+      f_cur[j] =
+          std::max<Score>(h_prev[j] - open_cost, f_prev[j] - gap_extend);
+      Score v = h_prev[j - 1] + row[subject[j - 1]];
+      v = std::max<Score>(v, e_run);
+      v = std::max<Score>(v, f_cur[j]);
+      v = std::max<Score>(v, 0);
+      h_cur[j] = v;
+      best = std::max(best, v);
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+  return best;
+}
+
+Score best_ungapped_score(std::span<const Residue> query,
+                          std::span<const Residue> subject,
+                          const ScoreMatrix& matrix) {
+  Score best = 0;
+  const std::int64_t n = static_cast<std::int64_t>(query.size());
+  const std::int64_t m = static_cast<std::int64_t>(subject.size());
+  for (std::int64_t d = -(n - 1); d < m; ++d) {
+    // Diagonal d: subject position = query position + d.
+    Score run = 0;
+    const std::int64_t qlo = std::max<std::int64_t>(0, -d);
+    const std::int64_t qhi = std::min<std::int64_t>(n, m - d);
+    for (std::int64_t q = qlo; q < qhi; ++q) {
+      run += matrix(query[static_cast<std::size_t>(q)],
+                    subject[static_cast<std::size_t>(q + d)]);
+      if (run < 0) run = 0;
+      best = std::max(best, run);
+    }
+  }
+  return best;
+}
+
+}  // namespace mublastp

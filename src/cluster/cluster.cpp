@@ -1,0 +1,189 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp::cluster {
+
+std::vector<std::vector<double>> cost_matrix(
+    const std::vector<std::size_t>& query_lens,
+    const std::vector<double>& partition_chars, const CostModelParams& params,
+    std::uint64_t seed) {
+  MUBLASTP_CHECK(!query_lens.empty() && !partition_chars.empty(),
+                 "cost matrix needs queries and partitions");
+  Rng rng(seed);
+  // For placing hot-spots proportionally to partition size.
+  std::vector<double> cumulative(partition_chars.size());
+  double total_chars = 0.0;
+  for (std::size_t p = 0; p < partition_chars.size(); ++p) {
+    total_chars += partition_chars[p];
+    cumulative[p] = total_chars;
+  }
+
+  std::vector<std::vector<double>> costs(query_lens.size());
+  for (std::size_t q = 0; q < query_lens.size(); ++q) {
+    // Per-query irregularity: some queries hit dense word neighborhoods or
+    // repetitive families and cost several times the mean.
+    const double density =
+        std::exp(params.irregularity_sigma * rng.next_normal());
+    costs[q].resize(partition_chars.size());
+    double total = 0.0;
+    for (std::size_t p = 0; p < partition_chars.size(); ++p) {
+      costs[q][p] =
+          (params.query_fixed_sec + params.sec_per_cell *
+                                        static_cast<double>(query_lens[q]) *
+                                        partition_chars[p]) *
+          density;
+      total += costs[q][p];
+    }
+    // Homolog hot-spot: a share of the query's work belongs to its best
+    // subject sequence, which lives in exactly one partition (chosen
+    // proportionally to partition size, as any sequence would be).
+    const double share = std::min(
+        0.5, params.hotspot_share_median *
+                 std::exp(params.hotspot_sigma * rng.next_normal()));
+    const double pick = rng.next_double() * total_chars;
+    const std::size_t hot = static_cast<std::size_t>(
+        std::distance(cumulative.begin(),
+                      std::lower_bound(cumulative.begin(), cumulative.end(),
+                                       pick)));
+    for (auto& c : costs[q]) c *= (1.0 - share);
+    costs[q][std::min(hot, costs[q].size() - 1)] += share * total;
+  }
+  return costs;
+}
+
+std::vector<double> partition_chars_round_robin_sorted(
+    const std::vector<std::size_t>& seq_lens, int parts) {
+  MUBLASTP_CHECK(parts > 0, "parts must be positive");
+  std::vector<std::size_t> sorted = seq_lens;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> chars(static_cast<std::size_t>(parts), 0.0);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    chars[i % static_cast<std::size_t>(parts)] +=
+        static_cast<double>(sorted[i]);
+  }
+  return chars;
+}
+
+std::vector<double> partition_chars_contiguous(
+    const std::vector<std::size_t>& seq_lens, int parts) {
+  MUBLASTP_CHECK(parts > 0, "parts must be positive");
+  // Split by sequence count (mpiBLAST's formatdb-style fragmentation):
+  // contiguous runs of the unsorted database, so fragment residue counts
+  // inherit the local length skew of the input order.
+  std::vector<double> chars(static_cast<std::size_t>(parts), 0.0);
+  const std::size_t n = seq_lens.size();
+  for (std::size_t p = 0; p < static_cast<std::size_t>(parts); ++p) {
+    const std::size_t lo = n * p / static_cast<std::size_t>(parts);
+    const std::size_t hi = n * (p + 1) / static_cast<std::size_t>(parts);
+    for (std::size_t i = lo; i < hi; ++i) {
+      chars[p] += static_cast<double>(seq_lens[i]);
+    }
+  }
+  return chars;
+}
+
+double SimReport::utilization() const {
+  MUBLASTP_CHECK(!busy_sec.empty() && total_sec > 0.0, "empty report");
+  double busy = 0.0;
+  for (const double b : busy_sec) busy += b;
+  return busy / (total_sec * static_cast<double>(busy_sec.size()));
+}
+
+SimReport simulate_mublastp_report(const std::vector<std::vector<double>>& costs,
+                                   const MuBlastpClusterConfig& config) {
+  MUBLASTP_CHECK(config.nodes > 0 && config.threads_per_node > 0,
+                 "invalid cluster shape");
+  MUBLASTP_CHECK(!costs.empty(), "empty cost matrix");
+  MUBLASTP_CHECK(costs.front().size() ==
+                     static_cast<std::size_t>(config.nodes),
+                 "cost matrix must have one partition per node");
+
+  // Every node processes the whole query batch against its partition with
+  // an OpenMP pool; the batch is a bag of independent tasks, so node time
+  // is total work / effective cores.
+  const double effective_cores =
+      static_cast<double>(config.threads_per_node) * config.thread_efficiency;
+  SimReport report;
+  report.busy_sec.resize(static_cast<std::size_t>(config.nodes), 0.0);
+  double slowest = 0.0;
+  for (int p = 0; p < config.nodes; ++p) {
+    double work = 0.0;
+    for (const auto& row : costs) {
+      work += row[static_cast<std::size_t>(p)];
+    }
+    const double node_time = work / effective_cores;
+    report.busy_sec[static_cast<std::size_t>(p)] = node_time;
+    slowest = std::max(slowest, node_time);
+  }
+  // One batch-level tree reduction at the end (Section IV-D: "we merge
+  // results after the local alignment for all queries in a batch").
+  report.merge_sec =
+      config.merge_hop_sec *
+      std::ceil(std::log2(static_cast<double>(config.nodes) + 1.0));
+  report.total_sec = slowest + report.merge_sec;
+  return report;
+}
+
+double simulate_mublastp(const std::vector<std::vector<double>>& costs,
+                         const MuBlastpClusterConfig& config) {
+  return simulate_mublastp_report(costs, config).total_sec;
+}
+
+SimReport simulate_mpiblast_report(const std::vector<std::vector<double>>& costs,
+                                   const MpiBlastClusterConfig& config) {
+  MUBLASTP_CHECK(config.nodes > 0 && config.procs_per_node > 0,
+                 "invalid cluster shape");
+  const std::size_t workers =
+      static_cast<std::size_t>(config.nodes) *
+      static_cast<std::size_t>(config.procs_per_node);
+  MUBLASTP_CHECK(!costs.empty(), "empty cost matrix");
+  MUBLASTP_CHECK(costs.front().size() == workers,
+                 "cost matrix must have one fragment per worker");
+
+  // Discrete-event walk of mpiBLAST's synchronous per-query protocol: the
+  // master schedules one query to the group, every worker searches its
+  // fragment, the results are merged serially, and only then does the next
+  // query start. The critical path per query is the slowest fragment (the
+  // straggler — contiguous fragments are uneven, and the spread of the
+  // per-fragment maximum grows with the worker count) plus the
+  // O(workers) merge. This is the load-imbalance + synchronization
+  // structure Section IV-D contrasts with muBLASTP's batch merging.
+  const double slowdown = config.mem_contention * config.worker_slowdown;
+  SimReport report;
+  report.busy_sec.resize(workers, 0.0);
+  double clock = 0.0;
+  for (const auto& row : costs) {
+    clock += config.sched_overhead_sec;
+    report.sched_sec += config.sched_overhead_sec;
+    double straggler = 0.0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const double t = row[w] * slowdown;
+      report.busy_sec[w] += t;
+      straggler = std::max(straggler, t);
+    }
+    const double merge =
+        config.merge_per_worker_sec * static_cast<double>(workers);
+    report.merge_sec += merge;
+    clock += straggler + merge;
+  }
+  report.total_sec = clock;
+  return report;
+}
+
+double simulate_mpiblast(const std::vector<std::vector<double>>& costs,
+                         const MpiBlastClusterConfig& config) {
+  return simulate_mpiblast_report(costs, config).total_sec;
+}
+
+double scaling_efficiency(double t1, double tn, int n) {
+  MUBLASTP_CHECK(t1 > 0 && tn > 0 && n > 0, "invalid scaling inputs");
+  return t1 / (static_cast<double>(n) * tn);
+}
+
+}  // namespace mublastp::cluster

@@ -1,0 +1,90 @@
+#include "cluster/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace mublastp::cluster {
+
+double Partitioning::imbalance() const {
+  MUBLASTP_CHECK(!chars.empty(), "empty partitioning");
+  const auto [lo, hi] = std::minmax_element(chars.begin(), chars.end());
+  return *hi == 0.0 ? 0.0 : (*hi - *lo) / *hi;
+}
+
+const char* strategy_name(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kContiguous:
+      return "contiguous";
+    case PartitionStrategy::kRoundRobinSorted:
+      return "round-robin-sorted";
+    case PartitionStrategy::kGreedyLpt:
+      return "greedy-lpt";
+  }
+  return "unknown";
+}
+
+Partitioning make_partitioning(const std::vector<std::size_t>& seq_lens,
+                               int parts, PartitionStrategy strategy) {
+  MUBLASTP_CHECK(parts > 0, "parts must be positive");
+  MUBLASTP_CHECK(!seq_lens.empty(), "no sequences to partition");
+  const auto p = static_cast<std::size_t>(parts);
+  Partitioning out;
+  out.assignment.resize(seq_lens.size());
+  out.chars.assign(p, 0.0);
+  out.counts.assign(p, 0);
+
+  const auto assign = [&](std::size_t seq, std::size_t part) {
+    out.assignment[seq] = static_cast<std::uint32_t>(part);
+    out.chars[part] += static_cast<double>(seq_lens[seq]);
+    ++out.counts[part];
+  };
+
+  switch (strategy) {
+    case PartitionStrategy::kContiguous: {
+      const std::size_t n = seq_lens.size();
+      for (std::size_t part = 0; part < p; ++part) {
+        const std::size_t lo = n * part / p;
+        const std::size_t hi = n * (part + 1) / p;
+        for (std::size_t i = lo; i < hi; ++i) assign(i, part);
+      }
+      break;
+    }
+    case PartitionStrategy::kRoundRobinSorted: {
+      std::vector<std::size_t> order(seq_lens.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return seq_lens[a] < seq_lens[b];
+                       });
+      for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        assign(order[rank], rank % p);
+      }
+      break;
+    }
+    case PartitionStrategy::kGreedyLpt: {
+      std::vector<std::size_t> order(seq_lens.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return seq_lens[a] > seq_lens[b];
+                       });
+      // Min-heap of (load, partition).
+      using Slot = std::pair<double, std::size_t>;
+      std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+      for (std::size_t part = 0; part < p; ++part) heap.push({0.0, part});
+      for (const std::size_t seq : order) {
+        auto [load, part] = heap.top();
+        heap.pop();
+        assign(seq, part);
+        heap.push({load + static_cast<double>(seq_lens[seq]), part});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mublastp::cluster

@@ -1,0 +1,51 @@
+// Data-partitioning framework (paper Section IV-D3).
+//
+// The paper credits muBLASTP's inter-node load balance to its partitioning
+// ("sort the database by sequence length, and distribute sequences into
+// database blocks/partitions in a round robin manner") and mentions a
+// companion framework (PaPar [33]) for expressing such policies. This
+// module provides the policies as first-class strategies that return the
+// actual sequence -> partition assignment, so both the cluster simulator
+// and a real deployment tool can consume them:
+//
+//  * kContiguous       — split the database in input order (mpiBLAST's
+//                        formatdb-style fragmentation);
+//  * kRoundRobinSorted — length-sort then deal round-robin (muBLASTP);
+//  * kGreedyLpt        — longest-processing-time-first bin packing: always
+//                        give the next-longest sequence to the lightest
+//                        partition (the classic 4/3-approximation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mublastp::cluster {
+
+/// Available partitioning policies.
+enum class PartitionStrategy {
+  kContiguous,
+  kRoundRobinSorted,
+  kGreedyLpt,
+};
+
+/// A computed partitioning: assignment plus per-partition summaries.
+struct Partitioning {
+  /// part[i] = partition owning sequence i (input numbering).
+  std::vector<std::uint32_t> assignment;
+  /// Residues per partition.
+  std::vector<double> chars;
+  /// Sequence count per partition.
+  std::vector<std::size_t> counts;
+
+  /// (max - min) / max of per-partition residue counts — 0 is perfect.
+  double imbalance() const;
+};
+
+/// Partitions sequences of the given lengths into `parts` partitions.
+Partitioning make_partitioning(const std::vector<std::size_t>& seq_lens,
+                               int parts, PartitionStrategy strategy);
+
+/// Human-readable strategy name (for bench/table output).
+const char* strategy_name(PartitionStrategy strategy);
+
+}  // namespace mublastp::cluster

@@ -1,0 +1,83 @@
+#include "common/alphabet.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+// 256-entry ASCII -> residue table, built once at static init.
+struct EncodeTable {
+  std::array<Residue, 256> map{};
+  EncodeTable() {
+    map.fill(kResidueX);
+    for (std::size_t i = 0; i < kLetters.size(); ++i) {
+      const char c = kLetters[i];
+      map[static_cast<unsigned char>(c)] = static_cast<Residue>(i);
+      map[static_cast<unsigned char>(std::tolower(c))] = static_cast<Residue>(i);
+    }
+    // Common non-standard codes seen in real FASTA files. U (selenocysteine)
+    // is scored like C by convention; J (Leu/Ile) and O (pyrrolysine) fall
+    // back to X, matching NCBI makeblastdb behaviour for the 24-letter table.
+    map[static_cast<unsigned char>('U')] = encode_of('C');
+    map[static_cast<unsigned char>('u')] = encode_of('C');
+  }
+
+ private:
+  static Residue encode_of(char c) {
+    return static_cast<Residue>(kLetters.find(c));
+  }
+};
+
+const EncodeTable& table() {
+  static const EncodeTable t;
+  return t;
+}
+
+}  // namespace
+
+Residue encode_residue(char c) noexcept {
+  return table().map[static_cast<unsigned char>(c)];
+}
+
+char decode_residue(Residue r) noexcept {
+  return r < kLetters.size() ? kLetters[r] : 'X';
+}
+
+std::vector<Residue> encode_sequence(std::string_view ascii) {
+  std::vector<Residue> out;
+  out.reserve(ascii.size());
+  for (char c : ascii) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    out.push_back(encode_residue(c));
+  }
+  return out;
+}
+
+std::string decode_sequence(const std::vector<Residue>& seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (Residue r : seq) out.push_back(decode_residue(r));
+  return out;
+}
+
+std::string word_to_string(std::uint32_t key) {
+  MUBLASTP_CHECK(key < static_cast<std::uint32_t>(kNumWords),
+                 "word key out of range");
+  std::array<Residue, kWordLength> w{};
+  unpack_word(key, w.data());
+  std::string s(kWordLength, '?');
+  for (int i = 0; i < kWordLength; ++i) s[i] = decode_residue(w[i]);
+  return s;
+}
+
+std::uint32_t word_from_string(std::string_view w) {
+  MUBLASTP_CHECK(w.size() == static_cast<std::size_t>(kWordLength),
+                 "word must have exactly kWordLength letters");
+  std::array<Residue, kWordLength> r{};
+  for (int i = 0; i < kWordLength; ++i) r[i] = encode_residue(w[i]);
+  return word_key(r.data());
+}
+
+}  // namespace mublastp

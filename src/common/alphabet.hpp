@@ -1,0 +1,78 @@
+// Protein alphabet handling for muBLASTP.
+//
+// BLASTP operates on a 24-letter alphabet: the 20 standard amino acids plus
+// the ambiguity codes B (Asx), Z (Glx), X (any) and the stop/translation
+// marker '*' (paper, Section II-A: "24 possible characters").  Residues are
+// stored encoded (0..23) everywhere inside the library; ASCII appears only at
+// the FASTA boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mublastp {
+
+/// Encoded residue. Values are indices into ScoreMatrix rows/columns.
+using Residue = std::uint8_t;
+
+/// Number of letters in the protein alphabet (20 amino acids + B, Z, X, *).
+inline constexpr int kAlphabetSize = 24;
+
+/// Word length W used for hit detection (paper: "Typically, W is 3").
+inline constexpr int kWordLength = 3;
+
+/// Number of distinct words of length kWordLength: 24^3 = 13824.
+inline constexpr int kNumWords = kAlphabetSize * kAlphabetSize * kAlphabetSize;
+
+/// Canonical letter ordering. This is the classic BLOSUM row order; every
+/// scoring matrix in src/score uses the same ordering.
+inline constexpr std::string_view kLetters = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// Encoded value of the ambiguity residue 'X' (used as the fallback for
+/// characters outside the alphabet, e.g. J/O/U).
+inline constexpr Residue kResidueX = 22;
+
+/// Maps an ASCII character to its encoded residue; unknown characters and
+/// lowercase letters are accepted (lowercase is upcased, unknown -> X).
+Residue encode_residue(char c) noexcept;
+
+/// Maps an encoded residue back to its ASCII letter.
+char decode_residue(Residue r) noexcept;
+
+/// Encodes an ASCII protein sequence. Whitespace is skipped.
+std::vector<Residue> encode_sequence(std::string_view ascii);
+
+/// Decodes an encoded sequence back to ASCII.
+std::string decode_sequence(const std::vector<Residue>& seq);
+
+/// Packs kWordLength residues starting at `p` into a word key in
+/// [0, kNumWords): key = p[0]*24^2 + p[1]*24 + p[2].
+inline constexpr std::uint32_t word_key(const Residue* p) noexcept {
+  std::uint32_t k = 0;
+  for (int i = 0; i < kWordLength; ++i) {
+    k = k * static_cast<std::uint32_t>(kAlphabetSize) + p[i];
+  }
+  return k;
+}
+
+/// Inverse of word_key: writes kWordLength residues into `out`.
+inline constexpr void unpack_word(std::uint32_t key, Residue* out) noexcept {
+  for (int i = kWordLength - 1; i >= 0; --i) {
+    out[i] = static_cast<Residue>(key % kAlphabetSize);
+    key /= static_cast<std::uint32_t>(kAlphabetSize);
+  }
+}
+
+/// Returns the ASCII spelling of a word key, e.g. 0 -> "AAA".
+std::string word_to_string(std::uint32_t key);
+
+/// Parses an ASCII word of exactly kWordLength letters into its key.
+std::uint32_t word_from_string(std::string_view w);
+
+/// True if the encoded residue is one of the 20 standard amino acids.
+inline constexpr bool is_standard_residue(Residue r) noexcept { return r < 20; }
+
+}  // namespace mublastp

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace mublastp::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "MUBLASTP_CHECK failed: " << msg << " [" << expr << "] at " << file
+     << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace mublastp::detail

@@ -1,0 +1,35 @@
+// Error handling: a library-specific exception type plus a CHECK macro for
+// precondition violations. Following the C++ Core Guidelines (E.2, I.5) the
+// library reports contract violations by throwing, never by aborting, so
+// callers and tests can observe failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mublastp {
+
+/// Exception thrown for all muBLASTP error conditions (bad input, violated
+/// preconditions, malformed files).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+/// Validates a precondition; throws mublastp::Error with location info on
+/// failure. Always active (not compiled out in release builds): the checks
+/// guard API boundaries, not inner loops.
+#define MUBLASTP_CHECK(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mublastp::detail::throw_check_failure(#expr, __FILE__, __LINE__,  \
+                                              (msg));                     \
+    }                                                                     \
+  } while (false)
+
+}  // namespace mublastp

@@ -1,0 +1,43 @@
+#include "common/sequence.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+
+SeqId SequenceStore::add(std::span<const Residue> residues, std::string name) {
+  MUBLASTP_CHECK(!residues.empty(), "cannot add an empty sequence");
+  arena_.insert(arena_.end(), residues.begin(), residues.end());
+  offsets_.push_back(arena_.size());
+  names_.push_back(std::move(name));
+  return static_cast<SeqId>(size() - 1);
+}
+
+SeqId SequenceStore::add_ascii(std::string_view ascii, std::string name) {
+  const std::vector<Residue> enc = encode_sequence(ascii);
+  return add(enc, std::move(name));
+}
+
+SequenceStore SequenceStore::permuted(const std::vector<SeqId>& order) const {
+  MUBLASTP_CHECK(order.size() == size(), "permutation size mismatch");
+  SequenceStore out;
+  out.arena_.reserve(arena_.size());
+  for (SeqId old_id : order) {
+    MUBLASTP_CHECK(old_id < size(), "permutation index out of range");
+    out.add(sequence(old_id), names_[old_id]);
+  }
+  return out;
+}
+
+std::vector<SeqId> SequenceStore::ids_by_length() const {
+  std::vector<SeqId> ids(size());
+  std::iota(ids.begin(), ids.end(), SeqId{0});
+  std::stable_sort(ids.begin(), ids.end(), [this](SeqId a, SeqId b) {
+    return length(a) < length(b);
+  });
+  return ids;
+}
+
+}  // namespace mublastp

@@ -1,0 +1,73 @@
+// In-memory sequence storage shared by every engine.
+//
+// A SequenceStore owns the encoded residues of a whole database in one
+// contiguous arena (cache- and prefetcher-friendly; mirrors how BLAST stores
+// formatted databases) and exposes each sequence as a span into the arena.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/alphabet.hpp"
+
+namespace mublastp {
+
+/// Identifies a sequence inside a SequenceStore.
+using SeqId = std::uint32_t;
+
+/// A database (or query batch) of encoded protein sequences.
+class SequenceStore {
+ public:
+  SequenceStore() = default;
+
+  /// Appends an already-encoded sequence; returns its id.
+  SeqId add(std::span<const Residue> residues, std::string name = {});
+
+  /// Appends an ASCII sequence (encoded on the way in); returns its id.
+  SeqId add_ascii(std::string_view ascii, std::string name = {});
+
+  /// Number of sequences.
+  std::size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Residues of sequence `id`.
+  std::span<const Residue> sequence(SeqId id) const {
+    return {arena_.data() + offsets_[id], offsets_[id + 1] - offsets_[id]};
+  }
+
+  /// Length in residues of sequence `id`.
+  std::size_t length(SeqId id) const {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// FASTA header (may be empty) of sequence `id`.
+  const std::string& name(SeqId id) const { return names_[id]; }
+
+  /// Total residues across all sequences.
+  std::size_t total_residues() const { return arena_.size(); }
+
+  /// The raw residue arena (used by the memory-access tracer to compute
+  /// logical addresses).
+  std::span<const Residue> arena() const { return arena_; }
+
+  /// Byte offset of sequence `id` inside the arena.
+  std::size_t arena_offset(SeqId id) const { return offsets_[id]; }
+
+  /// Returns a copy with sequences permuted by `order` (order[i] = old id of
+  /// the sequence that becomes new id i). Used for length-sorting databases.
+  SequenceStore permuted(const std::vector<SeqId>& order) const;
+
+  /// Sequence ids sorted by ascending length (ties broken by id, so the
+  /// result is deterministic).
+  std::vector<SeqId> ids_by_length() const;
+
+ private:
+  std::vector<Residue> arena_;
+  std::vector<std::size_t> offsets_{0};
+  std::vector<std::string> names_;
+};
+
+}  // namespace mublastp

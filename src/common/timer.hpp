@@ -1,0 +1,29 @@
+// Wall-clock timing for benches and the cluster cost model.
+#pragma once
+
+#include <chrono>
+
+namespace mublastp {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mublastp

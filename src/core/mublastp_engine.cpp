@@ -1,0 +1,305 @@
+#include "core/mublastp_engine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/fragment_assembly.hpp"
+#include "core/ungapped.hpp"
+#include "sort/radix.hpp"
+
+namespace mublastp {
+namespace {
+
+// Validates before any member initializer dereferences params.matrix.
+const SearchParams& checked_params(const SearchParams& p) {
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+MuBlastpEngine::MuBlastpEngine(const DbIndex& index, SearchParams params,
+                               MuBlastpOptions options)
+    : index_(&index),
+      params_(checked_params(params)),
+      options_(options),
+      karlin_(gapped_params(*params.matrix, params.gap_open,
+                            params.gap_extend)) {
+  MUBLASTP_CHECK(params_.matrix == index.config().matrix,
+                 "search matrix must match the index's neighbor matrix");
+}
+
+void MuBlastpEngine::sort_records(std::vector<HitRecord>& records,
+                                  int key_bits) const {
+  const auto key = [](const HitRecord& r) { return r.key; };
+  switch (options_.sort_algo) {
+    case MuBlastpOptions::SortAlgo::kRadixLsd:
+      sorting::radix_sort_lsd(records, key, key_bits);
+      break;
+    case MuBlastpOptions::SortAlgo::kRadixMsd:
+      sorting::radix_sort_msd(records, key, key_bits);
+      break;
+    case MuBlastpOptions::SortAlgo::kMergeSort:
+      sorting::merge_sort(records, key);
+      break;
+    case MuBlastpOptions::SortAlgo::kStdStable:
+      std::stable_sort(records.begin(), records.end(),
+                       [](const HitRecord& a, const HitRecord& b) {
+                         return a.key < b.key;
+                       });
+      break;
+  }
+}
+
+template <typename Mem>
+void MuBlastpEngine::search_block(std::span<const Residue> query,
+                                  const DbIndexBlock& block, StageStats& stats,
+                                  std::vector<UngappedAlignment>& out,
+                                  Workspace& ws, Mem mem) const {
+  const ScoreMatrix& matrix = *params_.matrix;
+  const SequenceStore& db = index_->db();
+  const NeighborTable& neighbors = index_->neighbors();
+
+  // Dense per-block diagonal keys: fragment f owns [bases[f], bases[f+1]),
+  // with bases[f+1] - bases[f] = len_f + qlen + 1 diagonals. The key is
+  // simultaneously (a) the index into the last-hit array and (b) the radix
+  // sort key — compact keys mean fewer radix passes and a last-hit array of
+  // ~2x the block's position bytes, the footprint Section V-B budgets for.
+  const std::uint32_t qlen = static_cast<std::uint32_t>(query.size());
+  ws.bases.assign(block.fragments().size() + 1, 0);
+  for (std::size_t f = 0; f < block.fragments().size(); ++f) {
+    ws.bases[f + 1] = ws.bases[f] + block.fragments()[f].len + qlen + 1;
+  }
+  MUBLASTP_CHECK(ws.bases.back() < (std::uint32_t{1} << 31),
+                 "block too large: diagonal key exceeds 31 bits");
+  const int key_bits =
+      std::max(1, static_cast<int>(std::bit_width(ws.bases.back() - 1)));
+
+  ws.state.resize(ws.bases.back());
+  ws.state.new_round(static_cast<std::int32_t>(qlen) + 1);
+  ws.records.clear();
+  Timer stage_timer;
+
+  // ---- Stage 1: hit detection (+ pre-filter with Algorithm 2). --------
+  // Only index structures and the last-hit array are touched here — no
+  // subject residues — which is why the pre-filter does not reintroduce the
+  // cache-thrash it removes from the sort (Section IV-C).
+  for (std::uint32_t qoff = 0; qoff + kWordLength <= query.size(); ++qoff) {
+    if constexpr (Mem::kEnabled) {
+      mem.touch(query.data() + qoff, kWordLength);
+    }
+    const std::uint32_t w = word_key(query.data() + qoff);
+    const auto nbs = neighbors.neighbors(w);
+    if constexpr (Mem::kEnabled) {
+      mem.touch(nbs.data(), nbs.size_bytes());
+    }
+    for (const std::uint32_t nb : nbs) {
+      const auto entries = block.entries(nb);
+      if constexpr (Mem::kEnabled) {
+        mem.touch(entries.data(), entries.size_bytes());
+      }
+      for (const std::uint32_t entry : entries) {
+        ++stats.hits;
+        const std::uint32_t local = block.entry_fragment(entry);
+        const std::uint32_t soff = block.entry_offset(entry);
+        const std::uint32_t key = ws.bases[local] +
+                                  static_cast<std::uint32_t>(
+                                      static_cast<std::int64_t>(soff) - qoff +
+                                      qlen);
+
+        if (options_.prefilter) {
+          const std::int32_t q = static_cast<std::int32_t>(qoff);
+          const std::int32_t last = ws.state.last_hit(key, mem);
+          if (last != DiagState::kNone && q - last < params_.two_hit_min) {
+            continue;  // overlapping hit: ignored
+          }
+          const bool paired = last != DiagState::kNone &&
+                              q - last < params_.two_hit_window;
+          ws.state.set_last_hit(key, q, mem);
+          if (!paired) continue;
+          ++stats.hit_pairs;
+        }
+        ws.records.push_back({key, qoff});
+        if constexpr (Mem::kEnabled) {
+          mem.touch(&ws.records.back(), sizeof(HitRecord));
+        }
+      }
+    }
+  }
+
+  // ---- Stage 2a: hit reordering. ---------------------------------------
+  stats.detect_sec += stage_timer.seconds();
+  stage_timer.reset();
+  stats.sorted_records += ws.records.size();
+  if constexpr (Mem::kEnabled) {
+    // The sort streams the buffer once per digit (read + write); model that
+    // traffic so traced miss rates account for it.
+    const int passes = (key_bits + sorting::kRadixBits - 1) / sorting::kRadixBits;
+    for (int p = 0; p < passes; ++p) {
+      for (const HitRecord& r : ws.records) {
+        mem.touch(&r, sizeof(HitRecord));
+      }
+    }
+  }
+  sort_records(ws.records, key_bits);
+  stats.sort_sec += stage_timer.seconds();
+  stage_timer.reset();
+
+  // ---- Stage 2b: (post-)filter + ungapped extension in sorted order. ---
+  // Without the pre-filter this is Algorithm 1: pair detection runs here,
+  // over the sorted stream, with plain scalars instead of arrays. Keys are
+  // ascending, so the owning fragment is recovered with a monotone cursor.
+  std::uint32_t frag_cursor = 0;
+  std::uint32_t pair_key = ~std::uint32_t{0};
+  std::int32_t pair_last = DiagState::kNone;
+  std::uint32_t ext_key = ~std::uint32_t{0};
+  std::int32_t ext_reached = DiagState::kNone;
+
+  for (const HitRecord& rec : ws.records) {
+    if constexpr (Mem::kEnabled) {
+      mem.touch(&rec, sizeof(HitRecord));
+    }
+    if (!options_.prefilter) {
+      // Pair detection over the sorted stream (Algorithm 1 lines 7-14).
+      const std::int32_t q = static_cast<std::int32_t>(rec.qoff);
+      const bool same = rec.key == pair_key;
+      const std::int32_t last = same ? pair_last : DiagState::kNone;
+      if (last != DiagState::kNone && q - last < params_.two_hit_min) {
+        continue;  // overlapping hit: ignored
+      }
+      pair_key = rec.key;
+      pair_last = q;
+      const bool paired =
+          last != DiagState::kNone && q - last < params_.two_hit_window;
+      if (!paired) continue;
+      ++stats.hit_pairs;
+    }
+
+    // Coverage check (Algorithm 1 lines 16-17).
+    if (rec.key != ext_key) {
+      ext_key = rec.key;
+      ext_reached = DiagState::kNone;
+    }
+    if (ext_reached != DiagState::kNone &&
+        ext_reached > static_cast<std::int32_t>(rec.qoff)) {
+      continue;
+    }
+
+    while (rec.key >= ws.bases[frag_cursor + 1]) ++frag_cursor;
+    const std::uint32_t diag_idx = rec.key - ws.bases[frag_cursor];
+    const std::uint32_t soff = diag_idx + rec.qoff - qlen;
+    const FragmentRef& frag = block.fragments()[frag_cursor];
+    const std::span<const Residue> subject =
+        db.sequence(frag.seq).subspan(frag.start, frag.len);
+
+    ++stats.extensions;
+    const UngappedSeg seg = ungapped_extend(query, subject, rec.qoff, soff,
+                                            matrix, params_.ungapped_xdrop,
+                                            mem);
+    if (seg.score >= params_.ungapped_cutoff) {
+      ++stats.ungapped_alignments;
+      out.push_back(resolve_fragment_segment(query, db, frag, seg, rec.qoff,
+                                             soff, matrix, params_));
+      ext_reached = static_cast<std::int32_t>(seg.q_end);
+    } else {
+      ext_reached = static_cast<std::int32_t>(rec.qoff);
+    }
+  }
+  stats.extend_sec += stage_timer.seconds();
+}
+
+template <typename Mem>
+QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
+                                        Mem mem) const {
+  MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
+                 "query shorter than word length");
+  QueryResult result;
+  std::vector<UngappedAlignment> ungapped;
+  Workspace ws;
+  for (const DbIndexBlock& block : index_->blocks()) {
+    search_block(query, block, result.stats, ungapped, ws, mem);
+  }
+
+  for (UngappedAlignment& u : ungapped) {
+    u.subject = index_->original_id(u.subject);
+  }
+  canonicalize_ungapped(ungapped);
+  result.ungapped = ungapped;
+
+  const ScoreMatrix& matrix = *params_.matrix;
+  const SubjectLookup lookup = [this](SeqId original) {
+    return index_->db().sequence(index_->sorted_id(original));
+  };
+  auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
+                             params_, &result.stats);
+  result.alignments =
+      finalize_stage(query, lookup, std::move(gapped), matrix, params_,
+                     karlin_, index_->db().total_residues());
+  return result;
+}
+
+QueryResult MuBlastpEngine::search(std::span<const Residue> query) const {
+  return search_impl(query, memsim::NullMemoryModel{});
+}
+
+QueryResult MuBlastpEngine::search_traced(std::span<const Residue> query,
+                                          memsim::MemoryHierarchy& mem) const {
+  return search_impl(query, memsim::TracingMemoryModel(mem));
+}
+
+std::vector<QueryResult> MuBlastpEngine::search_batch(
+    const SequenceStore& queries, int threads) const {
+  MUBLASTP_CHECK(threads > 0, "thread count must be positive");
+  const std::size_t nq = queries.size();
+  std::vector<QueryResult> results(nq);
+  std::vector<std::vector<UngappedAlignment>> ungapped(nq);
+
+  const int max_threads = std::max(threads, 1);
+  std::vector<Workspace> workspaces(static_cast<std::size_t>(max_threads));
+
+  // Algorithm 3, first parallel region: stages 1-2, block loop outermost so
+  // the block's index is shared in cache across threads. Each query is one
+  // dynamic task; a query's accumulator is only ever touched by the thread
+  // that owns it for the current block, and blocks are processed serially,
+  // so no synchronization is needed.
+  for (const DbIndexBlock& block : index_->blocks()) {
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+    for (std::size_t i = 0; i < nq; ++i) {
+      Workspace& ws =
+          workspaces[static_cast<std::size_t>(omp_get_thread_num())];
+      search_block(queries.sequence(static_cast<SeqId>(i)), block,
+                   results[i].stats, ungapped[i], ws,
+                   memsim::NullMemoryModel{});
+    }
+  }
+
+  // Algorithm 3, second parallel region: stages 3-4 per query (gapped
+  // extension, merge, sort, traceback).
+  const ScoreMatrix& matrix = *params_.matrix;
+  const SubjectLookup lookup = [this](SeqId original) {
+    return index_->db().sequence(index_->sorted_id(original));
+  };
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t i = 0; i < nq; ++i) {
+    auto& u = ungapped[i];
+    for (UngappedAlignment& seg : u) {
+      seg.subject = index_->original_id(seg.subject);
+    }
+    canonicalize_ungapped(u);
+    results[i].ungapped = u;
+    const std::span<const Residue> query =
+        queries.sequence(static_cast<SeqId>(i));
+    auto gapped = gapped_stage(query, lookup, std::move(u), matrix, params_,
+                               &results[i].stats);
+    results[i].alignments =
+        finalize_stage(query, lookup, std::move(gapped), matrix, params_,
+                       karlin_, index_->db().total_residues());
+  }
+  return results;
+}
+
+}  // namespace mublastp

@@ -1,0 +1,106 @@
+// muBLASTP: database-indexed BLASTP with the irregularity-eliminating
+// pipeline (paper Section IV).
+//
+// Per (index block, query) the engine runs:
+//   1. hit detection      — scan the query against the block's two-level
+//                           index; with pre-filtering enabled (Algorithm 2)
+//                           the per-(fragment,diagonal) last-hit array is
+//                           consulted *here*, so only two-hit pairs reach
+//                           the sort (<5% of hits, Figure 6);
+//   2. hit reordering     — stable LSD radix sort on the packed key
+//                           (fragment id << diag bits | diagonal), restoring
+//                           per-subject, per-diagonal order (Section IV-B);
+//   3. ungapped extension — walk the sorted pairs; consecutive pairs touch
+//                           the same subject, so its residues stay cached
+//                           (the whole point);
+//   4. gapped extension + traceback via the shared stage-3/4 code.
+//
+// Stage outputs are identical to the interleaved engines by construction;
+// tests assert it. Batch mode implements Algorithm 3: the block loop is
+// outermost and an OpenMP dynamic-for parallelizes over queries inside it,
+// so all threads share the block in the LLC.
+#pragma once
+
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/results.hpp"
+#include "core/two_hit.hpp"
+#include "index/db_index.hpp"
+#include "memsim/memsim.hpp"
+#include "score/karlin.hpp"
+
+namespace mublastp {
+
+/// Pipeline variants, exposed for the paper's ablations.
+struct MuBlastpOptions {
+  /// Algorithm 2 (pre-filter before the sort) when true; Algorithm 1 (sort
+  /// all hits, filter after) when false.
+  bool prefilter = true;
+
+  /// Which stable key-value sort reorders the hits (Section IV-B weighs
+  /// these; LSD radix is the paper's choice).
+  enum class SortAlgo { kRadixLsd, kRadixMsd, kMergeSort, kStdStable };
+  SortAlgo sort_algo = SortAlgo::kRadixLsd;
+};
+
+/// A hit (or hit pair, after pre-filtering) as stored in the reorder
+/// buffer: 8 bytes, sorted by `key` only — the stable sort preserves the
+/// query-offset order hit detection produces (Figure 4).
+struct HitRecord {
+  /// Dense diagonal key: per-fragment base (prefix sum over fragment
+  /// diagonal counts) + shifted diagonal. Ascending key order == ascending
+  /// (fragment, diagonal) order, and the same value indexes the last-hit
+  /// array during pre-filtering.
+  std::uint32_t key = 0;
+  std::uint32_t qoff = 0;  ///< query offset of the (second) hit's word
+};
+
+/// The muBLASTP engine.
+class MuBlastpEngine {
+ public:
+  /// `index` must outlive the engine.
+  explicit MuBlastpEngine(const DbIndex& index, SearchParams params = {},
+                          MuBlastpOptions options = {});
+
+  /// Searches one query through all four stages (single-threaded).
+  QueryResult search(std::span<const Residue> query) const;
+
+  /// Same search with stage-1/2 accesses traced through `mem`.
+  QueryResult search_traced(std::span<const Residue> query,
+                            memsim::MemoryHierarchy& mem) const;
+
+  /// Algorithm 3: block loop outermost, OpenMP dynamic-for over queries for
+  /// stages 1-2, then a second dynamic-for over queries for stages 3-4.
+  std::vector<QueryResult> search_batch(const SequenceStore& queries,
+                                        int threads) const;
+
+  const DbIndex& index() const { return *index_; }
+  const SearchParams& params() const { return params_; }
+  const MuBlastpOptions& options() const { return options_; }
+
+ private:
+  /// Per-thread scratch reused across (block, query) rounds.
+  struct Workspace {
+    DiagState state;
+    std::vector<HitRecord> records;
+    std::vector<std::uint32_t> bases;  ///< per-fragment diagonal key bases
+  };
+
+  template <typename Mem>
+  void search_block(std::span<const Residue> query, const DbIndexBlock& block,
+                    StageStats& stats, std::vector<UngappedAlignment>& out,
+                    Workspace& ws, Mem mem) const;
+
+  template <typename Mem>
+  QueryResult search_impl(std::span<const Residue> query, Mem mem) const;
+
+  void sort_records(std::vector<HitRecord>& records, int key_bits) const;
+
+  const DbIndex* index_;
+  SearchParams params_;
+  MuBlastpOptions options_;
+  KarlinParams karlin_;
+};
+
+}  // namespace mublastp

@@ -1,0 +1,22 @@
+#include "core/params.hpp"
+
+#include "common/error.hpp"
+
+namespace mublastp {
+
+void SearchParams::validate() const {
+  MUBLASTP_CHECK(matrix != nullptr, "scoring matrix must be set");
+  MUBLASTP_CHECK(two_hit_min >= 1, "two_hit_min must be at least 1");
+  MUBLASTP_CHECK(two_hit_window > two_hit_min,
+                 "two-hit window must exceed the minimum distance");
+  MUBLASTP_CHECK(ungapped_xdrop >= 0, "ungapped x-drop must be non-negative");
+  MUBLASTP_CHECK(ungapped_cutoff > 0, "ungapped cutoff must be positive");
+  MUBLASTP_CHECK(gap_open >= 0, "gap open penalty must be non-negative");
+  MUBLASTP_CHECK(gap_extend > 0, "gap extend penalty must be positive");
+  MUBLASTP_CHECK(gapped_xdrop >= 0, "gapped x-drop must be non-negative");
+  MUBLASTP_CHECK(gapped_cutoff > 0, "gapped cutoff must be positive");
+  MUBLASTP_CHECK(evalue_cutoff > 0.0, "E-value cutoff must be positive");
+  MUBLASTP_CHECK(max_alignments > 0, "max_alignments must be positive");
+}
+
+}  // namespace mublastp

@@ -1,0 +1,108 @@
+// Canonical two-hit pairing and coverage state (paper Algorithms 1 and 2).
+//
+// Every engine runs the same per-diagonal automaton over the hits of one
+// (query, subject-fragment) pair, in ascending query-offset order:
+//
+//   on hit at q (see core/hit_logic.hpp for the full transition table):
+//     overlapping if q - last_hit[diag] < W       -> ignored entirely
+//     paired      if q - last_hit[diag] < A (and a last hit exists)
+//     otherwise   last_hit[diag] <- q
+//
+//   after extending a pair:
+//     success (score >= cutoff): ext_reached[diag] <- extension q_end
+//     failure:                   ext_reached[diag] <- q (hit offset)
+//
+// Because the automaton is per-diagonal and hits on one diagonal arrive in
+// ascending q in *both* scan orders (query-indexed engines scan the subject
+// left-to-right, database-indexed engines scan the query top-to-bottom),
+// every engine derives the identical pair set and extension set.
+//
+// Storage follows NCBI's compact diag-array trick: one 32-bit word per
+// diagonal holding the stored offset plus a per-round base stamp, so a new
+// (query, subject/block) round invalidates every entry by bumping the base
+// (O(1)), and the array is only physically cleared when the stamp nears
+// overflow. 4 bytes per diagonal is what makes the paper's block-size
+// arithmetic work (last-hit array ~ 2x the block's position bytes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/memsim.hpp"
+
+namespace mublastp {
+
+/// Epoch-stamped per-diagonal state table. Keys are dense indices computed
+/// by the caller (e.g. prefix-sum fragment base + shifted diagonal).
+class DiagState {
+ public:
+  /// Sentinel meaning "no value recorded this round".
+  static constexpr std::int32_t kNone = -0x40000000;
+
+  /// Ensures capacity for `keys` distinct diagonal keys. The coverage
+  /// array is allocated lazily (muBLASTP's pre-filter never touches it).
+  void resize(std::size_t keys) {
+    if (last_.size() < keys) last_.resize(keys, 0);
+    if (!ext_.empty() && ext_.size() < keys) ext_.resize(keys, 0);
+  }
+
+  /// Starts a new round whose stored offsets lie in [0, stride). O(1):
+  /// bumps the stamp base past everything the previous round wrote.
+  void new_round(std::int32_t stride) {
+    base_ += prev_stride_;
+    prev_stride_ = stride + 1;
+    if (base_ > kClearAt) {
+      std::fill(last_.begin(), last_.end(), 0);
+      std::fill(ext_.begin(), ext_.end(), 0);
+      base_ = 1;
+    }
+  }
+
+  std::size_t capacity() const { return last_.size(); }
+
+  /// Bytes of backing storage (the paper sizes last-hit arrays against the
+  /// LLC; benches report this).
+  std::size_t footprint_bytes() const {
+    return (last_.size() + ext_.size()) * sizeof(std::int32_t);
+  }
+
+  /// Last-hit query offset for `key`, or kNone.
+  template <typename Mem = memsim::NullMemoryModel>
+  std::int32_t last_hit(std::size_t key, Mem mem = {}) const {
+    if constexpr (Mem::kEnabled) mem.touch(&last_[key], sizeof(std::int32_t));
+    const std::int32_t v = last_[key] - base_;
+    return v >= 0 ? v : kNone;
+  }
+
+  /// Extension-coverage watermark for `key`, or kNone.
+  template <typename Mem = memsim::NullMemoryModel>
+  std::int32_t ext_reached(std::size_t key, Mem mem = {}) const {
+    if (ext_.empty()) return kNone;
+    if constexpr (Mem::kEnabled) mem.touch(&ext_[key], sizeof(std::int32_t));
+    const std::int32_t v = ext_[key] - base_;
+    return v >= 0 ? v : kNone;
+  }
+
+  template <typename Mem = memsim::NullMemoryModel>
+  void set_last_hit(std::size_t key, std::int32_t q, Mem mem = {}) {
+    if constexpr (Mem::kEnabled) mem.touch(&last_[key], sizeof(std::int32_t));
+    last_[key] = base_ + q;
+  }
+
+  template <typename Mem = memsim::NullMemoryModel>
+  void set_ext_reached(std::size_t key, std::int32_t q, Mem mem = {}) {
+    if (ext_.empty()) ext_.assign(last_.size(), 0);
+    if constexpr (Mem::kEnabled) mem.touch(&ext_[key], sizeof(std::int32_t));
+    ext_[key] = base_ + q;
+  }
+
+ private:
+  static constexpr std::int32_t kClearAt = 0x40000000;
+
+  std::vector<std::int32_t> last_;
+  std::vector<std::int32_t> ext_;
+  std::int32_t base_ = 1;
+  std::int32_t prev_stride_ = 0;
+};
+
+}  // namespace mublastp

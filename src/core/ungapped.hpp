@@ -1,0 +1,105 @@
+// Two-hit ungapped extension kernel (paper Section II-A, Figure 1(b)).
+//
+// This kernel is shared verbatim by all three engines; since the two-hit
+// pairing logic (core/two_hit.hpp) is also shared, the engines produce
+// bitwise-identical stage-2 output by construction — the property the paper
+// verifies in Section V-E.
+//
+// Semantics (matching Figure 1(b)): the extension starts at the end of the
+// second hit's word and sweeps left (including the word itself) and then
+// right, accumulating substitution scores and remembering the running
+// maximum; each sweep stops when the accumulated score drops more than
+// `xdrop` below its maximum. The segment reported is the union of the two
+// best prefixes.
+//
+// The kernel is templated on a MemoryModel policy (memsim) so the profiling
+// benches can trace its exact access stream; with NullMemoryModel the
+// `touch` calls compile to nothing.
+#pragma once
+
+#include <span>
+
+#include "common/alphabet.hpp"
+#include "memsim/memsim.hpp"
+#include "score/matrix.hpp"
+
+namespace mublastp {
+
+/// Result of one ungapped extension, in the coordinates of the spans passed
+/// in (half-open ranges).
+struct UngappedSeg {
+  Score score = 0;
+  std::uint32_t q_start = 0;
+  std::uint32_t q_end = 0;  ///< exclusive
+  std::uint32_t s_start = 0;
+  std::uint32_t s_end = 0;  ///< exclusive
+};
+
+/// Extends the hit whose word occupies query positions [qoff, qoff+W) and
+/// subject positions [soff, soff+W).
+template <typename Mem = memsim::NullMemoryModel>
+UngappedSeg ungapped_extend(std::span<const Residue> query,
+                            std::span<const Residue> subject,
+                            std::uint32_t qoff, std::uint32_t soff,
+                            const ScoreMatrix& matrix, Score xdrop,
+                            Mem mem = {}) {
+  // Left sweep: from the last residue of the word toward position 0,
+  // scoring the word itself on the way.
+  std::int64_t qi = static_cast<std::int64_t>(qoff) + kWordLength - 1;
+  std::int64_t si = static_cast<std::int64_t>(soff) + kWordLength - 1;
+  Score run = 0;
+  Score best_left = 0;
+  std::int64_t best_q_start = qi + 1;
+  while (qi >= 0 && si >= 0) {
+    if constexpr (Mem::kEnabled) {
+      mem.touch(&query[static_cast<std::size_t>(qi)], 1);
+      mem.touch(&subject[static_cast<std::size_t>(si)], 1);
+    }
+    run += matrix(query[static_cast<std::size_t>(qi)],
+                  subject[static_cast<std::size_t>(si)]);
+    if (run > best_left) {
+      best_left = run;
+      best_q_start = qi;
+    } else if (best_left - run > xdrop) {
+      break;
+    }
+    --qi;
+    --si;
+  }
+
+  // Right sweep: from the first residue after the word.
+  std::int64_t qj = static_cast<std::int64_t>(qoff) + kWordLength;
+  std::int64_t sj = static_cast<std::int64_t>(soff) + kWordLength;
+  run = 0;
+  Score best_right = 0;
+  std::int64_t best_q_end = qj;  // exclusive
+  const auto qn = static_cast<std::int64_t>(query.size());
+  const auto sn = static_cast<std::int64_t>(subject.size());
+  while (qj < qn && sj < sn) {
+    if constexpr (Mem::kEnabled) {
+      mem.touch(&query[static_cast<std::size_t>(qj)], 1);
+      mem.touch(&subject[static_cast<std::size_t>(sj)], 1);
+    }
+    run += matrix(query[static_cast<std::size_t>(qj)],
+                  subject[static_cast<std::size_t>(sj)]);
+    if (run > best_right) {
+      best_right = run;
+      best_q_end = qj + 1;
+    } else if (best_right - run > xdrop) {
+      break;
+    }
+    ++qj;
+    ++sj;
+  }
+
+  UngappedSeg seg;
+  seg.score = best_left + best_right;
+  seg.q_start = static_cast<std::uint32_t>(best_q_start);
+  seg.q_end = static_cast<std::uint32_t>(best_q_end);
+  const std::int64_t diag = static_cast<std::int64_t>(soff) - qoff;
+  seg.s_start = static_cast<std::uint32_t>(best_q_start + diag);
+  seg.s_end = static_cast<std::uint32_t>(best_q_end + diag);
+  return seg;
+}
+
+}  // namespace mublastp

@@ -1,0 +1,83 @@
+#include "fasta/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+// Strips trailing CR (Windows line endings) and surrounding whitespace.
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && (s.back() == '\r' || s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  return s;
+}
+
+}  // namespace
+
+std::size_t read_fasta(std::istream& in, SequenceStore& store) {
+  std::string line;
+  std::string name;
+  std::string seq;
+  bool in_record = false;
+  std::size_t count = 0;
+
+  const auto flush = [&] {
+    if (!in_record) return;
+    MUBLASTP_CHECK(!seq.empty(), "FASTA record '" + name + "' has no sequence");
+    store.add_ascii(seq, name);
+    ++count;
+    seq.clear();
+  };
+
+  while (std::getline(in, line)) {
+    const std::string_view t = trimmed(line);
+    if (t.empty()) continue;
+    if (t.front() == '>') {
+      flush();
+      name = std::string(t.substr(1));
+      in_record = true;
+    } else {
+      MUBLASTP_CHECK(in_record, "sequence data before first FASTA header");
+      seq.append(t);
+    }
+  }
+  flush();
+  return count;
+}
+
+std::size_t read_fasta_file(const std::string& path, SequenceStore& store) {
+  std::ifstream in(path);
+  MUBLASTP_CHECK(in.good(), "cannot open FASTA file: " + path);
+  return read_fasta(in, store);
+}
+
+void write_fasta(std::ostream& out, const SequenceStore& store,
+                 std::size_t width) {
+  MUBLASTP_CHECK(width > 0, "line width must be positive");
+  for (SeqId id = 0; id < store.size(); ++id) {
+    out << '>' << store.name(id) << '\n';
+    const auto seq = store.sequence(id);
+    for (std::size_t i = 0; i < seq.size(); i += width) {
+      const std::size_t n = std::min(width, seq.size() - i);
+      for (std::size_t j = 0; j < n; ++j) {
+        out << decode_residue(seq[i + j]);
+      }
+      out << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const SequenceStore& store,
+                      std::size_t width) {
+  std::ofstream out(path);
+  MUBLASTP_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_fasta(out, store, width);
+}
+
+}  // namespace mublastp

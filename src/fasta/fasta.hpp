@@ -1,0 +1,32 @@
+// FASTA input/output.
+//
+// Minimal, strict FASTA support: '>' header lines followed by sequence lines;
+// blank lines are allowed between records; sequence characters outside the
+// protein alphabet are encoded as X (see common/alphabet.hpp). Reading
+// streams the file once; there is no record-size limit beyond memory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/sequence.hpp"
+
+namespace mublastp {
+
+/// Parses FASTA text from a stream into `store` (appending). Returns the
+/// number of records read. Throws mublastp::Error on malformed input
+/// (sequence data before the first header, or an empty record).
+std::size_t read_fasta(std::istream& in, SequenceStore& store);
+
+/// Parses a FASTA file by path.
+std::size_t read_fasta_file(const std::string& path, SequenceStore& store);
+
+/// Writes `store` as FASTA with `width`-column line wrapping.
+void write_fasta(std::ostream& out, const SequenceStore& store,
+                 std::size_t width = 70);
+
+/// Writes `store` to the given path.
+void write_fasta_file(const std::string& path, const SequenceStore& store,
+                      std::size_t width = 70);
+
+}  // namespace mublastp

@@ -1,0 +1,208 @@
+#include "index/db_index_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'U', 'B', 'I'};
+
+// All scalars are written as fixed-width little-endian values. The library
+// only targets little-endian hosts (x86/ARM servers); a byte-order check at
+// load time would go here if that ever changes.
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  MUBLASTP_CHECK(in.good(), "truncated index file");
+  return value;
+}
+
+template <typename T>
+void write_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(in);
+  MUBLASTP_CHECK(n < (std::uint64_t{1} << 40), "implausible vector size");
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  MUBLASTP_CHECK(in.good(), "truncated index file");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  MUBLASTP_CHECK(n < (1u << 20), "implausible string size");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  MUBLASTP_CHECK(in.good(), "truncated index file");
+  return s;
+}
+
+}  // namespace
+
+void save_db_index(std::ostream& out, const DbIndex& index) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(out, kDbIndexFormatVersion);
+
+  // Config.
+  write_pod<std::uint64_t>(out, index.config_.block_bytes);
+  write_pod<std::int32_t>(out, index.config_.neighbor_threshold);
+  write_string(out, std::string(index.config_.matrix->name()));
+  write_pod<std::uint64_t>(out, index.config_.long_seq_limit);
+  write_pod<std::uint64_t>(out, index.config_.long_seq_overlap);
+
+  // Sorted sequence store.
+  const SequenceStore& db = index.db_;
+  write_pod<std::uint64_t>(out, db.size());
+  for (SeqId i = 0; i < db.size(); ++i) {
+    const auto seq = db.sequence(i);
+    write_pod<std::uint64_t>(out, seq.size());
+    out.write(reinterpret_cast<const char*>(seq.data()),
+              static_cast<std::streamsize>(seq.size()));
+    write_string(out, db.name(i));
+  }
+
+  write_vector(out, index.order_);
+
+  // Blocks.
+  write_pod<std::uint64_t>(out, index.blocks_.size());
+  for (const DbIndexBlock& b : index.blocks_) {
+    write_vector(out, b.fragments_);
+    write_vector(out, b.offsets_);
+    write_vector(out, b.entries_);
+    write_pod<std::uint64_t>(out, b.max_fragment_len_);
+    write_pod<std::uint64_t>(out, b.total_chars_);
+    write_pod<std::int32_t>(out, b.offset_bits_);
+  }
+  MUBLASTP_CHECK(out.good(), "write failure while saving index");
+}
+
+void save_db_index_file(const std::string& path, const DbIndex& index) {
+  std::ofstream out(path, std::ios::binary);
+  MUBLASTP_CHECK(out.good(), "cannot open for writing: " + path);
+  save_db_index(out, index);
+}
+
+DbIndex load_db_index(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  MUBLASTP_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+                 "not a muBLASTP index file (bad magic)");
+  const auto version = read_pod<std::uint32_t>(in);
+  MUBLASTP_CHECK(version == kDbIndexFormatVersion,
+                 "unsupported index format version " +
+                     std::to_string(version));
+
+  DbIndexConfig config;
+  config.block_bytes = read_pod<std::uint64_t>(in);
+  config.neighbor_threshold = read_pod<std::int32_t>(in);
+  config.matrix = &matrix_by_name(read_string(in));
+  config.long_seq_limit = read_pod<std::uint64_t>(in);
+  config.long_seq_overlap = read_pod<std::uint64_t>(in);
+
+  SequenceStore db;
+  const auto num_seqs = read_pod<std::uint64_t>(in);
+  MUBLASTP_CHECK(num_seqs > 0 && num_seqs < (std::uint64_t{1} << 40),
+                 "implausible sequence count");
+  for (std::uint64_t i = 0; i < num_seqs; ++i) {
+    const auto len = read_pod<std::uint64_t>(in);
+    MUBLASTP_CHECK(len > 0 && len < (std::uint64_t{1} << 32),
+                   "implausible sequence length");
+    std::vector<Residue> seq(len);
+    in.read(reinterpret_cast<char*>(seq.data()),
+            static_cast<std::streamsize>(len));
+    MUBLASTP_CHECK(in.good(), "truncated index file");
+    db.add(seq, read_string(in));
+  }
+
+  std::vector<SeqId> order = read_vector<SeqId>(in);
+  MUBLASTP_CHECK(order.size() == db.size(), "order/store size mismatch");
+
+  NeighborTable neighbors(*config.matrix, config.neighbor_threshold);
+  DbIndex index(std::move(db), std::move(order), config,
+                std::move(neighbors));
+  index.inverse_.resize(index.order_.size());
+  for (SeqId s = 0; s < index.order_.size(); ++s) {
+    index.inverse_[index.order_[s]] = s;
+  }
+
+  const auto num_blocks = read_pod<std::uint64_t>(in);
+  MUBLASTP_CHECK(num_blocks > 0 && num_blocks < (std::uint64_t{1} << 32),
+                 "implausible block count");
+  index.blocks_.resize(num_blocks);
+  for (DbIndexBlock& b : index.blocks_) {
+    b.fragments_ = read_vector<FragmentRef>(in);
+    b.offsets_ = read_vector<std::uint32_t>(in);
+    b.entries_ = read_vector<std::uint32_t>(in);
+    b.max_fragment_len_ = read_pod<std::uint64_t>(in);
+    b.total_chars_ = read_pod<std::uint64_t>(in);
+    b.offset_bits_ = read_pod<std::int32_t>(in);
+    MUBLASTP_CHECK(
+        b.offsets_.size() == static_cast<std::size_t>(kNumWords) + 1,
+        "corrupt block: wrong offsets size");
+    MUBLASTP_CHECK(b.offsets_.back() == b.entries_.size(),
+                   "corrupt block: offsets/entries mismatch");
+    MUBLASTP_CHECK(b.offset_bits_ >= 1 && b.offset_bits_ <= 31,
+                   "corrupt block: bad offset bits");
+    std::size_t max_len = 0;
+    std::size_t chars = 0;
+    for (const FragmentRef& f : b.fragments_) {
+      MUBLASTP_CHECK(f.seq < index.db_.size() &&
+                         f.start + f.len <= index.db_.length(f.seq),
+                     "corrupt block: fragment out of range");
+      max_len = std::max<std::size_t>(max_len, f.len);
+      chars += f.len;
+    }
+    MUBLASTP_CHECK(b.max_fragment_len_ == max_len,
+                   "corrupt block: fragment length summary mismatch");
+    MUBLASTP_CHECK(b.total_chars_ == chars,
+                   "corrupt block: character count mismatch");
+    // Offsets must be monotone and every entry must decode to a valid
+    // (fragment, in-range offset) pair.
+    for (std::size_t w = 0; w + 1 < b.offsets_.size(); ++w) {
+      MUBLASTP_CHECK(b.offsets_[w] <= b.offsets_[w + 1],
+                     "corrupt block: offsets not monotone");
+    }
+    for (const std::uint32_t e : b.entries_) {
+      const std::uint32_t frag = b.entry_fragment(e);
+      MUBLASTP_CHECK(frag < b.fragments_.size(),
+                     "corrupt block: entry fragment out of range");
+      MUBLASTP_CHECK(b.entry_offset(e) + kWordLength <=
+                         b.fragments_[frag].len,
+                     "corrupt block: entry offset out of range");
+    }
+  }
+  return index;
+}
+
+DbIndex load_db_index_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MUBLASTP_CHECK(in.good(), "cannot open index file: " + path);
+  return load_db_index(in);
+}
+
+}  // namespace mublastp

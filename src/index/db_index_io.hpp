@@ -1,0 +1,40 @@
+// Binary serialization of the database index.
+//
+// The whole point of a database index is "build once, search many times"
+// (paper Section V-A explicitly excludes index build time because "the
+// index only need to be built once for a given database"). This module
+// persists a DbIndex to a versioned little-endian binary file:
+//
+//   magic "MUBI" | format version | DbIndexConfig | sorted SequenceStore
+//   (arena + offsets + names) | original-id order | blocks (fragments,
+//   CSR offsets, packed entries)
+//
+// The neighbor table is NOT serialized: it is a pure function of
+// (matrix, threshold) and rebuilding it costs milliseconds, while storing
+// it would add megabytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "index/db_index.hpp"
+
+namespace mublastp {
+
+/// Current file-format version.
+inline constexpr std::uint32_t kDbIndexFormatVersion = 2;
+
+/// Writes `index` to a binary stream. Throws mublastp::Error on I/O errors.
+void save_db_index(std::ostream& out, const DbIndex& index);
+
+/// Writes `index` to a file.
+void save_db_index_file(const std::string& path, const DbIndex& index);
+
+/// Reads an index back. Throws mublastp::Error on malformed or truncated
+/// input, bad magic, or unsupported version.
+DbIndex load_db_index(std::istream& in);
+
+/// Reads an index from a file.
+DbIndex load_db_index_file(const std::string& path);
+
+}  // namespace mublastp

@@ -1,0 +1,44 @@
+#include "index/dfa_index.hpp"
+
+#include "common/error.hpp"
+
+namespace mublastp {
+
+DfaQueryIndex::DfaQueryIndex(std::span<const Residue> query,
+                             const NeighborTable& neighbors) {
+  MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
+                 "query shorter than word length");
+  // Count positions per word via each query word's neighborhood (identical
+  // to QueryIndex), then lay lists out flat in word-key order — which is
+  // also (state, residue) order since word = state * 24 + c.
+  std::vector<std::uint32_t> counts(kNumWords, 0);
+  const std::size_t num_words = query.size() - kWordLength + 1;
+  for (std::size_t p = 0; p < num_words; ++p) {
+    const std::uint32_t w = word_key(query.data() + p);
+    for (const std::uint32_t nb : neighbors.neighbors(w)) {
+      ++counts[nb];
+    }
+  }
+
+  cells_.resize(kNumWords);
+  std::uint32_t total = 0;
+  for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(kNumWords); ++w) {
+    cells_[w].offset = total;
+    total += counts[w];
+  }
+  positions_.resize(total);
+
+  std::vector<std::uint32_t> cursor(kNumWords, 0);
+  for (std::size_t p = 0; p < num_words; ++p) {
+    const std::uint32_t w = word_key(query.data() + p);
+    for (const std::uint32_t nb : neighbors.neighbors(w)) {
+      positions_[cells_[nb].offset + cursor[nb]++] =
+          static_cast<std::uint32_t>(p);
+    }
+  }
+  for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(kNumWords); ++w) {
+    cells_[w].count = counts[w];
+  }
+}
+
+}  // namespace mublastp

@@ -1,0 +1,87 @@
+// DFA-based query index (FSA-BLAST style).
+//
+// The paper's related work contrasts NCBI's lookup table (+ pv array +
+// thick backbone) with the deterministic finite automaton of FSA-BLAST
+// [Cameron, Williams, Cannane], which scans the subject stream with one
+// state transition per residue instead of re-hashing a full word at every
+// position. States are the (W-1)-mers of the alphabet; consuming residue c
+// in state s yields the word (s, c), whose query-position list is emitted,
+// and moves to state (s[1..], c) — a single multiply-add.
+//
+// The position lists are identical to QueryIndex's (neighbors
+// materialized), so both detectors produce exactly the same hit stream;
+// tests assert it, and bench/abl_dfa compares scan throughput.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/sequence.hpp"
+#include "index/neighbor.hpp"
+
+namespace mublastp {
+
+/// DFA over the query: one transition per subject residue.
+class DfaQueryIndex {
+ public:
+  /// Number of DFA states: one per (W-1)-mer.
+  static constexpr std::uint32_t kNumStates =
+      kNumWords / kAlphabetSize;  // 24^(W-1)
+
+  /// Builds the automaton for `query` under `neighbors` (same position
+  /// semantics as QueryIndex).
+  DfaQueryIndex(std::span<const Residue> query, const NeighborTable& neighbors);
+
+  /// Initial state before any residue is consumed. The first kWordLength-1
+  /// residues of a subject must be fed with consume() before emissions are
+  /// meaningful; scan() handles this.
+  std::uint32_t start_state() const { return 0; }
+
+  /// Consumes one residue: returns the new state. The emitted word for the
+  /// transition is state * kAlphabetSize + c.
+  static std::uint32_t next_state(std::uint32_t state, Residue c) {
+    return (state * kAlphabetSize + c) % kNumStates;
+  }
+
+  /// Query positions for the word emitted by (state, c).
+  std::span<const std::uint32_t> emit(std::uint32_t state, Residue c) const {
+    const Cell& cell =
+        cells_[static_cast<std::size_t>(state) * kAlphabetSize + c];
+    return {positions_.data() + cell.offset, cell.count};
+  }
+
+  /// Scans a whole subject, invoking `on_hit(subject_offset, query_offset)`
+  /// for every hit — the word at subject position soff is the one ending at
+  /// residue soff + W - 1.
+  template <typename OnHit>
+  void scan(std::span<const Residue> subject, OnHit&& on_hit) const {
+    if (subject.size() < static_cast<std::size_t>(kWordLength)) return;
+    std::uint32_t state = start_state();
+    // Prime the state with the first W-1 residues.
+    for (int i = 0; i < kWordLength - 1; ++i) {
+      state = next_state(state, subject[static_cast<std::size_t>(i)]);
+    }
+    for (std::size_t end = kWordLength - 1; end < subject.size(); ++end) {
+      const Residue c = subject[end];
+      for (const std::uint32_t qoff : emit(state, c)) {
+        on_hit(static_cast<std::uint32_t>(end - (kWordLength - 1)), qoff);
+      }
+      state = next_state(state, c);
+    }
+  }
+
+  /// Total stored (word, position) pairs (same metric as QueryIndex).
+  std::size_t total_positions() const { return positions_.size(); }
+
+ private:
+  struct Cell {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+  };
+
+  std::vector<Cell> cells_;             // kNumStates * kAlphabetSize
+  std::vector<std::uint32_t> positions_;
+};
+
+}  // namespace mublastp

@@ -1,0 +1,99 @@
+#include "index/neighbor.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace mublastp {
+namespace {
+
+// For the DFS bound: per residue, the maximum substitution score in its row.
+std::array<Score, kAlphabetSize> row_maxima(const ScoreMatrix& m) {
+  std::array<Score, kAlphabetSize> out{};
+  for (int a = 0; a < kAlphabetSize; ++a) {
+    Score best = m(static_cast<Residue>(a), Residue{0});
+    for (int b = 1; b < kAlphabetSize; ++b) {
+      best = std::max(best, m(static_cast<Residue>(a), static_cast<Residue>(b)));
+    }
+    out[static_cast<std::size_t>(a)] = best;
+  }
+  return out;
+}
+
+}  // namespace
+
+Score NeighborTable::word_pair_score(const ScoreMatrix& matrix,
+                                     std::uint32_t a, std::uint32_t b) {
+  std::array<Residue, kWordLength> wa{};
+  std::array<Residue, kWordLength> wb{};
+  unpack_word(a, wa.data());
+  unpack_word(b, wb.data());
+  Score s = 0;
+  for (int i = 0; i < kWordLength; ++i) s += matrix(wa[i], wb[i]);
+  return s;
+}
+
+NeighborTable::NeighborTable(const ScoreMatrix& matrix, Score threshold)
+    : threshold_(threshold) {
+  const auto maxima = row_maxima(matrix);
+  offsets_.assign(static_cast<std::size_t>(kNumWords) + 1, 0);
+
+  std::array<Residue, kWordLength> w{};
+  std::vector<std::uint32_t> scratch;
+  scratch.reserve(1024);
+
+  // Enumerate neighbors of one word with a bounded DFS over positions:
+  // prune when current score + best-possible remainder < threshold.
+  const auto enumerate = [&](std::uint32_t word, std::vector<std::uint32_t>& out) {
+    unpack_word(word, w.data());
+    // suffix_max[i] = max achievable score from positions i..W-1.
+    std::array<Score, kWordLength + 1> suffix_max{};
+    suffix_max[kWordLength] = 0;
+    for (int i = kWordLength - 1; i >= 0; --i) {
+      suffix_max[i] = suffix_max[i + 1] + maxima[w[i]];
+    }
+    // Recursion depth is kWordLength (tiny), so a recursive lambda is
+    // clearest.
+    const auto dfs = [&](auto&& self, int pos, std::uint32_t key,
+                         Score score) -> void {
+      if (pos == kWordLength) {
+        if (score >= threshold_) out.push_back(key);
+        return;
+      }
+      const auto row = matrix.row(w[pos]);
+      for (int b = 0; b < kAlphabetSize; ++b) {
+        const Score s = score + row[static_cast<std::size_t>(b)];
+        if (s + suffix_max[pos + 1] < threshold_) continue;
+        self(self, pos + 1,
+             key * static_cast<std::uint32_t>(kAlphabetSize) +
+                 static_cast<std::uint32_t>(b),
+             s);
+      }
+    };
+    dfs(dfs, 0, 0, 0);
+  };
+
+  // Two passes: count then fill, to keep flat_ contiguous without realloc
+  // churn. Neighbor keys come out of the DFS already in ascending order
+  // because the alphabet loop is ascending at every position.
+  std::vector<std::uint32_t> counts(kNumWords, 0);
+  for (std::uint32_t word = 0; word < static_cast<std::uint32_t>(kNumWords);
+       ++word) {
+    scratch.clear();
+    enumerate(word, scratch);
+    counts[word] = static_cast<std::uint32_t>(scratch.size());
+  }
+  for (int i = 0; i < kNumWords; ++i) {
+    offsets_[static_cast<std::size_t>(i) + 1] =
+        offsets_[static_cast<std::size_t>(i)] + counts[static_cast<std::size_t>(i)];
+  }
+  flat_.resize(offsets_.back());
+  for (std::uint32_t word = 0; word < static_cast<std::uint32_t>(kNumWords);
+       ++word) {
+    scratch.clear();
+    enumerate(word, scratch);
+    std::copy(scratch.begin(), scratch.end(),
+              flat_.begin() + offsets_[word]);
+  }
+}
+
+}  // namespace mublastp

@@ -1,0 +1,61 @@
+#include "index/query_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+
+QueryIndex::QueryIndex(std::span<const Residue> query,
+                       const NeighborTable& neighbors)
+    : query_length_(query.size()) {
+  MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
+                 "query shorter than word length");
+  cells_.assign(kNumWords, Cell{});
+  pv_.assign((kNumWords + 63) / 64, 0);
+
+  // Pass 1: count positions per word (via each query word's neighborhood).
+  const std::size_t num_words = query.size() - kWordLength + 1;
+  for (std::size_t p = 0; p < num_words; ++p) {
+    const std::uint32_t w = word_key(query.data() + p);
+    for (const std::uint32_t nb : neighbors.neighbors(w)) {
+      ++cells_[nb].count;
+    }
+  }
+
+  // Assign spill offsets for thick cells.
+  std::uint32_t spill_total = 0;
+  for (Cell& c : cells_) {
+    if (c.count > kInlinePositions) {
+      c.spill_offset = spill_total;
+      spill_total += c.count;
+    }
+  }
+  spill_.resize(spill_total);
+
+  // Pass 2: fill. Reuse count as a cursor, then restore.
+  std::vector<std::uint32_t> cursor(kNumWords, 0);
+  for (std::size_t p = 0; p < num_words; ++p) {
+    const std::uint32_t w = word_key(query.data() + p);
+    for (const std::uint32_t nb : neighbors.neighbors(w)) {
+      Cell& c = cells_[nb];
+      const std::uint32_t i = cursor[nb]++;
+      if (c.count <= kInlinePositions) {
+        c.inline_pos[i] = static_cast<std::uint32_t>(p);
+      } else {
+        spill_[c.spill_offset + i] = static_cast<std::uint32_t>(p);
+      }
+    }
+  }
+
+  // Positions were inserted in ascending p already (outer loop order), so no
+  // per-cell sort is needed. Set pv bits and the footprint metric.
+  for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(kNumWords); ++w) {
+    if (cells_[w].count > 0) {
+      pv_[w >> 6] |= std::uint64_t{1} << (w & 63);
+      total_positions_ += cells_[w].count;
+    }
+  }
+}
+
+}  // namespace mublastp

@@ -1,0 +1,196 @@
+#include "memsim/memsim.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace mublastp::memsim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  MUBLASTP_CHECK(cfg.line_bytes > 0 && std::has_single_bit(cfg.line_bytes),
+                 "line size must be a power of two");
+  MUBLASTP_CHECK(cfg.ways > 0, "associativity must be positive");
+  MUBLASTP_CHECK(cfg.size_bytes % (cfg.line_bytes * cfg.ways) == 0,
+                 "cache size must be a multiple of way size");
+  num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
+  MUBLASTP_CHECK(num_sets_ > 0, "cache must have at least one set");
+  line_shift_ = std::countr_zero(cfg.line_bytes);
+  tags_.assign(num_sets_ * cfg.ways, 0);
+  stamp_.assign(num_sets_ * cfg.ways, 0);
+  valid_.assign(num_sets_ * cfg.ways, 0);
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::size_t base = set * cfg_.ways;
+  ++clock_;
+
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    const std::size_t i = base + w;
+    if (valid_[i] && tags_[i] == line) {
+      stamp_[i] = clock_;
+      ++hits_;
+      return true;
+    }
+    const std::uint64_t age = valid_[i] ? stamp_[i] : 0;
+    if (!valid_[i]) {
+      victim = i;
+      oldest = 0;
+    } else if (age < oldest) {
+      victim = i;
+      oldest = age;
+    }
+  }
+  ++misses_;
+  tags_[victim] = line;
+  stamp_[victim] = clock_;
+  valid_[victim] = 1;
+  return false;
+}
+
+void Cache::fill(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::size_t base = set * cfg_.ways;
+  ++clock_;
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    const std::size_t i = base + w;
+    if (valid_[i] && tags_[i] == line) {
+      return;  // already present; leave recency alone
+    }
+    if (!valid_[i]) {
+      victim = i;
+      oldest = 0;
+    } else if (stamp_[i] < oldest) {
+      victim = i;
+      oldest = stamp_[i];
+    }
+  }
+  tags_[victim] = line;
+  stamp_[victim] = clock_;
+  valid_[victim] = 1;
+}
+
+void Cache::flush() {
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+}
+
+double MemStats::stalled_cycle_fraction(const LatencyConfig& lat) const {
+  if (references == 0) return 0.0;
+  // Every reference pays L1 latency (hidden by the pipeline in the base
+  // term); misses add the *extra* latency of the next level. TLB misses add
+  // page-walk cycles. This is the standard additive stall proxy.
+  const double base =
+      static_cast<double>(references) * (lat.work_per_ref + lat.l1);
+  const double stall =
+      static_cast<double>(l1_misses) * (lat.l2 - lat.l1) +
+      static_cast<double>(l2_misses) * (lat.l3 - lat.l2) +
+      static_cast<double>(llc_misses) * (lat.mem - lat.l3) +
+      static_cast<double>(stlb_misses) * lat.tlb_walk;
+  return stall / (base + stall);
+}
+
+MemoryHierarchy::MemoryHierarchy()
+    : MemoryHierarchy(
+          CacheConfig{32 * 1024, 64, 8},        // L1D
+          CacheConfig{256 * 1024, 64, 8},       // L2
+          CacheConfig{30 * 1024 * 1024, 64, 20},// shared L3 (Haswell 12c)
+          CacheConfig{64 * 4096, 4096, 4},      // L1 DTLB: 64 entries, 4-way
+          CacheConfig{1024 * 4096, 4096, 8}) {} // STLB: 1024 entries, 8-way
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                                 const CacheConfig& l3,
+                                 const CacheConfig& dtlb,
+                                 const CacheConfig& stlb)
+    : l1_(l1), l2_(l2), l3_(l3), dtlb_(dtlb), stlb_(stlb) {}
+
+void MemoryHierarchy::access(std::uint64_t addr, std::size_t size) {
+  if (size == 0) return;
+  const std::size_t line = l1_.config().line_bytes;
+  const std::uint64_t first = addr & ~(static_cast<std::uint64_t>(line) - 1);
+  const std::uint64_t last =
+      (addr + size - 1) & ~(static_cast<std::uint64_t>(line) - 1);
+  for (std::uint64_t a = first; a <= last; a += line) {
+    ++references_;
+    if (!dtlb_.access(a)) {
+      stlb_.access(a);
+    }
+    if (!l1_.access(a)) {
+      if (!l2_.access(a)) {
+        l3_.access(a);
+      }
+    }
+    if (prefetch_) {
+      run_prefetcher(a);
+    }
+  }
+}
+
+void MemoryHierarchy::run_prefetcher(std::uint64_t line_addr) {
+  // Ascending next-line stream detector (the L2 streamer on Intel cores):
+  // when a demand access matches a tracked stream's expected next line, the
+  // following kPrefetchDegree lines are pulled into L2 and LLC as
+  // non-demand fills. Otherwise a new stream is trained at this address.
+  const std::uint64_t line = l1_.config().line_bytes;
+  ++stream_clock_;
+  int lru = 0;
+  std::uint64_t lru_use = ~std::uint64_t{0};
+  for (int i = 0; i < kStreams; ++i) {
+    Stream& s = streams_[i];
+    if (s.valid && s.next_line == line_addr) {
+      for (int d = 1; d <= kPrefetchDegree; ++d) {
+        const std::uint64_t target = line_addr + static_cast<std::uint64_t>(d) * line;
+        l2_.fill(target);
+        l3_.fill(target);
+      }
+      s.next_line = line_addr + line;
+      s.last_use = stream_clock_;
+      return;
+    }
+    if (!s.valid) {
+      lru = i;
+      lru_use = 0;
+    } else if (s.last_use < lru_use) {
+      lru = i;
+      lru_use = s.last_use;
+    }
+  }
+  streams_[lru] = {line_addr + line, stream_clock_, true};
+}
+
+MemStats MemoryHierarchy::stats() const {
+  MemStats s;
+  s.references = references_;
+  s.l1_misses = l1_.misses();
+  s.l2_misses = l2_.misses();
+  s.llc_misses = l3_.misses();
+  s.llc_accesses = l3_.accesses();
+  s.dtlb_misses = dtlb_.misses();
+  s.stlb_misses = stlb_.misses();
+  return s;
+}
+
+void MemoryHierarchy::reset_counters() {
+  l1_.reset_counters();
+  l2_.reset_counters();
+  l3_.reset_counters();
+  dtlb_.reset_counters();
+  stlb_.reset_counters();
+  references_ = 0;
+}
+
+void MemoryHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  l3_.flush();
+  dtlb_.flush();
+  stlb_.flush();
+  reset_counters();
+}
+
+}  // namespace mublastp::memsim

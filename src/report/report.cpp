@@ -1,0 +1,163 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+
+AlignmentSummary summarize_alignment(std::span<const Residue> query,
+                                     std::span<const Residue> subject,
+                                     const GappedAlignment& alignment,
+                                     const ScoreMatrix& matrix) {
+  MUBLASTP_CHECK(!alignment.ops.empty(),
+                 "alignment has no traceback transcript");
+  AlignmentSummary s;
+  std::size_t qi = alignment.q_start;
+  std::size_t si = alignment.s_start;
+  char prev = 'M';
+  for (const char op : alignment.ops) {
+    ++s.length;
+    switch (op) {
+      case 'M': {
+        const Residue a = query[qi++];
+        const Residue b = subject[si++];
+        if (a == b) {
+          ++s.identities;
+          ++s.positives;
+        } else {
+          ++s.mismatches;
+          if (matrix(a, b) > 0) ++s.positives;
+        }
+        break;
+      }
+      case 'I':
+        ++qi;
+        ++s.gaps;
+        if (prev != 'I') ++s.gap_opens;
+        break;
+      case 'D':
+        ++si;
+        ++s.gaps;
+        if (prev != 'D') ++s.gap_opens;
+        break;
+      default:
+        throw Error("invalid transcript op in alignment");
+    }
+    prev = op;
+  }
+  MUBLASTP_CHECK(qi == alignment.q_end && si == alignment.s_end,
+                 "transcript does not match alignment coordinates");
+  return s;
+}
+
+void write_tabular(std::ostream& out, const std::string& query_name,
+                   std::span<const Residue> query, const SequenceStore& db,
+                   const QueryResult& result, const ScoreMatrix& matrix) {
+  for (const GappedAlignment& a : result.alignments) {
+    const auto subject = db.sequence(a.subject);
+    const AlignmentSummary s = summarize_alignment(query, subject, a, matrix);
+    // Standard outfmt-6 columns; coordinates are 1-based inclusive.
+    out << query_name << '\t' << db.name(a.subject) << '\t' << std::fixed
+        << std::setprecision(3) << s.percent_identity() << '\t' << s.length
+        << '\t' << s.mismatches << '\t' << s.gap_opens << '\t'
+        << a.q_start + 1 << '\t' << a.q_end << '\t' << a.s_start + 1 << '\t'
+        << a.s_end << '\t' << std::scientific << std::setprecision(2)
+        << a.evalue << '\t' << std::fixed << std::setprecision(1)
+        << a.bit_score << '\n';
+    out.unsetf(std::ios::floatfield);
+  }
+}
+
+namespace {
+
+// The middle line of a pairwise block: letter on identity, '+' on positive
+// substitution, blank otherwise (NCBI's convention).
+char match_char(Residue a, Residue b, const ScoreMatrix& matrix) {
+  if (a == b) return decode_residue(a);
+  return matrix(a, b) > 0 ? '+' : ' ';
+}
+
+}  // namespace
+
+void write_pairwise(std::ostream& out, const std::string& query_name,
+                    std::span<const Residue> query, const SequenceStore& db,
+                    const QueryResult& result, const ScoreMatrix& matrix,
+                    std::size_t line_width) {
+  MUBLASTP_CHECK(line_width > 0, "line width must be positive");
+  out << "Query= " << query_name << "\n  Length=" << query.size() << "\n";
+  if (result.alignments.empty()) {
+    out << "\n***** No hits found *****\n";
+    return;
+  }
+  for (const GappedAlignment& a : result.alignments) {
+    const auto subject = db.sequence(a.subject);
+    const AlignmentSummary s = summarize_alignment(query, subject, a, matrix);
+    out << "\n> " << db.name(a.subject) << "\nLength=" << subject.size()
+        << "\n\n Score = " << std::fixed << std::setprecision(1)
+        << a.bit_score << " bits (" << a.score << "), Expect = "
+        << std::scientific << std::setprecision(2) << a.evalue << '\n';
+    out.unsetf(std::ios::floatfield);
+    out << " Identities = " << s.identities << '/' << s.length << " ("
+        << static_cast<int>(s.percent_identity() + 0.5) << "%), Positives = "
+        << s.positives << '/' << s.length << " ("
+        << static_cast<int>(100.0 * static_cast<double>(s.positives) /
+                                static_cast<double>(s.length) +
+                            0.5)
+        << "%), Gaps = " << s.gaps << '/' << s.length << '\n';
+
+    // Render the three aligned strings once, then emit wrapped blocks.
+    std::string qline, mline, sline;
+    qline.reserve(a.ops.size());
+    mline.reserve(a.ops.size());
+    sline.reserve(a.ops.size());
+    std::size_t qi = a.q_start;
+    std::size_t si = a.s_start;
+    for (const char op : a.ops) {
+      if (op == 'M') {
+        qline.push_back(decode_residue(query[qi]));
+        sline.push_back(decode_residue(subject[si]));
+        mline.push_back(match_char(query[qi], subject[si], matrix));
+        ++qi;
+        ++si;
+      } else if (op == 'I') {
+        qline.push_back(decode_residue(query[qi]));
+        sline.push_back('-');
+        mline.push_back(' ');
+        ++qi;
+      } else {
+        qline.push_back('-');
+        sline.push_back(decode_residue(subject[si]));
+        mline.push_back(' ');
+        ++si;
+      }
+    }
+
+    std::size_t q_cursor = a.q_start;
+    std::size_t s_cursor = a.s_start;
+    for (std::size_t pos = 0; pos < qline.size(); pos += line_width) {
+      const std::size_t n = std::min(line_width, qline.size() - pos);
+      const std::string qseg = qline.substr(pos, n);
+      const std::string mseg = mline.substr(pos, n);
+      const std::string sseg = sline.substr(pos, n);
+      const std::size_t q_res =
+          static_cast<std::size_t>(std::count_if(
+              qseg.begin(), qseg.end(), [](char c) { return c != '-'; }));
+      const std::size_t s_res =
+          static_cast<std::size_t>(std::count_if(
+              sseg.begin(), sseg.end(), [](char c) { return c != '-'; }));
+      out << "\nQuery  " << std::setw(5) << q_cursor + 1 << "  " << qseg
+          << "  " << q_cursor + q_res << '\n';
+      out << "       " << std::setw(5) << ' ' << "  " << mseg << '\n';
+      out << "Sbjct  " << std::setw(5) << s_cursor + 1 << "  " << sseg
+          << "  " << s_cursor + s_res << '\n';
+      q_cursor += q_res;
+      s_cursor += s_res;
+    }
+  }
+  out << '\n';
+}
+
+}  // namespace mublastp

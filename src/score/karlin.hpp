@@ -1,0 +1,56 @@
+// Karlin-Altschul statistics for local alignment significance.
+//
+// BLAST converts raw alignment scores S into bit scores S' = (lambda*S -
+// ln K) / ln 2 and E-values E = K*m*n*exp(-lambda*S). lambda is the unique
+// positive solution of sum_ij p_i p_j exp(lambda * s_ij) = 1 for background
+// residue frequencies p; K is estimated with the standard geometric-series
+// approximation. These statistics rank the final results (paper Section
+// II-A, stage 4) and gate ungapped/gapped cutoffs.
+#pragma once
+
+#include <array>
+
+#include "score/matrix.hpp"
+
+namespace mublastp {
+
+/// Robinson & Robinson (1991) background amino-acid frequencies, indexed by
+/// the standard 20 residues of the library alphabet; ambiguity codes get 0.
+const std::array<double, kAlphabetSize>& robinson_frequencies();
+
+/// Ungapped Karlin-Altschul parameters for a scoring system.
+struct KarlinParams {
+  double lambda = 0.0;  ///< scale of the scoring system (nats per raw unit)
+  double K = 0.0;       ///< search-space correction constant
+  double H = 0.0;       ///< relative entropy (nats per aligned pair)
+};
+
+/// Computes ungapped Karlin-Altschul parameters for `matrix` under background
+/// frequencies `freqs`. Throws mublastp::Error if the scoring system has a
+/// non-negative expected score (no positive lambda exists).
+KarlinParams compute_karlin(const ScoreMatrix& matrix,
+                            const std::array<double, kAlphabetSize>& freqs);
+
+/// Convenience overload using Robinson-Robinson frequencies.
+KarlinParams compute_karlin(const ScoreMatrix& matrix);
+
+/// Gapped parameters are not derivable analytically; BLAST ships lookup
+/// tables fitted by simulation. Returns the published values for common
+/// (matrix, gap open, gap extend) triples, falling back to the ungapped
+/// parameters scaled by the NCBI convention when the triple is unknown.
+KarlinParams gapped_params(const ScoreMatrix& matrix, Score gap_open,
+                           Score gap_extend);
+
+/// Bit score of a raw score under `params`.
+double bit_score(Score raw, const KarlinParams& params);
+
+/// E-value of a raw score for query length m and database length n.
+double evalue(Score raw, std::size_t m, std::size_t n,
+              const KarlinParams& params);
+
+/// Inverse of evalue: the minimum raw score whose E-value is <= `target` for
+/// the given search-space size. Used to derive reporting cutoffs.
+Score cutoff_for_evalue(double target, std::size_t m, std::size_t n,
+                        const KarlinParams& params);
+
+}  // namespace mublastp

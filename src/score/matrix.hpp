@@ -1,0 +1,69 @@
+// Substitution matrices for protein alignment.
+//
+// All matrices are 24x24 over the alphabet ordering in common/alphabet.hpp
+// (ARNDCQEGHILKMFPSTWYVBZX*). BLOSUM62 is the default for BLASTP and is the
+// matrix used throughout the paper's evaluation; BLOSUM50/80 and PAM250 are
+// provided for completeness of the public API.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/alphabet.hpp"
+
+namespace mublastp {
+
+/// Raw alignment score type. BLASTP raw scores fit easily in 32 bits.
+using Score = std::int32_t;
+
+/// A 24x24 substitution matrix with flat row-major storage.
+class ScoreMatrix {
+ public:
+  ScoreMatrix(std::string_view name,
+              const std::array<std::array<Score, kAlphabetSize>, kAlphabetSize>&
+                  cells);
+
+  /// Score of aligning residues a and b.
+  Score operator()(Residue a, Residue b) const {
+    return cells_[static_cast<std::size_t>(a) * kAlphabetSize + b];
+  }
+
+  /// Row for residue a (contiguous, useful for inner loops).
+  std::span<const Score, kAlphabetSize> row(Residue a) const {
+    return std::span<const Score, kAlphabetSize>(
+        cells_.data() + static_cast<std::size_t>(a) * kAlphabetSize,
+        kAlphabetSize);
+  }
+
+  /// Human-readable matrix name, e.g. "BLOSUM62".
+  std::string_view name() const { return name_; }
+
+  /// Highest score in the matrix (used for extension bound reasoning).
+  Score max_score() const { return max_score_; }
+
+  /// Lowest score in the matrix.
+  Score min_score() const { return min_score_; }
+
+ private:
+  std::array<Score, kAlphabetSize * kAlphabetSize> cells_;
+  std::string_view name_;
+  Score max_score_;
+  Score min_score_;
+};
+
+/// The BLOSUM62 matrix (BLASTP default; used in the paper's experiments).
+const ScoreMatrix& blosum62();
+/// The BLOSUM50 matrix.
+const ScoreMatrix& blosum50();
+/// The BLOSUM80 matrix.
+const ScoreMatrix& blosum80();
+/// The PAM250 matrix.
+const ScoreMatrix& pam250();
+
+/// Looks a matrix up by name ("BLOSUM62", "BLOSUM50", "BLOSUM80", "PAM250");
+/// throws mublastp::Error for unknown names.
+const ScoreMatrix& matrix_by_name(std::string_view name);
+
+}  // namespace mublastp

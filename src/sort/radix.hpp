@@ -1,0 +1,223 @@
+// Key-value sorting kernels for hit reordering.
+//
+// Section IV-B of the paper weighs LSD radix sort, MSD radix sort and merge
+// sort for reordering hits and picks LSD radix because (1) index blocking
+// keeps the hit buffer within LLC size so bandwidth is not the bottleneck,
+// (2) length-sorted blocks give fixed-width keys so all records take the
+// same number of passes, and (3) hits arrive ordered by query offset and the
+// sort must be *stable* to preserve that order. All three algorithms are
+// implemented here so the choice can be benchmarked (bench/abl_sort).
+//
+// All sorts are stable and operate on arbitrary record types through a key
+// projection returning an unsigned integer.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mublastp::sorting {
+
+/// Number of bits per LSD/MSD digit. 8 bits -> 256 counting buckets, the
+/// standard choice for cache-resident counting arrays.
+inline constexpr int kRadixBits = 8;
+inline constexpr std::size_t kRadixBuckets = std::size_t{1} << kRadixBits;
+
+namespace detail {
+
+template <typename T, typename KeyFn>
+using key_t = std::invoke_result_t<KeyFn, const T&>;
+
+template <typename T, typename KeyFn>
+concept UnsignedKeyFn = std::unsigned_integral<key_t<T, KeyFn>>;
+
+}  // namespace detail
+
+/// Stable LSD (least-significant-digit-first) radix sort.
+///
+/// `key_bits` bounds the number of passes: pass only over digits below
+/// key_bits. With block-local sequence ids and bounded diagonals the packed
+/// hit key fits well under 32 bits, so most blocks sort in 3 passes.
+template <typename T, typename KeyFn>
+  requires detail::UnsignedKeyFn<T, KeyFn>
+void radix_sort_lsd(std::vector<T>& v, KeyFn key,
+                    int key_bits = 8 * static_cast<int>(sizeof(detail::key_t<T, KeyFn>))) {
+  using Key = detail::key_t<T, KeyFn>;
+  if (v.size() < 2) return;
+  std::vector<T> buf(v.size());
+  T* src = v.data();
+  T* dst = buf.data();
+  const std::size_t n = v.size();
+  bool swapped = false;
+
+  for (int shift = 0; shift < key_bits; shift += kRadixBits) {
+    std::size_t count[kRadixBuckets] = {};
+    for (std::size_t i = 0; i < n; ++i) {
+      ++count[(static_cast<Key>(key(src[i])) >> shift) & (kRadixBuckets - 1)];
+    }
+    // Skip passes where every record lands in one bucket (common for the
+    // high digits of block-local keys).
+    bool trivial = false;
+    for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+      if (count[b] == n) {
+        trivial = true;
+        break;
+      }
+    }
+    if (trivial) continue;
+    std::size_t pos = 0;
+    for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+      const std::size_t c = count[b];
+      count[b] = pos;
+      pos += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[count[(static_cast<Key>(key(src[i])) >> shift) & (kRadixBuckets - 1)]++] =
+          src[i];
+    }
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) {
+    std::memcpy(v.data(), buf.data(), n * sizeof(T));
+  }
+}
+
+namespace detail {
+
+template <typename T, typename KeyFn>
+void insertion_sort(T* first, T* last, KeyFn key) {
+  for (T* i = first + 1; i < last; ++i) {
+    T tmp = *i;
+    T* j = i;
+    // '<=' would break stability; strictly-greater keeps equal keys in
+    // arrival order.
+    while (j > first && key(*(j - 1)) > key(tmp)) {
+      *j = *(j - 1);
+      --j;
+    }
+    *j = tmp;
+  }
+}
+
+template <typename T, typename KeyFn>
+void msd_recurse(T* first, T* last, KeyFn key, int shift,
+                 std::vector<T>& scratch) {
+  using Key = key_t<T, KeyFn>;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n < 2) return;
+  // MSD's small-subarray penalty (the paper's reason to prefer LSD for
+  // hundreds-of-KB buffers) is mitigated the standard way: fall back to
+  // insertion sort below a threshold.
+  if (n <= 32) {
+    insertion_sort(first, last, key);
+    return;
+  }
+  std::size_t count[kRadixBuckets] = {};
+  for (T* p = first; p < last; ++p) {
+    ++count[(static_cast<Key>(key(*p)) >> shift) & (kRadixBuckets - 1)];
+  }
+  std::size_t start[kRadixBuckets + 1];
+  start[0] = 0;
+  for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+    start[b + 1] = start[b] + count[b];
+  }
+  scratch.assign(first, last);
+  std::size_t cursor[kRadixBuckets];
+  std::copy(start, start + kRadixBuckets, cursor);
+  for (const T& rec : scratch) {
+    first[cursor[(static_cast<Key>(key(rec)) >> shift) & (kRadixBuckets - 1)]++] =
+        rec;
+  }
+  if (shift == 0) return;
+  for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+    msd_recurse(first + start[b], first + start[b + 1], key,
+                shift - kRadixBits, scratch);
+  }
+}
+
+}  // namespace detail
+
+/// Stable MSD (most-significant-digit-first) radix sort. Provided for the
+/// sort ablation; the paper rejects MSD as "too slow for small datasets".
+template <typename T, typename KeyFn>
+  requires detail::UnsignedKeyFn<T, KeyFn>
+void radix_sort_msd(std::vector<T>& v, KeyFn key,
+                    int key_bits = 8 * static_cast<int>(sizeof(detail::key_t<T, KeyFn>))) {
+  if (v.size() < 2) return;
+  const int top_shift = ((key_bits + kRadixBits - 1) / kRadixBits - 1) * kRadixBits;
+  std::vector<T> scratch;
+  scratch.reserve(v.size());
+  detail::msd_recurse(v.data(), v.data() + v.size(), key, top_shift, scratch);
+}
+
+/// Two-level binning (the reordering scheme of the paper's own preliminary
+/// work [22], discussed in Related Work): scatter hits into diagonal bins
+/// first, then into sequence bins. Each level is a full-width stable
+/// counting scatter, so the result is ordered by (sequence, diagonal) with
+/// arrival order preserved inside a diagonal — the same order the radix
+/// sort produces on a packed key. The drawbacks the paper cites are
+/// visible in the implementation: the counting arrays span the FULL
+/// diagonal/sequence ranges (large preallocated memory) and every record
+/// moves twice regardless of how few will survive filtering.
+template <typename T, typename DiagFn, typename SeqFn>
+  requires detail::UnsignedKeyFn<T, DiagFn> && detail::UnsignedKeyFn<T, SeqFn>
+void two_level_bin(std::vector<T>& v, DiagFn diag, std::size_t num_diags,
+                   SeqFn seq, std::size_t num_seqs) {
+  if (v.size() < 2) return;
+  std::vector<T> buf(v.size());
+
+  // Level 1: bin by diagonal id.
+  {
+    std::vector<std::size_t> count(num_diags + 1, 0);
+    for (const T& r : v) ++count[static_cast<std::size_t>(diag(r)) + 1];
+    for (std::size_t b = 1; b <= num_diags; ++b) count[b] += count[b - 1];
+    for (const T& r : v) buf[count[static_cast<std::size_t>(diag(r))]++] = r;
+  }
+  // Level 2: bin by sequence id (stable, so diagonal order survives).
+  {
+    std::vector<std::size_t> count(num_seqs + 1, 0);
+    for (const T& r : buf) ++count[static_cast<std::size_t>(seq(r)) + 1];
+    for (std::size_t b = 1; b <= num_seqs; ++b) count[b] += count[b - 1];
+    for (const T& r : buf) v[count[static_cast<std::size_t>(seq(r))]++] = r;
+  }
+}
+
+/// Stable bottom-up merge sort (the paper's O(n log n) comparison point).
+template <typename T, typename KeyFn>
+  requires detail::UnsignedKeyFn<T, KeyFn>
+void merge_sort(std::vector<T>& v, KeyFn key) {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  std::vector<T> buf(n);
+  T* src = v.data();
+  T* dst = buf.data();
+  bool swapped = false;
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t i = lo;
+      std::size_t j = mid;
+      std::size_t k = lo;
+      while (i < mid && j < hi) {
+        // '<=' keeps the left run first on ties: stability.
+        if (key(src[i]) <= key(src[j])) {
+          dst[k++] = src[i++];
+        } else {
+          dst[k++] = src[j++];
+        }
+      }
+      while (i < mid) dst[k++] = src[i++];
+      while (j < hi) dst[k++] = src[j++];
+    }
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) {
+    std::memcpy(v.data(), buf.data(), n * sizeof(T));
+  }
+}
+
+}  // namespace mublastp::sorting

@@ -1,0 +1,124 @@
+#include "common/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+TEST(Alphabet, SizeAndLetters) {
+  EXPECT_EQ(kAlphabetSize, 24);
+  EXPECT_EQ(kLetters.size(), 24u);
+  EXPECT_EQ(kNumWords, 13824);
+}
+
+TEST(Alphabet, EncodeDecodeRoundTripAllLetters) {
+  for (std::size_t i = 0; i < kLetters.size(); ++i) {
+    const char c = kLetters[i];
+    const Residue r = encode_residue(c);
+    EXPECT_EQ(r, static_cast<Residue>(i)) << "letter " << c;
+    EXPECT_EQ(decode_residue(r), c);
+  }
+}
+
+TEST(Alphabet, LowercaseEncodesLikeUppercase) {
+  EXPECT_EQ(encode_residue('a'), encode_residue('A'));
+  EXPECT_EQ(encode_residue('w'), encode_residue('W'));
+  EXPECT_EQ(encode_residue('v'), encode_residue('V'));
+}
+
+TEST(Alphabet, UnknownCharactersMapToX) {
+  EXPECT_EQ(encode_residue('J'), kResidueX);
+  EXPECT_EQ(encode_residue('O'), kResidueX);
+  EXPECT_EQ(encode_residue('7'), kResidueX);
+  EXPECT_EQ(encode_residue('-'), kResidueX);
+}
+
+TEST(Alphabet, SelenocysteineMapsToCysteine) {
+  EXPECT_EQ(encode_residue('U'), encode_residue('C'));
+  EXPECT_EQ(encode_residue('u'), encode_residue('C'));
+}
+
+TEST(Alphabet, XIsEncodedAtDocumentedIndex) {
+  EXPECT_EQ(encode_residue('X'), kResidueX);
+  EXPECT_EQ(kLetters[kResidueX], 'X');
+}
+
+TEST(Alphabet, EncodeSequenceSkipsWhitespace) {
+  const auto seq = encode_sequence("AR ND\nCQ\tEG");
+  EXPECT_EQ(seq.size(), 8u);
+  EXPECT_EQ(decode_sequence(seq), "ARNDCQEG");
+}
+
+TEST(Alphabet, EncodeEmpty) {
+  EXPECT_TRUE(encode_sequence("").empty());
+}
+
+TEST(Alphabet, StandardResiduePredicate) {
+  EXPECT_TRUE(is_standard_residue(encode_residue('A')));
+  EXPECT_TRUE(is_standard_residue(encode_residue('V')));
+  EXPECT_FALSE(is_standard_residue(encode_residue('B')));
+  EXPECT_FALSE(is_standard_residue(encode_residue('Z')));
+  EXPECT_FALSE(is_standard_residue(encode_residue('X')));
+  EXPECT_FALSE(is_standard_residue(encode_residue('*')));
+}
+
+TEST(WordKey, FirstAndLastWords) {
+  const Residue aaa[3] = {0, 0, 0};
+  EXPECT_EQ(word_key(aaa), 0u);
+  const Residue last[3] = {23, 23, 23};
+  EXPECT_EQ(word_key(last), static_cast<std::uint32_t>(kNumWords - 1));
+}
+
+TEST(WordKey, MatchesPositionalArithmetic) {
+  const Residue w[3] = {2, 5, 7};
+  EXPECT_EQ(word_key(w), 2u * 576 + 5u * 24 + 7u);
+}
+
+TEST(WordKey, UnpackIsInverse) {
+  for (std::uint32_t key = 0; key < static_cast<std::uint32_t>(kNumWords);
+       key += 97) {
+    Residue w[3];
+    unpack_word(key, w);
+    EXPECT_EQ(word_key(w), key);
+  }
+}
+
+TEST(WordKey, StringConversions) {
+  EXPECT_EQ(word_to_string(0), "AAA");
+  EXPECT_EQ(word_from_string("AAA"), 0u);
+  const std::uint32_t k = word_from_string("RWV");
+  EXPECT_EQ(word_to_string(k), "RWV");
+}
+
+TEST(WordKey, StringRoundTripSampled) {
+  for (std::uint32_t key = 0; key < static_cast<std::uint32_t>(kNumWords);
+       key += 131) {
+    EXPECT_EQ(word_from_string(word_to_string(key)), key);
+  }
+}
+
+TEST(WordKey, RejectsBadInput) {
+  EXPECT_THROW(word_to_string(static_cast<std::uint32_t>(kNumWords)), Error);
+  EXPECT_THROW(word_from_string("AAAA"), Error);
+  EXPECT_THROW(word_from_string("AA"), Error);
+}
+
+// Property sweep: every encodable character round-trips through
+// encode/decode into a fixed point after one application.
+class AlphabetCharSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphabetCharSweep, DecodeEncodeIsIdempotent) {
+  const char c = static_cast<char>(GetParam());
+  const Residue r = encode_residue(c);
+  ASSERT_LT(r, kAlphabetSize);
+  const char canonical = decode_residue(r);
+  EXPECT_EQ(encode_residue(canonical), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrintable, AlphabetCharSweep,
+                         ::testing::Range(32, 127));
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,254 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp::cluster {
+namespace {
+
+std::vector<std::size_t> synthetic_lengths(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> lens(n);
+  for (auto& l : lens) {
+    l = 60 + rng.next_below(800);  // skewed-ish lengths
+  }
+  return lens;
+}
+
+TEST(Partitioning, RoundRobinBalancesChars) {
+  const auto lens = synthetic_lengths(10000, 1);
+  const auto parts = partition_chars_round_robin_sorted(lens, 16);
+  const double total = std::accumulate(parts.begin(), parts.end(), 0.0);
+  const double mean = total / 16.0;
+  for (const double p : parts) {
+    EXPECT_NEAR(p, mean, mean * 0.01);  // within 1%
+  }
+}
+
+TEST(Partitioning, PreservesTotalChars) {
+  const auto lens = synthetic_lengths(5000, 2);
+  const double want = static_cast<double>(
+      std::accumulate(lens.begin(), lens.end(), std::size_t{0}));
+  for (int parts : {1, 3, 16, 128}) {
+    const auto rr = partition_chars_round_robin_sorted(lens, parts);
+    const auto ct = partition_chars_contiguous(lens, parts);
+    EXPECT_NEAR(std::accumulate(rr.begin(), rr.end(), 0.0), want, 0.5);
+    EXPECT_NEAR(std::accumulate(ct.begin(), ct.end(), 0.0), want, 0.5);
+  }
+}
+
+TEST(Partitioning, ContiguousIsLessBalancedThanRoundRobin) {
+  // A database with a length trend (as sorted/clustered inputs have).
+  std::vector<std::size_t> lens(8000);
+  Rng rng(3);
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    lens[i] = 60 + i / 10 + rng.next_below(50);
+  }
+  const auto rr = partition_chars_round_robin_sorted(lens, 64);
+  const auto ct = partition_chars_contiguous(lens, 64);
+  const auto spread = [](const std::vector<double>& v) {
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return (*hi - *lo) / *hi;
+  };
+  EXPECT_LT(spread(rr), spread(ct));
+}
+
+TEST(Partitioning, RejectsZeroParts) {
+  EXPECT_THROW(partition_chars_round_robin_sorted({10}, 0), Error);
+  EXPECT_THROW(partition_chars_contiguous({10}, 0), Error);
+}
+
+TEST(CostMatrix, DeterministicAndPositive) {
+  const std::vector<std::size_t> qlens{128, 256, 512};
+  const std::vector<double> parts{1e6, 2e6};
+  const auto a = cost_matrix(qlens, parts, {}, 7);
+  const auto b = cost_matrix(qlens, parts, {}, 7);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(a[0].size(), 2u);
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    for (std::size_t p = 0; p < a[q].size(); ++p) {
+      EXPECT_GT(a[q][p], 0.0);
+      EXPECT_EQ(a[q][p], b[q][p]);
+    }
+  }
+}
+
+TEST(CostMatrix, ScalesWithQueryAndPartition) {
+  CostModelParams params;
+  params.irregularity_sigma = 0.0;  // deterministic density
+  const auto m =
+      cost_matrix({100, 200}, {1e6, 2e6}, params, 1);
+  EXPECT_GT(m[1][0], m[0][0]);  // longer query costs more
+  EXPECT_GT(m[0][1], m[0][0]);  // bigger partition costs more
+}
+
+TEST(CostMatrix, IrregularitySpreadsQueryCosts) {
+  CostModelParams flat;
+  flat.irregularity_sigma = 0.0;
+  CostModelParams bumpy;
+  bumpy.irregularity_sigma = 0.8;
+  const std::vector<std::size_t> qlens(200, 128);
+  const std::vector<double> parts{1e6};
+  const auto f = cost_matrix(qlens, parts, flat, 5);
+  const auto b = cost_matrix(qlens, parts, bumpy, 5);
+  const auto cv = [](const std::vector<std::vector<double>>& m) {
+    double sum = 0, sum2 = 0;
+    for (const auto& row : m) {
+      sum += row[0];
+      sum2 += row[0] * row[0];
+    }
+    const double mean = sum / m.size();
+    return std::sqrt(sum2 / m.size() - mean * mean) / mean;
+  };
+  EXPECT_LT(cv(f), 1e-6);
+  EXPECT_GT(cv(b), 0.3);
+}
+
+class SimFixture : public ::testing::Test {
+ protected:
+  SimFixture() {
+    // Scale per-cell cost up so per-(query, partition) work stays well
+    // above fixed overheads even at 128-way partitioning — the regime the
+    // paper's env_nr runs are in (the fig10 bench uses env_nr-scale
+    // sequence counts instead).
+    cost_params_.sec_per_cell = 2.0e-8;
+  }
+
+  // One cluster scenario reused by the simulator tests.
+  std::vector<std::size_t> lens_ = synthetic_lengths(20000, 11);
+  std::vector<std::size_t> qlens_ = std::vector<std::size_t>(128, 256);
+  CostModelParams cost_params_;
+};
+
+TEST_F(SimFixture, MuBlastpScalesNearLinearly) {
+  double t1 = 0.0;
+  for (const int nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto parts = partition_chars_round_robin_sorted(lens_, nodes);
+    const auto costs = cost_matrix(qlens_, parts, cost_params_, 3);
+    MuBlastpClusterConfig cfg;
+    cfg.nodes = nodes;
+    const double t = simulate_mublastp(costs, cfg);
+    if (nodes == 1) {
+      t1 = t;
+      continue;
+    }
+    const double eff = scaling_efficiency(t1, t, nodes);
+    EXPECT_GT(eff, 0.80) << nodes << " nodes";
+    EXPECT_LE(eff, 1.05) << nodes << " nodes";
+  }
+}
+
+TEST_F(SimFixture, MpiBlastEfficiencyDegrades) {
+  double t1 = 0.0;
+  double eff128 = 1.0;
+  for (const int nodes : {1, 128}) {
+    const auto frags = partition_chars_contiguous(lens_, nodes * 16);
+    const auto costs = cost_matrix(qlens_, frags, cost_params_, 3);
+    MpiBlastClusterConfig cfg;
+    cfg.nodes = nodes;
+    const double t = simulate_mpiblast(costs, cfg);
+    if (nodes == 1) {
+      t1 = t;
+    } else {
+      eff128 = scaling_efficiency(t1, t, nodes);
+    }
+  }
+  EXPECT_LT(eff128, 0.70);
+  EXPECT_GT(eff128, 0.05);
+}
+
+TEST_F(SimFixture, MuBlastpBeatsMpiBlastEverywhere) {
+  for (const int nodes : {1, 8, 64, 128}) {
+    const auto mu_parts = partition_chars_round_robin_sorted(lens_, nodes);
+    const auto mu_costs = cost_matrix(qlens_, mu_parts, cost_params_, 3);
+    MuBlastpClusterConfig mu_cfg;
+    mu_cfg.nodes = nodes;
+    const double mu_t = simulate_mublastp(mu_costs, mu_cfg);
+
+    const auto mpi_frags = partition_chars_contiguous(lens_, nodes * 16);
+    const auto mpi_costs = cost_matrix(qlens_, mpi_frags, cost_params_, 3);
+    MpiBlastClusterConfig mpi_cfg;
+    mpi_cfg.nodes = nodes;
+    const double mpi_t = simulate_mpiblast(mpi_costs, mpi_cfg);
+
+    EXPECT_LT(mu_t, mpi_t) << nodes << " nodes";
+  }
+}
+
+TEST_F(SimFixture, MoreNodesNeverSlower) {
+  double prev = 1e30;
+  for (const int nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto parts = partition_chars_round_robin_sorted(lens_, nodes);
+    const auto costs = cost_matrix(qlens_, parts, cost_params_, 3);
+    MuBlastpClusterConfig cfg;
+    cfg.nodes = nodes;
+    const double t = simulate_mublastp(costs, cfg);
+    EXPECT_LT(t, prev * 1.02) << nodes;
+    prev = t;
+  }
+}
+
+TEST_F(SimFixture, SimulatorsValidateShapes) {
+  const auto parts = partition_chars_round_robin_sorted(lens_, 4);
+  const auto costs = cost_matrix(qlens_, parts, cost_params_, 3);
+  MuBlastpClusterConfig bad;
+  bad.nodes = 8;  // mismatch: 4 partitions
+  EXPECT_THROW(simulate_mublastp(costs, bad), Error);
+  MpiBlastClusterConfig mbad;
+  mbad.nodes = 1;
+  mbad.procs_per_node = 3;  // needs 3 fragments, we have 4
+  EXPECT_THROW(simulate_mpiblast(costs, mbad), Error);
+}
+
+
+TEST_F(SimFixture, ReportsAccountForAllWork) {
+  const auto parts = partition_chars_round_robin_sorted(lens_, 8);
+  const auto costs = cost_matrix(qlens_, parts, cost_params_, 3);
+  MuBlastpClusterConfig cfg;
+  cfg.nodes = 8;
+  const SimReport rep = simulate_mublastp_report(costs, cfg);
+  EXPECT_DOUBLE_EQ(rep.total_sec, simulate_mublastp(costs, cfg));
+  ASSERT_EQ(rep.busy_sec.size(), 8u);
+  // Per-node busy time equals that node's column of work / effective cores.
+  const double effective = 16.0 * cfg.thread_efficiency;
+  for (int p = 0; p < 8; ++p) {
+    double work = 0.0;
+    for (const auto& row : costs) work += row[static_cast<std::size_t>(p)];
+    EXPECT_NEAR(rep.busy_sec[static_cast<std::size_t>(p)], work / effective,
+                1e-9);
+  }
+  EXPECT_GT(rep.utilization(), 0.9);
+  EXPECT_LE(rep.utilization(), 1.0);
+}
+
+TEST_F(SimFixture, MpiUtilizationDegradesWithScale) {
+  const auto small_frags = partition_chars_contiguous(lens_, 16);
+  const auto small_costs = cost_matrix(qlens_, small_frags, cost_params_, 3);
+  MpiBlastClusterConfig small_cfg;
+  small_cfg.nodes = 1;
+  const SimReport small = simulate_mpiblast_report(small_costs, small_cfg);
+
+  const auto big_frags = partition_chars_contiguous(lens_, 128 * 16);
+  const auto big_costs = cost_matrix(qlens_, big_frags, cost_params_, 3);
+  MpiBlastClusterConfig big_cfg;
+  big_cfg.nodes = 128;
+  const SimReport big = simulate_mpiblast_report(big_costs, big_cfg);
+
+  EXPECT_LT(big.utilization(), small.utilization());
+  EXPECT_GT(big.merge_sec, small.merge_sec);
+  EXPECT_DOUBLE_EQ(big.total_sec, simulate_mpiblast(big_costs, big_cfg));
+}
+
+TEST(ScalingEfficiency, BasicAlgebra) {
+  EXPECT_DOUBLE_EQ(scaling_efficiency(100.0, 12.5, 8), 1.0);
+  EXPECT_DOUBLE_EQ(scaling_efficiency(100.0, 25.0, 8), 0.5);
+  EXPECT_THROW(scaling_efficiency(0.0, 1.0, 8), Error);
+}
+
+}  // namespace
+}  // namespace mublastp::cluster

@@ -1,0 +1,121 @@
+#include "index/dfa_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/query_engine.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "index/query_index.hpp"
+#include "synth/synth.hpp"
+
+namespace mublastp {
+namespace {
+
+const NeighborTable& nbtable() {
+  static const NeighborTable t(blosum62(), 11);
+  return t;
+}
+
+std::vector<Residue> rand_seq(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Residue> s(len);
+  for (auto& r : s) r = static_cast<Residue>(rng.next_below(20));
+  return s;
+}
+
+// Collects (soff, qoff) hit pairs from a DFA scan.
+std::multiset<std::pair<std::uint32_t, std::uint32_t>> dfa_hits(
+    const DfaQueryIndex& dfa, std::span<const Residue> subject) {
+  std::multiset<std::pair<std::uint32_t, std::uint32_t>> out;
+  dfa.scan(subject, [&](std::uint32_t soff, std::uint32_t qoff) {
+    out.insert({soff, qoff});
+  });
+  return out;
+}
+
+// Reference hit set from the lookup-table index.
+std::multiset<std::pair<std::uint32_t, std::uint32_t>> table_hits(
+    const QueryIndex& idx, std::span<const Residue> subject) {
+  std::multiset<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t soff = 0; soff + kWordLength <= subject.size(); ++soff) {
+    const std::uint32_t w = word_key(subject.data() + soff);
+    for (const std::uint32_t qoff : idx.positions(w)) {
+      out.insert({soff, qoff});
+    }
+  }
+  return out;
+}
+
+TEST(DfaIndex, StateArithmetic) {
+  // State = last (W-1) residues; transitions drop the oldest one.
+  std::uint32_t s = 0;
+  s = DfaQueryIndex::next_state(s, 3);
+  EXPECT_EQ(s, 3u);
+  s = DfaQueryIndex::next_state(s, 5);
+  EXPECT_EQ(s, 3u * 24 + 5);
+  s = DfaQueryIndex::next_state(s, 7);
+  EXPECT_EQ(s, 5u * 24 + 7);  // the leading 3 aged out
+}
+
+TEST(DfaIndex, RejectsShortQuery) {
+  const std::vector<Residue> q{1, 2};
+  EXPECT_THROW(DfaQueryIndex(q, nbtable()), Error);
+}
+
+TEST(DfaIndex, FootprintMatchesLookupTable) {
+  const auto q = rand_seq(200, 3);
+  const DfaQueryIndex dfa(q, nbtable());
+  const QueryIndex idx(q, nbtable());
+  EXPECT_EQ(dfa.total_positions(), idx.total_positions());
+}
+
+TEST(DfaIndex, ShortSubjectEmitsNothing) {
+  const auto q = rand_seq(50, 5);
+  const DfaQueryIndex dfa(q, nbtable());
+  const std::vector<Residue> tiny{1, 2};
+  std::size_t hits = 0;
+  dfa.scan(tiny, [&](std::uint32_t, std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0u);
+}
+
+class DfaEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DfaEquivalence, SameHitStreamAsLookupTable) {
+  const auto q = rand_seq(64 + GetParam() * 48, GetParam());
+  const DfaQueryIndex dfa(q, nbtable());
+  const QueryIndex idx(q, nbtable());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto subject = rand_seq(100 + 50 * trial, GetParam() * 100 + trial);
+    EXPECT_EQ(dfa_hits(dfa, subject), table_hits(idx, subject));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaEquivalence,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(DfaEngine, FullSearchMatchesLookupTableEngine) {
+  const SequenceStore db =
+      synth::generate_database(synth::sprot_like(80000), 41);
+  Rng rng(42);
+  const SequenceStore queries = synth::sample_queries(db, 2, 96, rng);
+  const QueryIndexedEngine table_engine(db);
+  const QueryIndexedEngine dfa_engine(db, {}, kDefaultNeighborThreshold,
+                                      QueryIndexedEngine::Detector::kDfa);
+  for (SeqId q = 0; q < queries.size(); ++q) {
+    const QueryResult a = table_engine.search(queries.sequence(q));
+    const QueryResult b = dfa_engine.search(queries.sequence(q));
+    EXPECT_EQ(a.stats.hits, b.stats.hits);
+    EXPECT_EQ(a.ungapped, b.ungapped);
+    ASSERT_EQ(a.alignments.size(), b.alignments.size());
+    for (std::size_t i = 0; i < a.alignments.size(); ++i) {
+      EXPECT_EQ(a.alignments[i].score, b.alignments[i].score);
+      EXPECT_EQ(a.alignments[i].ops, b.alignments[i].ops);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,127 @@
+// Degenerate-input robustness: the engines must handle pathological queries
+// and databases gracefully (no crashes, sensible empty results).
+#include <gtest/gtest.h>
+
+#include "baseline/interleaved_engine.hpp"
+#include "baseline/query_engine.hpp"
+#include "common/rng.hpp"
+#include "core/mublastp_engine.hpp"
+#include "synth/synth.hpp"
+
+namespace mublastp {
+namespace {
+
+class EdgeCases : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = synth::generate_database(synth::sprot_like(40000), 71);
+    DbIndexConfig cfg;
+    cfg.block_bytes = 16 * 1024;
+    index_ = std::make_unique<DbIndex>(DbIndex::build(db_, cfg));
+  }
+
+  SequenceStore db_;
+  std::unique_ptr<DbIndex> index_;
+};
+
+TEST_F(EdgeCases, AllAmbiguityQueryFindsNothing) {
+  // A query of X residues: every word scores -3 < T=11, so no word has
+  // neighbors and no hits can form.
+  const std::vector<Residue> query(100, encode_residue('X'));
+  const MuBlastpEngine mu(*index_);
+  const QueryResult r = mu.search(query);
+  EXPECT_EQ(r.stats.hits, 0u);
+  EXPECT_TRUE(r.ungapped.empty());
+  EXPECT_TRUE(r.alignments.empty());
+  const QueryIndexedEngine ncbi(db_);
+  const QueryResult r2 = ncbi.search(query);
+  EXPECT_EQ(r2.stats.hits, 0u);
+}
+
+TEST_F(EdgeCases, MinimumLengthQueryWorks) {
+  // Exactly one word: can never form a two-hit pair, so zero extensions —
+  // but it must not crash and stats must be consistent.
+  std::vector<Residue> query(kWordLength);
+  Rng rng(72);
+  for (auto& r : query) r = static_cast<Residue>(rng.next_below(20));
+  const MuBlastpEngine mu(*index_);
+  const QueryResult r = mu.search(query);
+  EXPECT_EQ(r.stats.hit_pairs, 0u);
+  EXPECT_TRUE(r.alignments.empty());
+}
+
+TEST_F(EdgeCases, QueryLongerThanEverySubject) {
+  std::vector<Residue> query(6000);
+  Rng rng(73);
+  for (auto& r : query) r = static_cast<Residue>(rng.next_below(20));
+  const MuBlastpEngine mu(*index_);
+  const QueryResult r = mu.search(query);  // must not crash or overflow keys
+  for (const GappedAlignment& a : r.alignments) {
+    EXPECT_LE(a.s_end, db_.length(a.subject));
+  }
+}
+
+TEST_F(EdgeCases, SingleSequenceDatabase) {
+  SequenceStore tiny;
+  Rng rng(74);
+  std::vector<Residue> seq(150);
+  for (auto& r : seq) r = static_cast<Residue>(rng.next_below(20));
+  tiny.add(seq, "only");
+  DbIndexConfig cfg;
+  const DbIndex index = DbIndex::build(tiny, cfg);
+  EXPECT_EQ(index.blocks().size(), 1u);
+  const MuBlastpEngine mu(index);
+  // Search the sequence against itself: must find the self-match.
+  const QueryResult r = mu.search(seq);
+  ASSERT_FALSE(r.alignments.empty());
+  EXPECT_EQ(r.alignments.front().subject, 0u);
+  EXPECT_EQ(r.alignments.front().q_start, 0u);
+  EXPECT_EQ(r.alignments.front().q_end, seq.size());
+}
+
+TEST_F(EdgeCases, DatabaseOfWordLengthSequences) {
+  // Sequences of exactly W residues: one word each, never a two-hit pair.
+  SequenceStore tiny;
+  Rng rng(75);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<Residue> seq(kWordLength);
+    for (auto& r : seq) r = static_cast<Residue>(rng.next_below(20));
+    tiny.add(seq, "w" + std::to_string(i));
+  }
+  const DbIndex index = DbIndex::build(tiny, {});
+  const MuBlastpEngine mu(index);
+  std::vector<Residue> query(200);
+  for (auto& r : query) r = static_cast<Residue>(rng.next_below(20));
+  const QueryResult r = mu.search(query);
+  EXPECT_EQ(r.stats.hit_pairs, 0u);  // no diagonal can hold two hits
+  EXPECT_TRUE(r.alignments.empty());
+}
+
+TEST_F(EdgeCases, RepetitiveLowComplexityQuery) {
+  // A homopolymer query hammers a single word's position list; the engines
+  // must survive the hit explosion and still agree.
+  const std::vector<Residue> query(300, encode_residue('A'));
+  const MuBlastpEngine mu(*index_);
+  const InterleavedDbEngine idb(*index_);
+  const QueryResult a = mu.search(query);
+  const QueryResult b = idb.search(query);
+  EXPECT_EQ(a.ungapped, b.ungapped);
+  EXPECT_EQ(a.stats.hits, b.stats.hits);
+}
+
+TEST_F(EdgeCases, StopCodonResiduesAreSearchable) {
+  // '*' residues score -4 against everything: a query containing a few of
+  // them still aligns through its normal regions.
+  Rng rng(76);
+  const SequenceStore queries = synth::sample_queries(db_, 1, 120, rng);
+  std::vector<Residue> query(queries.sequence(0).begin(),
+                             queries.sequence(0).end());
+  query[40] = encode_residue('*');
+  query[80] = encode_residue('*');
+  const MuBlastpEngine mu(*index_);
+  const QueryResult r = mu.search(query);
+  EXPECT_FALSE(r.alignments.empty());
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,179 @@
+// The paper's Section V-E verification: every optimization preserves
+// outputs. The three engines (query-indexed NCBI, interleaved NCBI-db,
+// muBLASTP in all its pipeline variants) must produce identical stage-2
+// ungapped alignments and identical final gapped alignments on the same
+// inputs.
+#include <gtest/gtest.h>
+
+#include "baseline/interleaved_engine.hpp"
+#include "baseline/query_engine.hpp"
+#include "common/rng.hpp"
+#include "core/mublastp_engine.hpp"
+#include "synth/synth.hpp"
+
+namespace mublastp {
+namespace {
+
+void expect_same_ungapped(const QueryResult& a, const QueryResult& b,
+                          const char* label) {
+  ASSERT_EQ(a.ungapped.size(), b.ungapped.size()) << label;
+  for (std::size_t i = 0; i < a.ungapped.size(); ++i) {
+    EXPECT_EQ(a.ungapped[i], b.ungapped[i]) << label << " seg " << i;
+  }
+}
+
+void expect_same_alignments(const QueryResult& a, const QueryResult& b,
+                            const char* label) {
+  ASSERT_EQ(a.alignments.size(), b.alignments.size()) << label;
+  for (std::size_t i = 0; i < a.alignments.size(); ++i) {
+    const GappedAlignment& x = a.alignments[i];
+    const GappedAlignment& y = b.alignments[i];
+    EXPECT_EQ(x.subject, y.subject) << label << " aln " << i;
+    EXPECT_EQ(x.score, y.score) << label << " aln " << i;
+    EXPECT_EQ(x.q_start, y.q_start) << label << " aln " << i;
+    EXPECT_EQ(x.q_end, y.q_end) << label << " aln " << i;
+    EXPECT_EQ(x.s_start, y.s_start) << label << " aln " << i;
+    EXPECT_EQ(x.s_end, y.s_end) << label << " aln " << i;
+    EXPECT_EQ(x.ops, y.ops) << label << " aln " << i;
+  }
+}
+
+struct EquivCase {
+  std::uint64_t seed;
+  std::size_t db_residues;
+  std::size_t query_len;
+  std::size_t block_bytes;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<EquivCase> {
+ protected:
+  void SetUp() override {
+    const EquivCase& c = GetParam();
+    db_ = synth::generate_database(synth::sprot_like(c.db_residues), c.seed);
+    Rng rng(c.seed ^ 0x5eed);
+    queries_ = synth::sample_queries(db_, 3, c.query_len, rng);
+    DbIndexConfig cfg;
+    cfg.block_bytes = c.block_bytes;
+    index_ = std::make_unique<DbIndex>(DbIndex::build(db_, cfg));
+  }
+
+  SequenceStore db_;
+  SequenceStore queries_;
+  std::unique_ptr<DbIndex> index_;
+};
+
+TEST_P(EngineEquivalence, AllEnginesAgreeOnEveryStage) {
+  const QueryIndexedEngine ncbi(db_);
+  const QueryIndexedEngine ncbi_dfa(db_, {}, kDefaultNeighborThreshold,
+                                    QueryIndexedEngine::Detector::kDfa);
+  const InterleavedDbEngine ncbi_db(*index_);
+  const MuBlastpEngine mu(*index_);
+
+  MuBlastpOptions no_prefilter;
+  no_prefilter.prefilter = false;
+  const MuBlastpEngine mu_nopf(*index_, {}, no_prefilter);
+
+  for (SeqId q = 0; q < queries_.size(); ++q) {
+    const auto query = queries_.sequence(q);
+    const QueryResult r_ncbi = ncbi.search(query);
+    const QueryResult r_dfa = ncbi_dfa.search(query);
+    const QueryResult r_db = ncbi_db.search(query);
+    const QueryResult r_mu = mu.search(query);
+    const QueryResult r_mu_nopf = mu_nopf.search(query);
+    expect_same_ungapped(r_ncbi, r_dfa, "lookup vs dfa");
+    expect_same_alignments(r_ncbi, r_dfa, "lookup vs dfa");
+
+    // Stage-1/2 counters: all database-indexed paths see the same hits.
+    EXPECT_EQ(r_db.stats.hits, r_mu.stats.hits);
+    EXPECT_EQ(r_db.stats.hit_pairs, r_mu.stats.hit_pairs);
+    EXPECT_EQ(r_mu.stats.hit_pairs, r_mu_nopf.stats.hit_pairs);
+    // The query-indexed engine sees the same hit set too (symmetric
+    // neighbor relation).
+    EXPECT_EQ(r_ncbi.stats.hits, r_db.stats.hits);
+
+    // Stage-2 output identity.
+    expect_same_ungapped(r_ncbi, r_db, "ncbi vs ncbi-db");
+    expect_same_ungapped(r_db, r_mu, "ncbi-db vs mublastp");
+    expect_same_ungapped(r_mu, r_mu_nopf, "prefilter vs postfilter");
+
+    // Final output identity.
+    expect_same_alignments(r_ncbi, r_db, "ncbi vs ncbi-db");
+    expect_same_alignments(r_db, r_mu, "ncbi-db vs mublastp");
+    expect_same_alignments(r_mu, r_mu_nopf, "prefilter vs postfilter");
+  }
+}
+
+TEST_P(EngineEquivalence, AllSortAlgorithmsAgree) {
+  const MuBlastpEngine lsd(*index_);
+  MuBlastpOptions o;
+  o.sort_algo = MuBlastpOptions::SortAlgo::kRadixMsd;
+  const MuBlastpEngine msd(*index_, {}, o);
+  o.sort_algo = MuBlastpOptions::SortAlgo::kMergeSort;
+  const MuBlastpEngine merge(*index_, {}, o);
+  o.sort_algo = MuBlastpOptions::SortAlgo::kStdStable;
+  const MuBlastpEngine stds(*index_, {}, o);
+
+  const auto query = queries_.sequence(0);
+  const QueryResult a = lsd.search(query);
+  const QueryResult b = msd.search(query);
+  const QueryResult c = merge.search(query);
+  const QueryResult d = stds.search(query);
+  expect_same_ungapped(a, b, "lsd vs msd");
+  expect_same_ungapped(a, c, "lsd vs merge");
+  expect_same_ungapped(a, d, "lsd vs std");
+  expect_same_alignments(a, b, "lsd vs msd");
+  expect_same_alignments(a, c, "lsd vs merge");
+  expect_same_alignments(a, d, "lsd vs std");
+}
+
+TEST_P(EngineEquivalence, BlockSizeDoesNotChangeResults) {
+  const MuBlastpEngine base(*index_);
+  DbIndexConfig other;
+  other.block_bytes = GetParam().block_bytes * 4;
+  const DbIndex index2 = DbIndex::build(db_, other);
+  const MuBlastpEngine engine2(index2);
+  for (SeqId q = 0; q < queries_.size(); ++q) {
+    const auto query = queries_.sequence(q);
+    const QueryResult a = base.search(query);
+    const QueryResult b = engine2.search(query);
+    expect_same_ungapped(a, b, "block size");
+    expect_same_alignments(a, b, "block size");
+  }
+}
+
+TEST_P(EngineEquivalence, BatchMatchesSingleQuerySearch) {
+  const MuBlastpEngine mu(*index_);
+  const auto batch = mu.search_batch(queries_, 4);
+  ASSERT_EQ(batch.size(), queries_.size());
+  for (SeqId q = 0; q < queries_.size(); ++q) {
+    const QueryResult single = mu.search(queries_.sequence(q));
+    expect_same_ungapped(batch[q], single, "batch vs single");
+    expect_same_alignments(batch[q], single, "batch vs single");
+    EXPECT_EQ(batch[q].stats.hits, single.stats.hits);
+  }
+}
+
+TEST_P(EngineEquivalence, TracedSearchMatchesPlainSearch) {
+  const MuBlastpEngine mu(*index_);
+  memsim::MemoryHierarchy h;
+  const auto query = queries_.sequence(0);
+  const QueryResult plain = mu.search(query);
+  const QueryResult traced = mu.search_traced(query, h);
+  expect_same_ungapped(plain, traced, "traced");
+  expect_same_alignments(plain, traced, "traced");
+  EXPECT_GT(h.stats().references, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EngineEquivalence,
+    ::testing::Values(EquivCase{101, 60000, 64, 16 * 1024},
+                      EquivCase{202, 120000, 128, 32 * 1024},
+                      EquivCase{303, 120000, 256, 64 * 1024},
+                      EquivCase{404, 250000, 128, 128 * 1024},
+                      EquivCase{505, 60000, 48, 8 * 1024}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,110 @@
+// Unit tests for the long-sequence assembly step (core/fragment_assembly):
+// converting fragment-local ungapped segments to whole-sequence coordinates
+// and re-extending across fragment boundaries.
+#include "core/fragment_assembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mublastp {
+namespace {
+
+class AssemblyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    query_.resize(80);
+    for (auto& r : query_) r = static_cast<Residue>(rng.next_below(20));
+
+    // One 1000-residue sequence with a planted copy of the query at 460
+    // (straddling a fragment cut at 500).
+    std::vector<Residue> seq(1000);
+    for (auto& r : seq) r = static_cast<Residue>(rng.next_below(20));
+    for (std::size_t i = 0; i < query_.size(); ++i) seq[460 + i] = query_[i];
+    db_.add(seq, "long");
+  }
+
+  // Fragment [start, start+len) of sequence 0.
+  static FragmentRef frag(std::uint32_t start, std::uint32_t len) {
+    return {0, start, len};
+  }
+
+  std::vector<Residue> query_;
+  SequenceStore db_;
+  SearchParams params_;
+};
+
+TEST_F(AssemblyFixture, InteriorSegmentIsJustShifted) {
+  // A segment fully inside fragment [400, 900): local coords + 400.
+  const FragmentRef f = frag(400, 500);
+  const auto subject = db_.sequence(0).subspan(400, 500);
+  // Hit on the planted copy: query 20 aligns subject-local 80 (global 480).
+  const UngappedSeg seg =
+      ungapped_extend(query_, subject, 20, 80, blosum62(), 16);
+  ASSERT_GT(seg.score, 0);
+  ASSERT_GT(seg.s_start, 0u);  // does not touch the fragment start
+  const UngappedAlignment out = resolve_fragment_segment(
+      query_, db_, f, seg, 20, 80, blosum62(), params_);
+  EXPECT_EQ(out.subject, 0u);
+  EXPECT_EQ(out.q_start, seg.q_start);
+  EXPECT_EQ(out.s_start, 400 + seg.s_start);
+  EXPECT_EQ(out.s_end, 400 + seg.s_end);
+  EXPECT_EQ(out.score, seg.score);
+}
+
+TEST_F(AssemblyFixture, LeftClippedSegmentIsReExtended) {
+  // Fragment [500, 1000): the planted copy starts at 460, so an extension
+  // from a hit inside the fragment runs into the left boundary and clips.
+  const FragmentRef f = frag(500, 500);
+  const auto subject = db_.sequence(0).subspan(500, 500);
+  // Query position 45 matches global 505 = local 5.
+  const UngappedSeg local =
+      ungapped_extend(query_, subject, 45, 5, blosum62(), 16);
+  ASSERT_EQ(local.s_start, 0u);  // clipped at the fragment edge
+  const UngappedAlignment out = resolve_fragment_segment(
+      query_, db_, f, local, 45, 5, blosum62(), params_);
+  // Re-extension on the whole sequence recovers the full planted region.
+  EXPECT_LT(out.s_start, 500u);
+  EXPECT_GE(out.score, local.score);
+  // And matches a direct whole-sequence extension from the same anchor.
+  const UngappedSeg whole =
+      ungapped_extend(query_, db_.sequence(0), 45, 505, blosum62(), 16);
+  EXPECT_EQ(out.s_start, whole.s_start);
+  EXPECT_EQ(out.s_end, whole.s_end);
+  EXPECT_EQ(out.score, whole.score);
+}
+
+TEST_F(AssemblyFixture, RightClippedSegmentIsReExtended) {
+  // Fragment [0, 500): the copy at 460 extends past the right edge.
+  const FragmentRef f = frag(0, 500);
+  const auto subject = db_.sequence(0).subspan(0, 500);
+  // Query position 10 matches global/local 470.
+  const UngappedSeg local =
+      ungapped_extend(query_, subject, 10, 470, blosum62(), 16);
+  ASSERT_EQ(local.s_end, 500u);  // clipped at the fragment end
+  const UngappedAlignment out = resolve_fragment_segment(
+      query_, db_, f, local, 10, 470, blosum62(), params_);
+  EXPECT_GT(out.s_end, 500u);
+  const UngappedSeg whole =
+      ungapped_extend(query_, db_.sequence(0), 10, 470, blosum62(), 16);
+  EXPECT_EQ(out.s_end, whole.s_end);
+  EXPECT_EQ(out.score, whole.score);
+}
+
+TEST_F(AssemblyFixture, WholeSequenceFragmentNeverReExtends) {
+  // A fragment covering the entire sequence: even segments touching the
+  // ends are NOT boundary-clipped (there is nothing beyond them).
+  const FragmentRef f = frag(0, 1000);
+  const auto subject = db_.sequence(0);
+  const UngappedSeg seg =
+      ungapped_extend(query_, subject, 0, 460, blosum62(), 16);
+  const UngappedAlignment out = resolve_fragment_segment(
+      query_, db_, f, seg, 0, 460, blosum62(), params_);
+  EXPECT_EQ(out.s_start, seg.s_start);
+  EXPECT_EQ(out.s_end, seg.s_end);
+  EXPECT_EQ(out.score, seg.score);
+}
+
+}  // namespace
+}  // namespace mublastp

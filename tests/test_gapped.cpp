@@ -1,0 +1,189 @@
+#include "core/gapped.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/smith_waterman.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp {
+namespace {
+
+std::vector<Residue> rand_seq(std::size_t len, Rng& rng) {
+  std::vector<Residue> s(len);
+  for (auto& r : s) r = static_cast<Residue>(rng.next_below(20));
+  return s;
+}
+
+SearchParams params_with_xdrop(Score xdrop) {
+  SearchParams p;
+  p.gapped_xdrop = xdrop;
+  return p;
+}
+
+TEST(XdropExtend, EmptyInputsScoreZero) {
+  const std::vector<Residue> empty;
+  const auto h = xdrop_extend(empty, empty, blosum62(), 11, 1, 38, true);
+  EXPECT_EQ(h.score, 0);
+  EXPECT_EQ(h.q_len, 0u);
+  EXPECT_EQ(h.s_len, 0u);
+  EXPECT_TRUE(h.ops.empty());
+}
+
+TEST(XdropExtend, PerfectMatchConsumesEverything) {
+  const auto a = encode_sequence("MKVLAWHETRR");
+  const auto h = xdrop_extend(a, a, blosum62(), 11, 1, 38, true);
+  EXPECT_EQ(h.q_len, a.size());
+  EXPECT_EQ(h.s_len, a.size());
+  EXPECT_EQ(h.ops, std::string(a.size(), 'M'));
+  Score self = 0;
+  for (const Residue r : a) self += blosum62()(r, r);
+  EXPECT_EQ(h.score, self);
+}
+
+TEST(XdropExtend, StopsAtJunkTail) {
+  const auto a = encode_sequence("WWWWWWPPPPPPPPPPPPPPPP");
+  const auto b = encode_sequence("WWWWWWGGGGGGGGGGGGGGGG");
+  const auto h = xdrop_extend(a, b, blosum62(), 11, 1, 10, false);
+  EXPECT_EQ(h.q_len, 6u);  // stops after the W-block
+  EXPECT_EQ(h.score, 66);  // 6 * 11
+}
+
+TEST(XdropExtend, BridgesGapWhenProfitable) {
+  // Subject has 3 extra residues in the middle; with a big xdrop the
+  // extension should open a gap and capture the second block.
+  const auto a = encode_sequence("WWWHHHKKKWWWHHHKKK");
+  const auto b = encode_sequence("WWWHHHKKKAAAWWWHHHKKK");
+  const auto h = xdrop_extend(a, b, blosum62(), 11, 1, 60, true);
+  EXPECT_EQ(h.q_len, a.size());
+  EXPECT_EQ(h.s_len, b.size());
+  EXPECT_EQ(std::count(h.ops.begin(), h.ops.end(), 'D'), 3);
+}
+
+TEST(XdropExtend, TracebackConsumptionMatchesLengths) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = rand_seq(10 + rng.next_below(60), rng);
+    const auto b = rand_seq(10 + rng.next_below(60), rng);
+    const auto h = xdrop_extend(a, b, blosum62(), 11, 1, 38, true);
+    std::size_t qc = 0, sc = 0;
+    for (char op : h.ops) {
+      if (op == 'M') {
+        ++qc;
+        ++sc;
+      } else if (op == 'I') {
+        ++qc;
+      } else {
+        ++sc;
+      }
+    }
+    EXPECT_EQ(qc, h.q_len);
+    EXPECT_EQ(sc, h.s_len);
+  }
+}
+
+TEST(XdropExtend, TracebackAndScoreOnlyAgree) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = rand_seq(20 + rng.next_below(100), rng);
+    const auto b = rand_seq(20 + rng.next_below(100), rng);
+    const auto plain = xdrop_extend(a, b, blosum62(), 11, 1, 38, false);
+    const auto tb = xdrop_extend(a, b, blosum62(), 11, 1, 38, true);
+    EXPECT_EQ(plain.score, tb.score);
+    EXPECT_EQ(plain.q_len, tb.q_len);
+    EXPECT_EQ(plain.s_len, tb.s_len);
+  }
+}
+
+TEST(GappedAlign, SeedsFromUngappedAndCoversIt) {
+  Rng rng(7);
+  auto q = rand_seq(120, rng);
+  auto s = rand_seq(140, rng);
+  // Plant a strong diagonal match q[40..70) == s[50..80).
+  for (int i = 0; i < 30; ++i) s[50 + i] = q[40 + i];
+  UngappedAlignment seed{0, 40, 70, 50, 80, 0};
+  const auto aln =
+      gapped_align(q, s, seed, blosum62(), params_with_xdrop(38), true);
+  EXPECT_LE(aln.q_start, 40u);
+  EXPECT_GE(aln.q_end, 70u);
+  EXPECT_EQ(score_of_transcript(q, s, aln, blosum62(), 11, 1), aln.score);
+}
+
+TEST(GappedAlign, ScoreNeverExceedsSmithWaterman) {
+  Rng rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto q = rand_seq(80, rng);
+    auto s = rand_seq(90, rng);
+    for (int i = 0; i < 15; ++i) s[20 + i] = q[30 + i];
+    UngappedAlignment seed{0, 30, 45, 20, 35, 0};
+    const auto aln =
+        gapped_align(q, s, seed, blosum62(), params_with_xdrop(38), false);
+    const auto sw = smith_waterman(q, s, blosum62(), 11, 1);
+    EXPECT_LE(aln.score, sw.score);
+  }
+}
+
+TEST(GappedAlign, HugeXdropOnPlantedHomologyReachesSwScore) {
+  // With a generous x-drop and a strong central anchor, the x-drop DP
+  // should find the full optimal local alignment.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto q = rand_seq(100, rng);
+    auto s = q;
+    // A few point mutations.
+    for (int k = 0; k < 6; ++k) {
+      s[rng.next_below(s.size())] = static_cast<Residue>(rng.next_below(20));
+    }
+    UngappedAlignment seed{0, 45, 55, 45, 55, 0};
+    const auto aln =
+        gapped_align(q, s, seed, blosum62(), params_with_xdrop(500), false);
+    const auto sw = smith_waterman(q, s, blosum62(), 11, 1);
+    EXPECT_EQ(aln.score, sw.score);
+  }
+}
+
+TEST(GappedAlign, AnchorIsRecordedAndReproducible) {
+  Rng rng(13);
+  auto q = rand_seq(90, rng);
+  auto s = rand_seq(90, rng);
+  for (int i = 0; i < 20; ++i) s[30 + i] = q[30 + i];
+  UngappedAlignment seed{0, 30, 50, 30, 50, 0};
+  const SearchParams p = params_with_xdrop(38);
+  const auto aln = gapped_align(q, s, seed, blosum62(), p, false);
+  EXPECT_EQ(aln.anchor_q, 39u);  // midpoint of [30, 50)
+  EXPECT_EQ(aln.anchor_s, 39u);
+  const auto again = gapped_align_at_anchor(q, s, aln.anchor_q, aln.anchor_s,
+                                            blosum62(), p, true);
+  EXPECT_EQ(again.score, aln.score);
+  EXPECT_EQ(again.q_start, aln.q_start);
+  EXPECT_EQ(again.q_end, aln.q_end);
+  EXPECT_EQ(score_of_transcript(q, s, again, blosum62(), 11, 1), again.score);
+}
+
+TEST(GappedAlign, TranscriptOpsStartAndEndAtAnchorPath) {
+  Rng rng(17);
+  auto q = rand_seq(60, rng);
+  auto s = q;
+  UngappedAlignment seed{0, 20, 40, 20, 40, 0};
+  const auto aln =
+      gapped_align(q, s, seed, blosum62(), params_with_xdrop(38), true);
+  EXPECT_EQ(aln.ops.size(), aln.q_end - aln.q_start);  // identical: all M
+  EXPECT_EQ(aln.ops.find_first_not_of('M'), std::string::npos);
+}
+
+TEST(ScoreOfTranscript, RejectsCorruptTranscripts) {
+  const auto q = encode_sequence("AAAA");
+  const auto s = encode_sequence("AAAA");
+  GappedAlignment g;
+  g.q_start = 0;
+  g.q_end = 4;
+  g.s_start = 0;
+  g.s_end = 4;
+  g.ops = "MMM";  // too short for the coordinates
+  EXPECT_THROW(score_of_transcript(q, s, g, blosum62(), 11, 1), Error);
+  g.ops = "MMQM";
+  EXPECT_THROW(score_of_transcript(q, s, g, blosum62(), 11, 1), Error);
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,78 @@
+#include "baseline/gapped_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/smith_waterman.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp {
+namespace {
+
+TEST(SwScoreOnly, MatchesFullSmithWaterman) {
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Residue> a(20 + rng.next_below(80));
+    std::vector<Residue> b(20 + rng.next_below(80));
+    for (auto& r : a) r = static_cast<Residue>(rng.next_below(20));
+    for (auto& r : b) r = static_cast<Residue>(rng.next_below(20));
+    EXPECT_EQ(smith_waterman_score(a, b, blosum62(), 11, 1),
+              smith_waterman(a, b, blosum62(), 11, 1).score);
+  }
+}
+
+TEST(GappedStats, DeterministicForSeed) {
+  GappedSimOptions opt;
+  opt.num_pairs = 32;
+  opt.seq_len = 64;
+  const KarlinParams a = estimate_gapped_params(blosum62(), 11, 1, opt);
+  const KarlinParams b = estimate_gapped_params(blosum62(), 11, 1, opt);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.K, b.K);
+}
+
+TEST(GappedStats, Blosum62LambdaNearPublished) {
+  // NCBI's fitted value for BLOSUM62 11/1 is lambda = 0.267. Simulation
+  // with a few hundred pairs lands within ~15%.
+  GappedSimOptions opt;
+  opt.num_pairs = 300;
+  opt.seq_len = 256;
+  opt.seed = 7;
+  const KarlinParams p = estimate_gapped_params(blosum62(), 11, 1, opt);
+  EXPECT_NEAR(p.lambda, 0.267, 0.045);
+  EXPECT_GT(p.K, 0.0);
+}
+
+TEST(GappedStats, HugePenaltiesRecoverUngappedLambda) {
+  // With gaps priced out of existence the statistics converge to the
+  // ungapped scoring system (analytic lambda = 0.3176).
+  GappedSimOptions opt;
+  opt.num_pairs = 300;
+  opt.seq_len = 256;
+  opt.seed = 9;
+  const KarlinParams p = estimate_gapped_params(blosum62(), 1000, 1000, opt);
+  EXPECT_NEAR(p.lambda, compute_karlin(blosum62()).lambda, 0.05);
+}
+
+TEST(GappedStats, CheaperGapsLowerLambda) {
+  // Cheaper gaps -> higher random scores -> flatter tail -> smaller lambda.
+  GappedSimOptions opt;
+  opt.num_pairs = 200;
+  opt.seq_len = 200;
+  opt.seed = 11;
+  const KarlinParams cheap = estimate_gapped_params(blosum62(), 7, 1, opt);
+  const KarlinParams dear = estimate_gapped_params(blosum62(), 15, 2, opt);
+  EXPECT_LT(cheap.lambda, dear.lambda);
+}
+
+TEST(GappedStats, RejectsDegenerateOptions) {
+  GappedSimOptions opt;
+  opt.num_pairs = 4;
+  EXPECT_THROW(estimate_gapped_params(blosum62(), 11, 1, opt), Error);
+  opt.num_pairs = 100;
+  opt.seq_len = 8;
+  EXPECT_THROW(estimate_gapped_params(blosum62(), 11, 1, opt), Error);
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,120 @@
+#include "score/karlin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+TEST(RobinsonFrequencies, SumToOneOverStandardResidues) {
+  const auto& f = robinson_frequencies();
+  double sum = 0.0;
+  for (int i = 0; i < 20; ++i) sum += f[i];
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+  for (int i = 20; i < kAlphabetSize; ++i) EXPECT_EQ(f[i], 0.0);
+}
+
+TEST(Karlin, Blosum62LambdaMatchesPublished) {
+  // NCBI publishes ungapped BLOSUM62 lambda = 0.3176 (Robinson freqs).
+  const KarlinParams p = compute_karlin(blosum62());
+  EXPECT_NEAR(p.lambda, 0.3176, 0.005);
+}
+
+TEST(Karlin, Blosum62EntropyMatchesPublished) {
+  // Published H ~= 0.40 nats for ungapped BLOSUM62.
+  const KarlinParams p = compute_karlin(blosum62());
+  EXPECT_NEAR(p.H, 0.40, 0.03);
+}
+
+TEST(Karlin, Blosum62KInPublishedBand) {
+  // Published K = 0.134; our closed-form estimate must land within ~15%.
+  const KarlinParams p = compute_karlin(blosum62());
+  EXPECT_GT(p.K, 0.134 * 0.85);
+  EXPECT_LT(p.K, 0.134 * 1.15);
+}
+
+TEST(Karlin, LambdaSatisfiesDefiningEquation) {
+  const KarlinParams p = compute_karlin(blosum62());
+  const auto& freqs = robinson_frequencies();
+  double sum = 0.0;
+  for (int a = 0; a < 20; ++a) {
+    for (int b = 0; b < 20; ++b) {
+      sum += freqs[a] * freqs[b] *
+             std::exp(p.lambda * blosum62()(static_cast<Residue>(a),
+                                            static_cast<Residue>(b)));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Karlin, OtherMatricesHavePositiveParams) {
+  for (const char* name : {"BLOSUM50", "BLOSUM80", "PAM250"}) {
+    const KarlinParams p = compute_karlin(matrix_by_name(name));
+    EXPECT_GT(p.lambda, 0.0) << name;
+    EXPECT_GT(p.K, 0.0) << name;
+    EXPECT_GT(p.H, 0.0) << name;
+  }
+}
+
+TEST(Karlin, StricterMatrixHasHigherEntropy) {
+  // BLOSUM80 (closely related sequences) carries more information per
+  // aligned pair than BLOSUM50.
+  EXPECT_GT(compute_karlin(blosum80()).H, compute_karlin(blosum50()).H);
+}
+
+TEST(Karlin, GappedParamsKnownTriple) {
+  const KarlinParams p = gapped_params(blosum62(), 11, 1);
+  EXPECT_NEAR(p.lambda, 0.267, 1e-9);
+  EXPECT_NEAR(p.K, 0.041, 1e-9);
+}
+
+TEST(Karlin, GappedParamsFallbackIsScaledUngapped) {
+  const KarlinParams p = gapped_params(blosum62(), 7, 3);  // not in table
+  EXPECT_GT(p.lambda, 0.0);
+  EXPECT_LT(p.lambda, compute_karlin(blosum62()).lambda);
+}
+
+TEST(Evalue, DecreasesWithScore) {
+  const KarlinParams p = gapped_params(blosum62(), 11, 1);
+  const double e1 = evalue(50, 300, 1000000, p);
+  const double e2 = evalue(100, 300, 1000000, p);
+  EXPECT_GT(e1, e2);
+}
+
+TEST(Evalue, GrowsWithSearchSpace) {
+  const KarlinParams p = gapped_params(blosum62(), 11, 1);
+  EXPECT_LT(evalue(60, 300, 1000000, p), evalue(60, 300, 100000000, p));
+}
+
+TEST(Evalue, BitScoreIsAffineInRawScore) {
+  const KarlinParams p = gapped_params(blosum62(), 11, 1);
+  const double b1 = bit_score(100, p);
+  const double b2 = bit_score(200, p);
+  const double b3 = bit_score(300, p);
+  EXPECT_NEAR(b3 - b2, b2 - b1, 1e-9);
+  EXPECT_GT(b2, b1);
+}
+
+TEST(Evalue, CutoffInvertsEvalue) {
+  const KarlinParams p = gapped_params(blosum62(), 11, 1);
+  const std::size_t m = 300;
+  const std::size_t n = 5000000;
+  for (const double target : {10.0, 1.0, 1e-3, 1e-10}) {
+    const Score s = cutoff_for_evalue(target, m, n, p);
+    EXPECT_LE(evalue(s, m, n, p), target);
+    if (s > 1) {
+      EXPECT_GT(evalue(s - 1, m, n, p), target);
+    }
+  }
+}
+
+TEST(Evalue, CutoffRejectsNonPositiveTarget) {
+  const KarlinParams p = gapped_params(blosum62(), 11, 1);
+  EXPECT_THROW(cutoff_for_evalue(0.0, 100, 100, p), Error);
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,105 @@
+#include "score/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+Residue enc(char c) { return encode_residue(c); }
+
+TEST(Blosum62, KnownValues) {
+  const ScoreMatrix& m = blosum62();
+  // Spot checks against the canonical published matrix.
+  EXPECT_EQ(m(enc('A'), enc('A')), 4);
+  EXPECT_EQ(m(enc('W'), enc('W')), 11);
+  EXPECT_EQ(m(enc('C'), enc('C')), 9);
+  EXPECT_EQ(m(enc('A'), enc('R')), -1);
+  EXPECT_EQ(m(enc('W'), enc('G')), -2);
+  EXPECT_EQ(m(enc('I'), enc('L')), 2);
+  EXPECT_EQ(m(enc('E'), enc('Q')), 2);
+  EXPECT_EQ(m(enc('D'), enc('B')), 4);
+  EXPECT_EQ(m(enc('X'), enc('X')), -1);
+  EXPECT_EQ(m(enc('*'), enc('*')), 1);
+  EXPECT_EQ(m(enc('A'), enc('*')), -4);
+}
+
+TEST(Blosum62, MaxAndMin) {
+  EXPECT_EQ(blosum62().max_score(), 11);  // W/W
+  EXPECT_EQ(blosum62().min_score(), -4);
+}
+
+TEST(Blosum62, Name) { EXPECT_EQ(blosum62().name(), "BLOSUM62"); }
+
+TEST(MatrixByName, ResolvesAll) {
+  EXPECT_EQ(&matrix_by_name("BLOSUM62"), &blosum62());
+  EXPECT_EQ(&matrix_by_name("BLOSUM50"), &blosum50());
+  EXPECT_EQ(&matrix_by_name("BLOSUM80"), &blosum80());
+  EXPECT_EQ(&matrix_by_name("PAM250"), &pam250());
+}
+
+TEST(MatrixByName, ThrowsForUnknown) {
+  EXPECT_THROW(matrix_by_name("BLOSUM45"), Error);
+}
+
+TEST(MatrixRow, RowMatchesCellAccess) {
+  const ScoreMatrix& m = blosum62();
+  for (int a = 0; a < kAlphabetSize; ++a) {
+    const auto row = m.row(static_cast<Residue>(a));
+    for (int b = 0; b < kAlphabetSize; ++b) {
+      EXPECT_EQ(row[static_cast<std::size_t>(b)],
+                m(static_cast<Residue>(a), static_cast<Residue>(b)));
+    }
+  }
+}
+
+// Properties that must hold for every shipped matrix.
+class AllMatrices : public ::testing::TestWithParam<const char*> {
+ protected:
+  const ScoreMatrix& m() const { return matrix_by_name(GetParam()); }
+};
+
+TEST_P(AllMatrices, IsSymmetric) {
+  for (int a = 0; a < kAlphabetSize; ++a) {
+    for (int b = 0; b < kAlphabetSize; ++b) {
+      EXPECT_EQ(m()(static_cast<Residue>(a), static_cast<Residue>(b)),
+                m()(static_cast<Residue>(b), static_cast<Residue>(a)))
+          << "at " << decode_residue(static_cast<Residue>(a)) << ","
+          << decode_residue(static_cast<Residue>(b));
+    }
+  }
+}
+
+TEST_P(AllMatrices, DiagonalIsRowMaximumForStandardResidues) {
+  // Identity should never score worse than substitution for the 20 standard
+  // amino acids (holds for all BLOSUM/PAM matrices shipped).
+  for (int a = 0; a < 20; ++a) {
+    const Score self = m()(static_cast<Residue>(a), static_cast<Residue>(a));
+    for (int b = 0; b < 20; ++b) {
+      EXPECT_GE(self, m()(static_cast<Residue>(a), static_cast<Residue>(b)));
+    }
+  }
+}
+
+TEST_P(AllMatrices, DiagonalPositiveForStandardResidues) {
+  for (int a = 0; a < 20; ++a) {
+    EXPECT_GT(m()(static_cast<Residue>(a), static_cast<Residue>(a)), 0);
+  }
+}
+
+TEST_P(AllMatrices, StopScoresAreUniformlyWorst) {
+  const Residue stop = enc('*');
+  const Score stop_pen = m()(enc('A'), stop);
+  for (int a = 0; a < kAlphabetSize - 1; ++a) {
+    EXPECT_EQ(m()(static_cast<Residue>(a), stop), stop_pen);
+  }
+  EXPECT_GT(m()(stop, stop), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, AllMatrices,
+                         ::testing::Values("BLOSUM62", "BLOSUM50", "BLOSUM80",
+                                           "PAM250"));
+
+}  // namespace
+}  // namespace mublastp

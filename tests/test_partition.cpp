@@ -1,0 +1,128 @@
+#include "cluster/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp::cluster {
+namespace {
+
+std::vector<std::size_t> random_lens(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> lens(n);
+  for (auto& l : lens) l = 60 + rng.next_below(900);
+  return lens;
+}
+
+class AllStrategies : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(AllStrategies, EverySequenceAssignedExactlyOnce) {
+  const auto lens = random_lens(5000, 1);
+  const Partitioning part = make_partitioning(lens, 16, GetParam());
+  ASSERT_EQ(part.assignment.size(), lens.size());
+  std::size_t total_count = 0;
+  double total_chars = 0.0;
+  for (std::size_t p = 0; p < 16; ++p) {
+    total_count += part.counts[p];
+    total_chars += part.chars[p];
+  }
+  EXPECT_EQ(total_count, lens.size());
+  EXPECT_NEAR(total_chars,
+              static_cast<double>(std::accumulate(lens.begin(), lens.end(),
+                                                  std::size_t{0})),
+              0.5);
+  // Assignment agrees with the summaries.
+  std::vector<double> recompute(16, 0.0);
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    ASSERT_LT(part.assignment[i], 16u);
+    recompute[part.assignment[i]] += static_cast<double>(lens[i]);
+  }
+  for (std::size_t p = 0; p < 16; ++p) {
+    EXPECT_NEAR(recompute[p], part.chars[p], 0.5);
+  }
+}
+
+TEST_P(AllStrategies, SinglePartitionTakesEverything) {
+  const auto lens = random_lens(100, 2);
+  const Partitioning part = make_partitioning(lens, 1, GetParam());
+  EXPECT_EQ(part.counts[0], lens.size());
+  EXPECT_DOUBLE_EQ(part.imbalance(), 0.0);
+}
+
+TEST_P(AllStrategies, MorePartitionsThanSequences) {
+  const std::vector<std::size_t> lens{100, 200, 300};
+  const Partitioning part = make_partitioning(lens, 8, GetParam());
+  std::size_t nonempty = 0;
+  for (const std::size_t c : part.counts) {
+    if (c > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllStrategies,
+                         ::testing::Values(PartitionStrategy::kContiguous,
+                                           PartitionStrategy::kRoundRobinSorted,
+                                           PartitionStrategy::kGreedyLpt),
+                         [](const auto& info) {
+                           std::string n = strategy_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Partition, BalanceOrderingMatchesTheory) {
+  // On a length-trending database: LPT <= round-robin << contiguous.
+  std::vector<std::size_t> lens(6000);
+  Rng rng(3);
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    lens[i] = 60 + i / 8 + rng.next_below(60);
+  }
+  const double contiguous =
+      make_partitioning(lens, 32, PartitionStrategy::kContiguous).imbalance();
+  const double rr = make_partitioning(lens, 32,
+                                      PartitionStrategy::kRoundRobinSorted)
+                        .imbalance();
+  const double lpt =
+      make_partitioning(lens, 32, PartitionStrategy::kGreedyLpt).imbalance();
+  EXPECT_LT(rr, contiguous);
+  EXPECT_LE(lpt, rr + 1e-12);
+  EXPECT_LT(lpt, 0.01);
+}
+
+TEST(Partition, RoundRobinSpreadsLengthMix) {
+  // Every partition should get a similar length *distribution*, not just a
+  // similar total (the paper: "a similar distribution of sequence length").
+  const auto lens = random_lens(8000, 4);
+  const Partitioning part =
+      make_partitioning(lens, 8, PartitionStrategy::kRoundRobinSorted);
+  std::vector<double> mean_len(8, 0.0);
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    mean_len[part.assignment[i]] += static_cast<double>(lens[i]);
+  }
+  for (std::size_t p = 0; p < 8; ++p) {
+    mean_len[p] /= static_cast<double>(part.counts[p]);
+  }
+  const auto [lo, hi] = std::minmax_element(mean_len.begin(), mean_len.end());
+  EXPECT_LT((*hi - *lo) / *hi, 0.02);
+}
+
+TEST(Partition, RejectsBadInputs) {
+  EXPECT_THROW(make_partitioning({10}, 0, PartitionStrategy::kGreedyLpt),
+               Error);
+  EXPECT_THROW(make_partitioning({}, 4, PartitionStrategy::kContiguous),
+               Error);
+}
+
+TEST(Partition, StrategyNames) {
+  EXPECT_STREQ(strategy_name(PartitionStrategy::kContiguous), "contiguous");
+  EXPECT_STREQ(strategy_name(PartitionStrategy::kRoundRobinSorted),
+               "round-robin-sorted");
+  EXPECT_STREQ(strategy_name(PartitionStrategy::kGreedyLpt), "greedy-lpt");
+}
+
+}  // namespace
+}  // namespace mublastp::cluster

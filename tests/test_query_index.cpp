@@ -1,0 +1,119 @@
+#include "index/query_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mublastp {
+namespace {
+
+const NeighborTable& nbtable() {
+  static const NeighborTable t(blosum62(), 11);
+  return t;
+}
+
+std::vector<Residue> random_query(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Residue> q(len);
+  for (auto& r : q) r = static_cast<Residue>(rng.next_below(20));
+  return q;
+}
+
+// Brute-force expected positions: p is listed under word w iff w is a
+// neighbor of the query word at p.
+std::vector<std::uint32_t> expected_positions(
+    const std::vector<Residue>& query, std::uint32_t w) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t p = 0; p + kWordLength <= query.size(); ++p) {
+    const std::uint32_t qw = word_key(query.data() + p);
+    if (NeighborTable::word_pair_score(blosum62(), qw, w) >= 11) {
+      out.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  return out;
+}
+
+TEST(QueryIndex, RejectsTooShortQuery) {
+  const std::vector<Residue> q{0, 1};
+  EXPECT_THROW(QueryIndex(q, nbtable()), Error);
+}
+
+TEST(QueryIndex, ExactWordIsFound) {
+  const auto q = encode_sequence("ARNDCQ");
+  const QueryIndex idx(q, nbtable());
+  const std::uint32_t w = word_from_string("ARN");
+  EXPECT_TRUE(idx.contains(w));
+  const auto pos = idx.positions(w);
+  EXPECT_TRUE(std::find(pos.begin(), pos.end(), 0u) != pos.end());
+}
+
+TEST(QueryIndex, PvBitAgreesWithPositions) {
+  const auto q = random_query(300, 5);
+  const QueryIndex idx(q, nbtable());
+  for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(kNumWords);
+       w += 37) {
+    EXPECT_EQ(idx.contains(w), !idx.positions(w).empty());
+  }
+}
+
+TEST(QueryIndex, PositionsAreAscending) {
+  const auto q = random_query(500, 7);
+  const QueryIndex idx(q, nbtable());
+  for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(kNumWords);
+       w += 13) {
+    const auto pos = idx.positions(w);
+    EXPECT_TRUE(std::is_sorted(pos.begin(), pos.end()));
+  }
+}
+
+TEST(QueryIndex, QueryLengthAccessor) {
+  const auto q = random_query(123, 9);
+  EXPECT_EQ(QueryIndex(q, nbtable()).query_length(), 123u);
+}
+
+TEST(QueryIndex, SpillCellsWorkBeyondInlineCapacity) {
+  // A homopolymer query: the word AAA occurs at every position, far beyond
+  // the 3 inline slots.
+  const std::vector<Residue> q(50, encode_residue('A'));
+  const QueryIndex idx(q, nbtable());
+  const auto pos = idx.positions(word_from_string("AAA"));
+  ASSERT_EQ(pos.size(), 48u);
+  for (std::uint32_t i = 0; i < 48; ++i) EXPECT_EQ(pos[i], i);
+}
+
+TEST(QueryIndex, TotalPositionsCountsNeighborFanout) {
+  const auto q = encode_sequence("ARNDCQEGHILK");
+  const QueryIndex idx(q, nbtable());
+  std::size_t manual = 0;
+  for (std::size_t p = 0; p + kWordLength <= q.size(); ++p) {
+    manual += nbtable().neighbors(word_key(q.data() + p)).size();
+  }
+  EXPECT_EQ(idx.total_positions(), manual);
+}
+
+// Property: for random queries, the index matches brute force for a sample
+// of words (including words absent from the query).
+class QueryIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryIndexProperty, MatchesBruteForce) {
+  const auto q = random_query(128 + GetParam() * 64, GetParam());
+  const QueryIndex idx(q, nbtable());
+  Rng rng(GetParam() ^ 0xabc);
+  for (int i = 0; i < 400; ++i) {
+    const auto w = static_cast<std::uint32_t>(rng.next_below(kNumWords));
+    const auto want = expected_positions(q, w);
+    const auto got = idx.positions(w);
+    ASSERT_EQ(std::vector<std::uint32_t>(got.begin(), got.end()), want)
+        << "word " << word_to_string(w) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryIndexProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mublastp

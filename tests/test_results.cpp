@@ -1,0 +1,171 @@
+#include "core/results.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/gapped.hpp"
+#include "score/karlin.hpp"
+
+namespace mublastp {
+namespace {
+
+UngappedAlignment seg(SeqId subj, std::uint32_t qs, std::uint32_t qe,
+                      std::uint32_t ss, Score score) {
+  return {subj, qs, qe, ss, ss + (qe - qs), score};
+}
+
+TEST(CanonicalizeUngapped, SortsBySubjectDiagQstart) {
+  std::vector<UngappedAlignment> v{
+      seg(1, 10, 20, 15, 50),
+      seg(0, 5, 9, 5, 40),
+      seg(1, 2, 8, 7, 30),   // diag 5, before diag 5's qstart 10
+      seg(0, 0, 4, 9, 20),   // subject 0 diag 9 after diag 0
+  };
+  canonicalize_ungapped(v);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].subject, 0u);
+  EXPECT_EQ(v[0].q_start, 5u);  // diag 0 first
+  EXPECT_EQ(v[1].subject, 0u);
+  EXPECT_EQ(v[1].q_start, 0u);  // diag 9
+  EXPECT_EQ(v[2].subject, 1u);
+  EXPECT_EQ(v[2].q_start, 2u);  // diag 5, earlier qstart first
+  EXPECT_EQ(v[3].q_start, 10u);
+}
+
+TEST(CanonicalizeUngapped, RemovesExactDuplicates) {
+  std::vector<UngappedAlignment> v{
+      seg(0, 5, 9, 5, 40), seg(0, 5, 9, 5, 40), seg(0, 5, 9, 5, 40)};
+  canonicalize_ungapped(v);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(CanonicalizeUngapped, KeepsNearDuplicates) {
+  std::vector<UngappedAlignment> v{seg(0, 5, 9, 5, 40), seg(0, 5, 9, 5, 41)};
+  canonicalize_ungapped(v);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+class StageFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(3);
+    query_.resize(100);
+    for (auto& r : query_) r = static_cast<Residue>(rng.next_below(20));
+    // Two subjects: one a mutated copy (strong alignment), one random.
+    subjects_.push_back(query_);
+    for (int k = 0; k < 8; ++k) {
+      subjects_[0][rng.next_below(100)] =
+          static_cast<Residue>(rng.next_below(20));
+    }
+    subjects_.push_back(std::vector<Residue>(120));
+    for (auto& r : subjects_[1]) r = static_cast<Residue>(rng.next_below(20));
+    lookup_ = [this](SeqId id) {
+      return std::span<const Residue>(subjects_[id]);
+    };
+    karlin_ = gapped_params(blosum62(), 11, 1);
+  }
+
+  std::vector<Residue> query_;
+  std::vector<std::vector<Residue>> subjects_;
+  SubjectLookup lookup_;
+  SearchParams params_;
+  KarlinParams karlin_;
+};
+
+TEST_F(StageFixture, GappedStageExtendsStrongSeed) {
+  std::vector<UngappedAlignment> u{seg(0, 40, 60, 40, 80)};
+  StageStats stats;
+  const auto gapped =
+      gapped_stage(query_, lookup_, u, blosum62(), params_, &stats);
+  ASSERT_EQ(gapped.size(), 1u);
+  EXPECT_GE(gapped[0].score, params_.gapped_cutoff);
+  EXPECT_EQ(stats.gapped_extensions, 1u);
+  // The gapped alignment covers most of the (near-identical) query.
+  EXPECT_LT(gapped[0].q_start, 10u);
+  EXPECT_GT(gapped[0].q_end, 90u);
+}
+
+TEST_F(StageFixture, GappedStageSkipsContainedSeeds) {
+  // Two seeds on the same subject, the second inside the region the first
+  // alignment will cover: only one gapped extension runs.
+  std::vector<UngappedAlignment> u{seg(0, 40, 60, 40, 80),
+                                   seg(0, 45, 55, 45, 30)};
+  StageStats stats;
+  const auto gapped =
+      gapped_stage(query_, lookup_, u, blosum62(), params_, &stats);
+  EXPECT_EQ(gapped.size(), 1u);
+  EXPECT_EQ(stats.gapped_extensions, 1u);
+}
+
+TEST_F(StageFixture, GappedStageDropsBelowCutoff) {
+  // A weak seed on the random subject: its gapped score stays small.
+  std::vector<UngappedAlignment> u{seg(1, 10, 16, 20, 18)};
+  SearchParams strict = params_;
+  strict.gapped_cutoff = 500;
+  StageStats stats;
+  const auto gapped =
+      gapped_stage(query_, lookup_, u, blosum62(), strict, &stats);
+  EXPECT_TRUE(gapped.empty());
+}
+
+TEST_F(StageFixture, FinalizeAttachesTracebackAndStats) {
+  std::vector<UngappedAlignment> u{seg(0, 40, 60, 40, 80)};
+  auto gapped = gapped_stage(query_, lookup_, u, blosum62(), params_, nullptr);
+  const auto final_alns = finalize_stage(query_, lookup_, std::move(gapped),
+                                         blosum62(), params_, karlin_,
+                                         1000000);
+  ASSERT_EQ(final_alns.size(), 1u);
+  const GappedAlignment& a = final_alns[0];
+  EXPECT_FALSE(a.ops.empty());
+  EXPECT_GT(a.bit_score, 0.0);
+  EXPECT_GE(a.evalue, 0.0);
+  EXPECT_EQ(score_of_transcript(query_, subjects_[0], a, blosum62(), 11, 1),
+            a.score);
+}
+
+TEST_F(StageFixture, FinalizeCullsContainedAlignments) {
+  // Two genuine alignments on the homologous subject from different
+  // anchors: both converge to (essentially) the same region, so culling
+  // must keep exactly one.
+  GappedAlignment a = gapped_align_at_anchor(
+      query_, subjects_[0], 45, 45, blosum62(), params_, false);
+  a.subject = 0;
+  GappedAlignment b = gapped_align_at_anchor(
+      query_, subjects_[0], 30, 30, blosum62(), params_, false);
+  b.subject = 0;
+  const auto out = finalize_stage(query_, lookup_, {a, b}, blosum62(),
+                                  params_, karlin_, 1000000);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(StageFixture, FinalizeRespectsMaxAlignments) {
+  // Three homologous subjects, three genuine alignments, cap at 2.
+  std::vector<GappedAlignment> g;
+  std::vector<std::vector<Residue>> subs;
+  Rng rng(9);
+  for (int k = 0; k < 3; ++k) {
+    auto s = query_;
+    for (int j = 0; j < 4 + k; ++j) {
+      s[rng.next_below(s.size())] = static_cast<Residue>(rng.next_below(20));
+    }
+    subs.push_back(std::move(s));
+  }
+  const SubjectLookup lookup = [&subs](SeqId id) {
+    return std::span<const Residue>(subs[id]);
+  };
+  for (SeqId k = 0; k < 3; ++k) {
+    GappedAlignment a = gapped_align_at_anchor(query_, subs[k], 50, 50,
+                                               blosum62(), params_, false);
+    a.subject = k;
+    g.push_back(a);
+  }
+  SearchParams limited = params_;
+  limited.max_alignments = 2;
+  const auto out = finalize_stage(query_, lookup, std::move(g), blosum62(),
+                                  limited, karlin_, 1000000);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_GE(out[0].score, out[1].score);
+}
+
+}  // namespace
+}  // namespace mublastp

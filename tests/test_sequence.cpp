@@ -1,0 +1,93 @@
+#include "common/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+namespace {
+
+TEST(SequenceStore, StartsEmpty) {
+  SequenceStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.total_residues(), 0u);
+}
+
+TEST(SequenceStore, AddAsciiAndReadBack) {
+  SequenceStore store;
+  const SeqId id = store.add_ascii("ARNDC", "seq1");
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.length(0), 5u);
+  EXPECT_EQ(store.name(0), "seq1");
+  EXPECT_EQ(decode_sequence({store.sequence(0).begin(),
+                             store.sequence(0).end()}),
+            "ARNDC");
+}
+
+TEST(SequenceStore, MultipleSequencesContiguousArena) {
+  SequenceStore store;
+  store.add_ascii("AAAA");
+  store.add_ascii("RRR");
+  store.add_ascii("NN");
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.total_residues(), 9u);
+  EXPECT_EQ(store.arena_offset(0), 0u);
+  EXPECT_EQ(store.arena_offset(1), 4u);
+  EXPECT_EQ(store.arena_offset(2), 7u);
+  // Spans point into one arena.
+  EXPECT_EQ(store.sequence(1).data(), store.arena().data() + 4);
+}
+
+TEST(SequenceStore, RejectsEmptySequence) {
+  SequenceStore store;
+  EXPECT_THROW(store.add_ascii(""), Error);
+}
+
+TEST(SequenceStore, IdsByLengthIsStableAscending) {
+  SequenceStore store;
+  store.add_ascii("AAAA");   // id 0, len 4
+  store.add_ascii("RR");     // id 1, len 2
+  store.add_ascii("NNNN");   // id 2, len 4 (ties with 0 -> id order)
+  store.add_ascii("C");      // id 3, len 1
+  const auto order = store.ids_by_length();
+  EXPECT_EQ(order, (std::vector<SeqId>{3, 1, 0, 2}));
+}
+
+TEST(SequenceStore, PermutedReordersEverything) {
+  SequenceStore store;
+  store.add_ascii("AAAA", "a");
+  store.add_ascii("RR", "r");
+  store.add_ascii("NNN", "n");
+  const SequenceStore p = store.permuted({2, 0, 1});
+  EXPECT_EQ(p.name(0), "n");
+  EXPECT_EQ(p.name(1), "a");
+  EXPECT_EQ(p.name(2), "r");
+  EXPECT_EQ(p.length(0), 3u);
+  EXPECT_EQ(p.length(1), 4u);
+  EXPECT_EQ(p.length(2), 2u);
+  EXPECT_EQ(p.total_residues(), store.total_residues());
+}
+
+TEST(SequenceStore, PermutedValidatesInput) {
+  SequenceStore store;
+  store.add_ascii("AAAA");
+  EXPECT_THROW(store.permuted({0, 0}), Error);   // wrong size
+  EXPECT_THROW(store.permuted({5}), Error);      // out of range
+}
+
+TEST(SequenceStore, SortThenPermuteGivesAscendingLengths) {
+  SequenceStore store;
+  store.add_ascii("AAAAAAA");
+  store.add_ascii("RR");
+  store.add_ascii("NNNNN");
+  store.add_ascii("CCC");
+  const SequenceStore sorted = store.permuted(store.ids_by_length());
+  for (SeqId i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_LE(sorted.length(i), sorted.length(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,129 @@
+#include "baseline/smith_waterman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mublastp {
+namespace {
+
+std::vector<Residue> rand_seq(std::size_t len, Rng& rng) {
+  std::vector<Residue> s(len);
+  for (auto& r : s) r = static_cast<Residue>(rng.next_below(20));
+  return s;
+}
+
+// Re-scores a transcript to validate traceback consistency.
+Score rescore(const std::vector<Residue>& q, const std::vector<Residue>& s,
+              const SwAlignment& a, Score open, Score extend) {
+  Score total = 0;
+  std::size_t qi = a.q_start, si = a.s_start;
+  char prev = 'M';
+  for (char op : a.ops) {
+    if (op == 'M') {
+      total += blosum62()(q[qi++], s[si++]);
+    } else if (op == 'I') {
+      total -= (prev == 'I') ? extend : open + extend;
+      ++qi;
+    } else {
+      total -= (prev == 'D') ? extend : open + extend;
+      ++si;
+    }
+    prev = op;
+  }
+  EXPECT_EQ(qi, a.q_end);
+  EXPECT_EQ(si, a.s_end);
+  return total;
+}
+
+TEST(SmithWaterman, IdenticalSequencesAlignFully) {
+  const auto q = encode_sequence("MKVLAWHETRRIPGW");
+  const auto a = smith_waterman(q, q, blosum62(), 11, 1);
+  EXPECT_EQ(a.q_start, 0u);
+  EXPECT_EQ(a.q_end, q.size());
+  EXPECT_EQ(a.ops, std::string(q.size(), 'M'));
+  Score self = 0;
+  for (const Residue r : q) self += blosum62()(r, r);
+  EXPECT_EQ(a.score, self);
+}
+
+TEST(SmithWaterman, FindsEmbeddedMotif) {
+  const auto motif = encode_sequence("WWHHKKRRWW");
+  Rng rng(5);
+  auto subject = rand_seq(80, rng);
+  std::copy(motif.begin(), motif.end(), subject.begin() + 30);
+  const auto a = smith_waterman(motif, subject, blosum62(), 11, 1);
+  EXPECT_EQ(a.q_start, 0u);
+  EXPECT_EQ(a.q_end, motif.size());
+  EXPECT_LE(a.s_start, 30u);
+  EXPECT_GE(a.s_end, 40u);
+  Score motif_self = 0;
+  for (const Residue r : motif) motif_self += blosum62()(r, r);
+  EXPECT_GE(a.score, motif_self);
+}
+
+TEST(SmithWaterman, GapIsBridgedWhenWorthIt) {
+  // Two strong blocks separated by an insertion in the subject.
+  const auto q = encode_sequence("WWWHHHKKKRRRWWWHHHKKKRRR");
+  const auto s = encode_sequence("WWWHHHKKKRRRAAAAWWWHHHKKKRRR");
+  const auto a = smith_waterman(q, s, blosum62(), 11, 1);
+  // 24 matches vs a 4-gap: score = sum(self) - (11 + 4*1).
+  EXPECT_NE(a.ops.find('D'), std::string::npos);
+  EXPECT_EQ(rescore(q, s, a, 11, 1), a.score);
+}
+
+TEST(SmithWaterman, NoPositiveAlignmentReturnsZero) {
+  const auto q = encode_sequence("WWW");
+  const auto s = encode_sequence("PPP");
+  const auto a = smith_waterman(q, s, blosum62(), 11, 1);
+  EXPECT_EQ(a.score, 0);
+  EXPECT_TRUE(a.ops.empty());
+}
+
+TEST(SmithWaterman, TranscriptAlwaysRescoresToScore) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto q = rand_seq(20 + rng.next_below(80), rng);
+    const auto s = rand_seq(20 + rng.next_below(80), rng);
+    const auto a = smith_waterman(q, s, blosum62(), 11, 1);
+    if (a.score > 0) {
+      EXPECT_EQ(rescore(q, s, a, 11, 1), a.score);
+      EXPECT_EQ(a.ops.front(), 'M');  // local alignment trims gaps at ends
+      EXPECT_EQ(a.ops.back(), 'M');
+    }
+  }
+}
+
+TEST(SmithWaterman, ScoreIsSymmetric) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = rand_seq(40, rng);
+    const auto s = rand_seq(60, rng);
+    EXPECT_EQ(smith_waterman(q, s, blosum62(), 11, 1).score,
+              smith_waterman(s, q, blosum62(), 11, 1).score);
+  }
+}
+
+TEST(SmithWaterman, GappedBeatsOrMatchesUngapped) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = rand_seq(60, rng);
+    const auto s = rand_seq(60, rng);
+    EXPECT_GE(smith_waterman(q, s, blosum62(), 11, 1).score,
+              best_ungapped_score(q, s, blosum62()));
+  }
+}
+
+TEST(BestUngapped, ExactValuesOnTinyCases) {
+  const auto q = encode_sequence("AW");
+  const auto s = encode_sequence("AW");
+  // Best diagonal run: A/A + W/W = 4 + 11.
+  EXPECT_EQ(best_ungapped_score(q, s, blosum62()), 15);
+  const auto t = encode_sequence("WA");
+  // Cross diagonals only pair A/W (-3) or single letters: best is
+  // max(A/A, W/W) = 11 on the off-diagonals.
+  EXPECT_EQ(best_ungapped_score(q, t, blosum62()), 11);
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,178 @@
+#include "synth/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "score/karlin.hpp"
+
+namespace mublastp::synth {
+namespace {
+
+TEST(Synth, DeterministicForSeed) {
+  const DatabaseSpec spec = sprot_like(50000);
+  const SequenceStore a = generate_database(spec, 7);
+  const SequenceStore b = generate_database(spec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (SeqId i = 0; i < a.size(); ++i) {
+    const auto sa = a.sequence(i);
+    const auto sb = b.sequence(i);
+    ASSERT_EQ(sa.size(), sb.size());
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()));
+  }
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  const DatabaseSpec spec = sprot_like(50000);
+  const SequenceStore a = generate_database(spec, 1);
+  const SequenceStore b = generate_database(spec, 2);
+  bool same = a.size() == b.size();
+  if (same) {
+    same = a.total_residues() == b.total_residues();
+  }
+  EXPECT_FALSE(same);
+}
+
+TEST(Synth, ReachesTargetResidues) {
+  const DatabaseSpec spec = envnr_like(200000);
+  const SequenceStore db = generate_database(spec, 3);
+  EXPECT_GE(db.total_residues(), spec.target_residues);
+  EXPECT_LT(db.total_residues(),
+            spec.target_residues + spec.max_length * 70);
+}
+
+TEST(Synth, LengthsRespectTruncation) {
+  DatabaseSpec spec = sprot_like(100000);
+  spec.min_length = 50;
+  spec.max_length = 1200;
+  const SequenceStore db = generate_database(spec, 5);
+  for (SeqId i = 0; i < db.size(); ++i) {
+    EXPECT_GE(db.length(i), spec.min_length);
+    // Children of planted families can gain a few indel insertions.
+    EXPECT_LE(db.length(i), spec.max_length + 64);
+  }
+}
+
+TEST(Synth, MedianLengthNearSpec) {
+  const DatabaseSpec spec = sprot_like(1 << 21);
+  const SequenceStore db = generate_database(spec, 11);
+  std::vector<std::size_t> lens;
+  for (SeqId i = 0; i < db.size(); ++i) lens.push_back(db.length(i));
+  std::sort(lens.begin(), lens.end());
+  const double median = static_cast<double>(lens[lens.size() / 2]);
+  EXPECT_NEAR(median, spec.median_length, spec.median_length * 0.15);
+}
+
+TEST(Synth, MeanLengthNearSpec) {
+  const DatabaseSpec spec = envnr_like(1 << 21);
+  const SequenceStore db = generate_database(spec, 13);
+  const double mean = static_cast<double>(db.total_residues()) /
+                      static_cast<double>(db.size());
+  EXPECT_NEAR(mean, spec.mean_length, spec.mean_length * 0.15);
+}
+
+TEST(Synth, EnvNrSequencesAreShorterThanSprot) {
+  const SequenceStore sprot = generate_database(sprot_like(1 << 20), 17);
+  const SequenceStore envnr = generate_database(envnr_like(1 << 20), 17);
+  const double sprot_mean = static_cast<double>(sprot.total_residues()) /
+                            static_cast<double>(sprot.size());
+  const double envnr_mean = static_cast<double>(envnr.total_residues()) /
+                            static_cast<double>(envnr.size());
+  EXPECT_GT(sprot_mean, envnr_mean);
+}
+
+TEST(Synth, PlantsFamilies) {
+  const SequenceStore db = generate_database(sprot_like(1 << 20), 19);
+  std::size_t family_members = 0;
+  for (SeqId i = 0; i < db.size(); ++i) {
+    if (db.name(i).starts_with("fam")) ++family_members;
+  }
+  EXPECT_GT(family_members, db.size() / 10);
+  EXPECT_LT(family_members, db.size());
+}
+
+TEST(Synth, CompositionRoughlyRobinson) {
+  const SequenceStore db = generate_database(sprot_like(1 << 21), 23);
+  std::array<std::size_t, kAlphabetSize> counts{};
+  for (const Residue r : db.arena()) ++counts[r];
+  const auto& want = robinson_frequencies();
+  const double total = static_cast<double>(db.total_residues());
+  for (int i = 0; i < 20; ++i) {
+    const double got = static_cast<double>(counts[i]) / total;
+    EXPECT_NEAR(got, want[i], want[i] * 0.25 + 0.002)
+        << "residue " << decode_residue(static_cast<Residue>(i));
+  }
+  // No ambiguity codes in synthetic data.
+  for (int i = 20; i < kAlphabetSize; ++i) EXPECT_EQ(counts[i], 0u);
+}
+
+TEST(Synth, RejectsBadSpec) {
+  DatabaseSpec spec = sprot_like(1000);
+  spec.mean_length = spec.median_length - 1;
+  EXPECT_THROW(generate_database(spec, 1), Error);
+}
+
+TEST(SampleQueries, FixedLengthWindows) {
+  const SequenceStore db = generate_database(sprot_like(1 << 19), 29);
+  Rng rng(5);
+  const SequenceStore q = sample_queries(db, 16, 128, rng);
+  ASSERT_EQ(q.size(), 16u);
+  for (SeqId i = 0; i < q.size(); ++i) EXPECT_EQ(q.length(i), 128u);
+}
+
+TEST(SampleQueries, WindowsComeFromDatabase) {
+  const SequenceStore db = generate_database(sprot_like(1 << 18), 31);
+  Rng rng(6);
+  const SequenceStore q = sample_queries(db, 4, 64, rng);
+  for (SeqId i = 0; i < q.size(); ++i) {
+    // Each query window must appear verbatim in some database sequence.
+    bool found = false;
+    const auto probe = q.sequence(i);
+    for (SeqId s = 0; s < db.size() && !found; ++s) {
+      const auto seq = db.sequence(s);
+      if (seq.size() < probe.size()) continue;
+      found = std::search(seq.begin(), seq.end(), probe.begin(),
+                          probe.end()) != seq.end();
+    }
+    EXPECT_TRUE(found) << "query " << i;
+  }
+}
+
+TEST(SampleQueries, ThrowsWhenNoSequenceLongEnough) {
+  SequenceStore db;
+  db.add_ascii("ARNDCQ");
+  Rng rng(7);
+  EXPECT_THROW(sample_queries(db, 1, 100, rng), Error);
+}
+
+TEST(SampleQueriesMixed, FollowsDatabaseLengths) {
+  const SequenceStore db = generate_database(envnr_like(1 << 20), 37);
+  Rng rng(8);
+  const SequenceStore q = sample_queries_mixed(db, 200, rng);
+  ASSERT_EQ(q.size(), 200u);
+  const double db_mean = static_cast<double>(db.total_residues()) /
+                         static_cast<double>(db.size());
+  const double q_mean = static_cast<double>(q.total_residues()) /
+                        static_cast<double>(q.size());
+  EXPECT_NEAR(q_mean, db_mean, db_mean * 0.30);
+}
+
+TEST(LengthHistogram, CountsAndOverflow) {
+  SequenceStore db;
+  db.add_ascii(std::string(10, 'A'));
+  db.add_ascii(std::string(20, 'A'));
+  db.add_ascii(std::string(30, 'A'));
+  db.add_ascii(std::string(100, 'A'));
+  const auto h = length_histogram(db, {15, 25, 50});
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);  // <= 15
+  EXPECT_EQ(h[1], 1u);  // (15, 25]
+  EXPECT_EQ(h[2], 1u);  // (25, 50]
+  EXPECT_EQ(h[3], 1u);  // > 50
+}
+
+}  // namespace
+}  // namespace mublastp::synth

@@ -1,0 +1,210 @@
+#include "core/two_hit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/hit_logic.hpp"
+
+namespace mublastp {
+namespace {
+
+TEST(DiagState, FreshKeysReportNone) {
+  DiagState s;
+  s.resize(10);
+  s.new_round(1000);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(s.last_hit(k), DiagState::kNone);
+    EXPECT_EQ(s.ext_reached(k), DiagState::kNone);
+  }
+}
+
+TEST(DiagState, SetAndGet) {
+  DiagState s;
+  s.resize(4);
+  s.new_round(1000);
+  s.set_last_hit(2, 17);
+  s.set_ext_reached(2, 25);
+  EXPECT_EQ(s.last_hit(2), 17);
+  EXPECT_EQ(s.ext_reached(2), 25);
+  EXPECT_EQ(s.last_hit(1), DiagState::kNone);
+}
+
+TEST(DiagState, NewRoundInvalidatesInConstantTime) {
+  DiagState s;
+  s.resize(100);
+  s.new_round(1000);
+  for (std::size_t k = 0; k < 100; ++k) s.set_last_hit(k, 5);
+  s.new_round(1000);
+  for (std::size_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(s.last_hit(k), DiagState::kNone);
+  }
+}
+
+TEST(DiagState, SettingOneFieldResetsStaleOther) {
+  DiagState s;
+  s.resize(2);
+  s.new_round(1000);
+  s.set_ext_reached(0, 99);
+  s.new_round(1000);
+  s.set_last_hit(0, 3);  // same slot, new round
+  EXPECT_EQ(s.ext_reached(0), DiagState::kNone);
+  EXPECT_EQ(s.last_hit(0), 3);
+}
+
+TEST(DiagState, ResizeKeepsCapacityMonotonic) {
+  DiagState s;
+  s.resize(10);
+  s.resize(5);
+  EXPECT_GE(s.capacity(), 10u);
+  s.resize(20);
+  EXPECT_GE(s.capacity(), 20u);
+  EXPECT_GT(s.footprint_bytes(), 0u);
+}
+
+TEST(DiagState, SurvivesManyRounds) {
+  DiagState s;
+  s.resize(3);
+  for (int round = 0; round < 100000; ++round) {
+    s.new_round(1000);
+    EXPECT_EQ(s.last_hit(1), DiagState::kNone);
+    const std::int32_t v = round % 1000;  // contract: values < stride
+    s.set_last_hit(1, v);
+    EXPECT_EQ(s.last_hit(1), v);
+  }
+}
+
+TEST(DiagState, SurvivesStampOverflowClear) {
+  // Large strides force the periodic physical clear; entries must still be
+  // invalidated across it.
+  DiagState s;
+  s.resize(2);
+  constexpr std::int32_t kBig = 1 << 20;
+  for (int round = 0; round < 3000; ++round) {
+    s.new_round(kBig);
+    EXPECT_EQ(s.last_hit(0), DiagState::kNone) << round;
+    EXPECT_EQ(s.ext_reached(0), DiagState::kNone) << round;
+    s.set_last_hit(0, kBig - 1);
+    s.set_ext_reached(0, kBig - 1);
+    EXPECT_EQ(s.last_hit(0), kBig - 1);
+  }
+}
+
+// process_hit scenario tests on a fixed synthetic diagonal.
+class ProcessHit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Identical 60-residue sequences: every extension spans everything with
+    // a high score, so behaviour is driven purely by the pairing logic.
+    Rng rng(3);
+    q_.resize(60);
+    for (auto& r : q_) r = static_cast<Residue>(rng.next_below(20));
+    s_ = q_;
+    state_.resize(200);
+    state_.new_round(1000);
+    params_.two_hit_window = 40;
+    params_.ungapped_cutoff = 10;
+  }
+
+  void hit(std::uint32_t qoff) {
+    // Same diagonal (key 7): soff == qoff.
+    process_hit(state_, 7, std::span<const Residue>(q_),
+                std::span<const Residue>(s_), qoff, qoff, blosum62(), params_,
+                stats_, segs_);
+  }
+
+  std::vector<Residue> q_, s_;
+  DiagState state_;
+  SearchParams params_;
+  StageStats stats_;
+  std::vector<UngappedSeg> segs_;
+};
+
+TEST_F(ProcessHit, FirstHitNeverPairs) {
+  hit(10);
+  EXPECT_EQ(stats_.hits, 1u);
+  EXPECT_EQ(stats_.hit_pairs, 0u);
+  EXPECT_TRUE(segs_.empty());
+}
+
+TEST_F(ProcessHit, SecondHitWithinWindowTriggersExtension) {
+  hit(10);
+  hit(20);
+  EXPECT_EQ(stats_.hit_pairs, 1u);
+  EXPECT_EQ(stats_.extensions, 1u);
+  ASSERT_EQ(segs_.size(), 1u);
+  // Identical sequences: extension spans everything.
+  EXPECT_EQ(segs_[0].q_start, 0u);
+  EXPECT_EQ(segs_[0].q_end, 60u);
+}
+
+TEST_F(ProcessHit, HitOutsideWindowDoesNotPair) {
+  hit(0);
+  hit(45);  // distance 45 >= window 40
+  EXPECT_EQ(stats_.hit_pairs, 0u);
+  hit(50);  // distance 5 from the *updated* last hit: pairs
+  EXPECT_EQ(stats_.hit_pairs, 1u);
+}
+
+TEST_F(ProcessHit, ExactWindowBoundaryIsExclusive) {
+  hit(0);
+  hit(40);  // distance == window: not a pair (strict <)
+  EXPECT_EQ(stats_.hit_pairs, 0u);
+  state_.new_round(1000);
+  stats_ = {};
+  hit(0);
+  hit(39);  // distance 39 < 40: pair
+  EXPECT_EQ(stats_.hit_pairs, 1u);
+}
+
+TEST_F(ProcessHit, CoveredHitSkipsExtension) {
+  hit(5);
+  hit(10);  // extension spans [0, 60): ext_reached = 60
+  EXPECT_EQ(stats_.extensions, 1u);
+  hit(20);  // pairs (distance 10) but 20 < 60 -> covered, no extension
+  EXPECT_EQ(stats_.hit_pairs, 2u);
+  EXPECT_EQ(stats_.extensions, 1u);
+  EXPECT_EQ(segs_.size(), 1u);
+}
+
+TEST_F(ProcessHit, FailedExtensionDoesNotRecordSegment) {
+  // Use disjoint sequences: extensions score ~negative, below cutoff.
+  for (auto& r : s_) r = encode_residue('P');
+  for (auto& r : q_) r = encode_residue('W');
+  params_.ungapped_cutoff = 100;
+  hit(10);
+  hit(15);
+  EXPECT_EQ(stats_.extensions, 1u);
+  EXPECT_TRUE(segs_.empty());
+  EXPECT_EQ(stats_.ungapped_alignments, 0u);
+}
+
+TEST_F(ProcessHit, OverlappingHitsAreIgnored) {
+  hit(10);
+  hit(11);  // distance 1 < W: ignored, does not even advance last_hit
+  hit(12);  // distance 2 from 10: still ignored
+  EXPECT_EQ(stats_.hit_pairs, 0u);
+  hit(13);  // distance 3 from 10: pairs
+  EXPECT_EQ(stats_.hit_pairs, 1u);
+  EXPECT_EQ(stats_.hits, 4u);
+}
+
+TEST_F(ProcessHit, RunOfConsecutiveHitsYieldsOnePair) {
+  // A perfect-similarity run: overlap exclusion + coverage leave exactly
+  // one extension for the whole run.
+  for (std::uint32_t q = 0; q < 30; ++q) hit(q);
+  EXPECT_EQ(stats_.extensions, 1u);
+  EXPECT_EQ(segs_.size(), 1u);
+}
+
+TEST_F(ProcessHit, DifferentDiagonalsDoNotInteract) {
+  process_hit(state_, 1, std::span<const Residue>(q_),
+              std::span<const Residue>(s_), 10, 10, blosum62(), params_,
+              stats_, segs_);
+  process_hit(state_, 2, std::span<const Residue>(q_),
+              std::span<const Residue>(s_), 12, 12, blosum62(), params_,
+              stats_, segs_);
+  EXPECT_EQ(stats_.hit_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -1,0 +1,183 @@
+#include "core/ungapped.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "memsim/memsim.hpp"
+
+namespace mublastp {
+namespace {
+
+std::vector<Residue> rand_seq(std::size_t len, Rng& rng) {
+  std::vector<Residue> s(len);
+  for (auto& r : s) r = static_cast<Residue>(rng.next_below(20));
+  return s;
+}
+
+// Brute-force reference with the same semantics: sweep left from the word
+// end (inclusive) and right from past the word, each with its own x-drop.
+UngappedSeg reference_extend(std::span<const Residue> q,
+                             std::span<const Residue> s, std::uint32_t qoff,
+                             std::uint32_t soff, const ScoreMatrix& m,
+                             Score xdrop) {
+  std::int64_t qi = qoff + kWordLength - 1;
+  std::int64_t si = soff + kWordLength - 1;
+  Score run = 0, best_left = 0;
+  std::int64_t best_start = qi + 1;
+  while (qi >= 0 && si >= 0) {
+    run += m(q[qi], s[si]);
+    if (run > best_left) {
+      best_left = run;
+      best_start = qi;
+    } else if (best_left - run > xdrop) {
+      break;
+    }
+    --qi;
+    --si;
+  }
+  std::int64_t qj = qoff + kWordLength, sj = soff + kWordLength;
+  run = 0;
+  Score best_right = 0;
+  std::int64_t best_end = qj;
+  while (qj < static_cast<std::int64_t>(q.size()) &&
+         sj < static_cast<std::int64_t>(s.size())) {
+    run += m(q[qj], s[sj]);
+    if (run > best_right) {
+      best_right = run;
+      best_end = qj + 1;
+    } else if (best_right - run > xdrop) {
+      break;
+    }
+    ++qj;
+    ++sj;
+  }
+  UngappedSeg seg;
+  seg.score = best_left + best_right;
+  seg.q_start = static_cast<std::uint32_t>(best_start);
+  seg.q_end = static_cast<std::uint32_t>(best_end);
+  seg.s_start = static_cast<std::uint32_t>(best_start + soff - qoff);
+  seg.s_end = static_cast<std::uint32_t>(best_end + soff - qoff);
+  return seg;
+}
+
+Score segment_score(std::span<const Residue> q, std::span<const Residue> s,
+                    const UngappedSeg& seg) {
+  Score total = 0;
+  for (std::uint32_t i = 0; i < seg.q_end - seg.q_start; ++i) {
+    total += blosum62()(q[seg.q_start + i], s[seg.s_start + i]);
+  }
+  return total;
+}
+
+TEST(UngappedExtend, PerfectMatchCoversWholeSequence) {
+  const auto q = encode_sequence("MKVLAWHETRRIPGW");
+  const auto s = q;
+  const auto seg = ungapped_extend(q, s, 5, 5, blosum62(), 16);
+  EXPECT_EQ(seg.q_start, 0u);
+  EXPECT_EQ(seg.q_end, q.size());
+  EXPECT_EQ(seg.s_start, 0u);
+  EXPECT_EQ(seg.s_end, s.size());
+  EXPECT_EQ(seg.score, segment_score(q, s, seg));
+}
+
+TEST(UngappedExtend, ScoreEqualsSegmentRescore) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto q = rand_seq(50 + rng.next_below(150), rng);
+    const auto s = rand_seq(50 + rng.next_below(150), rng);
+    const std::uint32_t qoff =
+        static_cast<std::uint32_t>(rng.next_below(q.size() - kWordLength));
+    const std::uint32_t soff =
+        static_cast<std::uint32_t>(rng.next_below(s.size() - kWordLength));
+    const auto seg = ungapped_extend(q, s, qoff, soff, blosum62(), 16);
+    EXPECT_EQ(seg.score, segment_score(q, s, seg));
+  }
+}
+
+TEST(UngappedExtend, MatchesReferenceImplementation) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto q = rand_seq(30 + rng.next_below(200), rng);
+    const auto s = rand_seq(30 + rng.next_below(200), rng);
+    const std::uint32_t qoff =
+        static_cast<std::uint32_t>(rng.next_below(q.size() - kWordLength));
+    const std::uint32_t soff =
+        static_cast<std::uint32_t>(rng.next_below(s.size() - kWordLength));
+    for (const Score xdrop : {Score{4}, Score{16}, Score{1000}}) {
+      const auto got = ungapped_extend(q, s, qoff, soff, blosum62(), xdrop);
+      const auto want = reference_extend(q, s, qoff, soff, blosum62(), xdrop);
+      EXPECT_EQ(got.score, want.score);
+      EXPECT_EQ(got.q_start, want.q_start);
+      EXPECT_EQ(got.q_end, want.q_end);
+      EXPECT_EQ(got.s_start, want.s_start);
+      EXPECT_EQ(got.s_end, want.s_end);
+    }
+  }
+}
+
+TEST(UngappedExtend, SegmentContainsTheSeedWordWhenPositive) {
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto q = rand_seq(100, rng);
+    auto s = rand_seq(100, rng);
+    // Plant an exact word so the extension has a positive core.
+    const std::uint32_t qoff = 40, soff = 50;
+    for (int i = 0; i < kWordLength; ++i) s[soff + i] = q[qoff + i];
+    const auto seg = ungapped_extend(q, s, qoff, soff, blosum62(), 16);
+    EXPECT_LE(seg.q_start, qoff);
+    EXPECT_GE(seg.q_end, qoff + kWordLength);
+    EXPECT_GT(seg.score, 0);
+  }
+}
+
+TEST(UngappedExtend, StaysOnDiagonal) {
+  Rng rng(11);
+  const auto q = rand_seq(120, rng);
+  const auto s = rand_seq(150, rng);
+  const auto seg = ungapped_extend(q, s, 10, 31, blosum62(), 16);
+  EXPECT_EQ(seg.q_end - seg.q_start, seg.s_end - seg.s_start);
+  EXPECT_EQ(static_cast<std::int64_t>(seg.s_start) - seg.q_start, 21);
+}
+
+TEST(UngappedExtend, HitAtSequenceEdges) {
+  Rng rng(13);
+  const auto q = rand_seq(40, rng);
+  const auto s = rand_seq(40, rng);
+  // Word at the very start and very end must not read out of bounds.
+  const auto a = ungapped_extend(q, s, 0, 0, blosum62(), 16);
+  EXPECT_LE(a.q_end, q.size());
+  const auto b = ungapped_extend(
+      q, s, static_cast<std::uint32_t>(q.size() - kWordLength),
+      static_cast<std::uint32_t>(s.size() - kWordLength), blosum62(), 16);
+  EXPECT_LE(b.q_end, q.size());
+  EXPECT_LE(b.s_end, s.size());
+}
+
+TEST(UngappedExtend, LargerXdropNeverLowersScore) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto q = rand_seq(200, rng);
+    const auto s = rand_seq(200, rng);
+    const std::uint32_t qoff = 90, soff = 95;
+    const auto tight = ungapped_extend(q, s, qoff, soff, blosum62(), 4);
+    const auto loose = ungapped_extend(q, s, qoff, soff, blosum62(), 64);
+    EXPECT_GE(loose.score, tight.score);
+  }
+}
+
+TEST(UngappedExtend, TracedVariantProducesSameResultAndTraffic) {
+  Rng rng(19);
+  const auto q = rand_seq(300, rng);
+  const auto s = rand_seq(300, rng);
+  const auto plain = ungapped_extend(q, s, 100, 120, blosum62(), 16);
+  memsim::MemoryHierarchy h;
+  const auto traced = ungapped_extend(q, s, 100, 120, blosum62(), 16,
+                                      memsim::TracingMemoryModel(h));
+  EXPECT_EQ(plain.score, traced.score);
+  EXPECT_EQ(plain.q_start, traced.q_start);
+  EXPECT_EQ(plain.q_end, traced.q_end);
+  EXPECT_GT(h.stats().references, 0u);
+}
+
+}  // namespace
+}  // namespace mublastp

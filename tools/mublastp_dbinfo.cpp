@@ -1,0 +1,137 @@
+// mublastp_dbinfo: inspect a saved database index — block layout, footprint
+// breakdown, word-list statistics, and the last-hit-array budget that the
+// b = L3/(2t+1) formula reasons about.
+//
+// Usage: mublastp_dbinfo --index=db.mbi [--threads=12] [--l3-mb=30]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "index/db_index_io.hpp"
+
+namespace {
+
+std::string arg_str(int argc, char** argv, const std::string& key,
+                    const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::size_t arg_num(int argc, char** argv, const std::string& key,
+                    std::size_t fallback) {
+  const std::string v = arg_str(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+double mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1 << 20);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mublastp;
+  const std::string path = arg_str(argc, argv, "index", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: mublastp_dbinfo --index=db.mbi [--threads=12]"
+                 " [--l3-mb=30]\n");
+    return 2;
+  }
+  try {
+    const DbIndex index = load_db_index_file(path);
+    const SequenceStore& db = index.db();
+
+    std::printf("index file        : %s\n", path.c_str());
+    std::printf("sequences         : %zu (%zu residues)\n", db.size(),
+                db.total_residues());
+    std::printf("neighbor threshold: T=%d (%zu word-neighbor pairs, avg "
+                "%.1f/word)\n",
+                index.neighbors().threshold(),
+                index.neighbors().total_neighbors(),
+                static_cast<double>(index.neighbors().total_neighbors()) /
+                    kNumWords);
+    std::printf("config block size : %zu KB positions, long-seq limit %zu\n",
+                index.config().block_bytes / 1024,
+                index.config().long_seq_limit);
+
+    std::size_t positions = 0;
+    std::size_t frags = 0;
+    std::size_t entry_bytes = 0;
+    std::size_t offset_bytes = 0;
+    std::size_t max_block_positions = 0;
+    for (const DbIndexBlock& b : index.blocks()) {
+      positions += b.num_positions();
+      frags += b.fragments().size();
+      entry_bytes += b.position_bytes();
+      offset_bytes += (static_cast<std::size_t>(kNumWords) + 1) * 4;
+      max_block_positions = std::max(max_block_positions, b.num_positions());
+    }
+    std::printf("blocks            : %zu (%zu fragments, %zu positions)\n",
+                index.blocks().size(), frags, positions);
+    std::printf("footprint         : %.1f MB entries + %.1f MB offsets + "
+                "%.1f MB residues\n",
+                mb(entry_bytes), mb(offset_bytes), mb(db.total_residues()));
+
+    // Per-block table (first few + largest).
+    std::printf("\n%-6s %10s %10s %12s %10s\n", "block", "frags",
+                "positions", "chars", "maxfrag");
+    const std::size_t show = std::min<std::size_t>(index.blocks().size(), 8);
+    for (std::size_t i = 0; i < show; ++i) {
+      const DbIndexBlock& b = index.blocks()[i];
+      std::printf("%-6zu %10zu %10zu %12zu %10zu\n", i, b.fragments().size(),
+                  b.num_positions(), b.total_chars(), b.max_fragment_len());
+    }
+    if (index.blocks().size() > show) {
+      std::printf("... %zu more blocks\n", index.blocks().size() - show);
+    }
+
+    // Word-list population statistics of the largest block.
+    const DbIndexBlock& big = *std::max_element(
+        index.blocks().begin(), index.blocks().end(),
+        [](const DbIndexBlock& a, const DbIndexBlock& b) {
+          return a.num_positions() < b.num_positions();
+        });
+    std::size_t empty_words = 0;
+    std::size_t max_list = 0;
+    for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(kNumWords);
+         ++w) {
+      const std::size_t n = big.entries(w).size();
+      if (n == 0) ++empty_words;
+      max_list = std::max(max_list, n);
+    }
+    std::printf("\nlargest block: %zu positions; %zu/%d words empty "
+                "(%.1f%%), longest word list %zu\n",
+                big.num_positions(), empty_words, kNumWords,
+                100.0 * static_cast<double>(empty_words) / kNumWords,
+                max_list);
+
+    // The Section V-B cache budget.
+    const int threads = static_cast<int>(arg_num(argc, argv, "threads", 12));
+    const std::size_t l3 = arg_num(argc, argv, "l3-mb", 30) << 20;
+    std::printf("\ncache budget (t=%d, L3=%zu MB): block %zu KB + t x "
+                "last-hit ~2x block = %.1f MB %s L3\n",
+                threads, l3 >> 20, index.config().block_bytes / 1024,
+                mb(index.config().block_bytes *
+                   (1 + 2 * static_cast<std::size_t>(threads))),
+                index.config().block_bytes *
+                            (1 + 2 * static_cast<std::size_t>(threads)) <=
+                        l3
+                    ? "<= fits"
+                    : "> EXCEEDS");
+    std::printf("recommended block for this machine: %zu KB "
+                "(b = L3/(2t+1))\n",
+                DbIndex::optimal_block_bytes(l3, threads) / 1024);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
