@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_decouple.dir/abl_decouple.cpp.o"
+  "CMakeFiles/abl_decouple.dir/abl_decouple.cpp.o.d"
+  "abl_decouple"
+  "abl_decouple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_decouple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

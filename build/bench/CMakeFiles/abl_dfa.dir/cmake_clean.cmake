@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dfa.dir/abl_dfa.cpp.o"
+  "CMakeFiles/abl_dfa.dir/abl_dfa.cpp.o.d"
+  "abl_dfa"
+  "abl_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_longseq.dir/abl_longseq.cpp.o"
+  "CMakeFiles/abl_longseq.dir/abl_longseq.cpp.o.d"
+  "abl_longseq"
+  "abl_longseq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_longseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_looporder.dir/abl_looporder.cpp.o"
+  "CMakeFiles/abl_looporder.dir/abl_looporder.cpp.o.d"
+  "abl_looporder"
+  "abl_looporder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_looporder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

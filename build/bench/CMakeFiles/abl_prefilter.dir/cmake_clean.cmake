@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prefilter.dir/abl_prefilter.cpp.o"
+  "CMakeFiles/abl_prefilter.dir/abl_prefilter.cpp.o.d"
+  "abl_prefilter"
+  "abl_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

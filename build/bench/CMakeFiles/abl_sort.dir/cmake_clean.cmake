@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sort.dir/abl_sort.cpp.o"
+  "CMakeFiles/abl_sort.dir/abl_sort.cpp.o.d"
+  "abl_sort"
+  "abl_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

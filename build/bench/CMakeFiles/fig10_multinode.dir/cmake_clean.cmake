@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multinode.dir/fig10_multinode.cpp.o"
+  "CMakeFiles/fig10_multinode.dir/fig10_multinode.cpp.o.d"
+  "fig10_multinode"
+  "fig10_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

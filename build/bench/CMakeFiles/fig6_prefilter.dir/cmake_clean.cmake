@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_prefilter.dir/fig6_prefilter.cpp.o"
+  "CMakeFiles/fig6_prefilter.dir/fig6_prefilter.cpp.o.d"
+  "fig6_prefilter"
+  "fig6_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lengths.dir/fig7_lengths.cpp.o"
+  "CMakeFiles/fig7_lengths.dir/fig7_lengths.cpp.o.d"
+  "fig7_lengths"
+  "fig7_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_blocksize.dir/fig8_blocksize.cpp.o"
+  "CMakeFiles/fig8_blocksize.dir/fig8_blocksize.cpp.o.d"
+  "fig8_blocksize"
+  "fig8_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

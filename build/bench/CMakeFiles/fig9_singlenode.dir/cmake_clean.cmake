@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_singlenode.dir/fig9_singlenode.cpp.o"
+  "CMakeFiles/fig9_singlenode.dir/fig9_singlenode.cpp.o.d"
+  "fig9_singlenode"
+  "fig9_singlenode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_singlenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

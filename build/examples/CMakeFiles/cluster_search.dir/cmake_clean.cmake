@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_search.dir/cluster_search.cpp.o"
+  "CMakeFiles/cluster_search.dir/cluster_search.cpp.o.d"
+  "cluster_search"
+  "cluster_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

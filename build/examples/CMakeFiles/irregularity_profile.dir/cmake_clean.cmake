@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregularity_profile.dir/irregularity_profile.cpp.o"
+  "CMakeFiles/irregularity_profile.dir/irregularity_profile.cpp.o.d"
+  "irregularity_profile"
+  "irregularity_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregularity_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

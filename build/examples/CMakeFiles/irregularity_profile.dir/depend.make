@@ -1,0 +1,2 @@
+# Empty dependencies file for irregularity_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/gapped_stats.cpp" "src/baseline/CMakeFiles/mublastp_baseline.dir/gapped_stats.cpp.o" "gcc" "src/baseline/CMakeFiles/mublastp_baseline.dir/gapped_stats.cpp.o.d"
+  "/root/repo/src/baseline/interleaved_engine.cpp" "src/baseline/CMakeFiles/mublastp_baseline.dir/interleaved_engine.cpp.o" "gcc" "src/baseline/CMakeFiles/mublastp_baseline.dir/interleaved_engine.cpp.o.d"
+  "/root/repo/src/baseline/query_engine.cpp" "src/baseline/CMakeFiles/mublastp_baseline.dir/query_engine.cpp.o" "gcc" "src/baseline/CMakeFiles/mublastp_baseline.dir/query_engine.cpp.o.d"
+  "/root/repo/src/baseline/smith_waterman.cpp" "src/baseline/CMakeFiles/mublastp_baseline.dir/smith_waterman.cpp.o" "gcc" "src/baseline/CMakeFiles/mublastp_baseline.dir/smith_waterman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mublastp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/mublastp_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mublastp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/mublastp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mublastp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

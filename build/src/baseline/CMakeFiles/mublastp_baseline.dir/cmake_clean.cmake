@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_baseline.dir/gapped_stats.cpp.o"
+  "CMakeFiles/mublastp_baseline.dir/gapped_stats.cpp.o.d"
+  "CMakeFiles/mublastp_baseline.dir/interleaved_engine.cpp.o"
+  "CMakeFiles/mublastp_baseline.dir/interleaved_engine.cpp.o.d"
+  "CMakeFiles/mublastp_baseline.dir/query_engine.cpp.o"
+  "CMakeFiles/mublastp_baseline.dir/query_engine.cpp.o.d"
+  "CMakeFiles/mublastp_baseline.dir/smith_waterman.cpp.o"
+  "CMakeFiles/mublastp_baseline.dir/smith_waterman.cpp.o.d"
+  "libmublastp_baseline.a"
+  "libmublastp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

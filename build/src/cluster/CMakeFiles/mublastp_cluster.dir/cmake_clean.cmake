@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mublastp_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mublastp_cluster.dir/partition.cpp.o"
+  "CMakeFiles/mublastp_cluster.dir/partition.cpp.o.d"
+  "libmublastp_cluster.a"
+  "libmublastp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

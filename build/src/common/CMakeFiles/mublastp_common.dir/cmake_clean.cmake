@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_common.dir/alphabet.cpp.o"
+  "CMakeFiles/mublastp_common.dir/alphabet.cpp.o.d"
+  "CMakeFiles/mublastp_common.dir/error.cpp.o"
+  "CMakeFiles/mublastp_common.dir/error.cpp.o.d"
+  "CMakeFiles/mublastp_common.dir/sequence.cpp.o"
+  "CMakeFiles/mublastp_common.dir/sequence.cpp.o.d"
+  "libmublastp_common.a"
+  "libmublastp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

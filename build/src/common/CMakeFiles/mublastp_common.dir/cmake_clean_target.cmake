@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmublastp_common.a"
+)

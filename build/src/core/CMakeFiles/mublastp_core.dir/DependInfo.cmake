@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gapped.cpp" "src/core/CMakeFiles/mublastp_core.dir/gapped.cpp.o" "gcc" "src/core/CMakeFiles/mublastp_core.dir/gapped.cpp.o.d"
+  "/root/repo/src/core/mublastp_engine.cpp" "src/core/CMakeFiles/mublastp_core.dir/mublastp_engine.cpp.o" "gcc" "src/core/CMakeFiles/mublastp_core.dir/mublastp_engine.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/mublastp_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/mublastp_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/results.cpp" "src/core/CMakeFiles/mublastp_core.dir/results.cpp.o" "gcc" "src/core/CMakeFiles/mublastp_core.dir/results.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mublastp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/mublastp_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mublastp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/mublastp_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_core.dir/gapped.cpp.o"
+  "CMakeFiles/mublastp_core.dir/gapped.cpp.o.d"
+  "CMakeFiles/mublastp_core.dir/mublastp_engine.cpp.o"
+  "CMakeFiles/mublastp_core.dir/mublastp_engine.cpp.o.d"
+  "CMakeFiles/mublastp_core.dir/params.cpp.o"
+  "CMakeFiles/mublastp_core.dir/params.cpp.o.d"
+  "CMakeFiles/mublastp_core.dir/results.cpp.o"
+  "CMakeFiles/mublastp_core.dir/results.cpp.o.d"
+  "libmublastp_core.a"
+  "libmublastp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

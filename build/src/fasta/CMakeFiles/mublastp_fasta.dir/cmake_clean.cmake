@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_fasta.dir/fasta.cpp.o"
+  "CMakeFiles/mublastp_fasta.dir/fasta.cpp.o.d"
+  "libmublastp_fasta.a"
+  "libmublastp_fasta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_fasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/db_index.cpp" "src/index/CMakeFiles/mublastp_index.dir/db_index.cpp.o" "gcc" "src/index/CMakeFiles/mublastp_index.dir/db_index.cpp.o.d"
+  "/root/repo/src/index/db_index_io.cpp" "src/index/CMakeFiles/mublastp_index.dir/db_index_io.cpp.o" "gcc" "src/index/CMakeFiles/mublastp_index.dir/db_index_io.cpp.o.d"
+  "/root/repo/src/index/dfa_index.cpp" "src/index/CMakeFiles/mublastp_index.dir/dfa_index.cpp.o" "gcc" "src/index/CMakeFiles/mublastp_index.dir/dfa_index.cpp.o.d"
+  "/root/repo/src/index/neighbor.cpp" "src/index/CMakeFiles/mublastp_index.dir/neighbor.cpp.o" "gcc" "src/index/CMakeFiles/mublastp_index.dir/neighbor.cpp.o.d"
+  "/root/repo/src/index/query_index.cpp" "src/index/CMakeFiles/mublastp_index.dir/query_index.cpp.o" "gcc" "src/index/CMakeFiles/mublastp_index.dir/query_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mublastp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/mublastp_score.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_index.dir/db_index.cpp.o"
+  "CMakeFiles/mublastp_index.dir/db_index.cpp.o.d"
+  "CMakeFiles/mublastp_index.dir/db_index_io.cpp.o"
+  "CMakeFiles/mublastp_index.dir/db_index_io.cpp.o.d"
+  "CMakeFiles/mublastp_index.dir/dfa_index.cpp.o"
+  "CMakeFiles/mublastp_index.dir/dfa_index.cpp.o.d"
+  "CMakeFiles/mublastp_index.dir/neighbor.cpp.o"
+  "CMakeFiles/mublastp_index.dir/neighbor.cpp.o.d"
+  "CMakeFiles/mublastp_index.dir/query_index.cpp.o"
+  "CMakeFiles/mublastp_index.dir/query_index.cpp.o.d"
+  "libmublastp_index.a"
+  "libmublastp_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_memsim.dir/memsim.cpp.o"
+  "CMakeFiles/mublastp_memsim.dir/memsim.cpp.o.d"
+  "libmublastp_memsim.a"
+  "libmublastp_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_report.dir/report.cpp.o"
+  "CMakeFiles/mublastp_report.dir/report.cpp.o.d"
+  "libmublastp_report.a"
+  "libmublastp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_score.dir/karlin.cpp.o"
+  "CMakeFiles/mublastp_score.dir/karlin.cpp.o.d"
+  "CMakeFiles/mublastp_score.dir/matrix.cpp.o"
+  "CMakeFiles/mublastp_score.dir/matrix.cpp.o.d"
+  "libmublastp_score.a"
+  "libmublastp_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_synth.dir/synth.cpp.o"
+  "CMakeFiles/mublastp_synth.dir/synth.cpp.o.d"
+  "libmublastp_synth.a"
+  "libmublastp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

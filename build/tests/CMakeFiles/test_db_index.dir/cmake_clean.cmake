@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db_index.dir/test_db_index.cpp.o"
+  "CMakeFiles/test_db_index.dir/test_db_index.cpp.o.d"
+  "test_db_index"
+  "test_db_index.pdb"
+  "test_db_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

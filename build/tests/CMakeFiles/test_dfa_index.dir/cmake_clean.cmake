@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfa_index.dir/test_dfa_index.cpp.o"
+  "CMakeFiles/test_dfa_index.dir/test_dfa_index.cpp.o.d"
+  "test_dfa_index"
+  "test_dfa_index.pdb"
+  "test_dfa_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfa_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fasta.dir/test_fasta.cpp.o"
+  "CMakeFiles/test_fasta.dir/test_fasta.cpp.o.d"
+  "test_fasta"
+  "test_fasta.pdb"
+  "test_fasta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fasta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

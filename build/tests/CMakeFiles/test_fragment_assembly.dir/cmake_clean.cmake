@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragment_assembly.dir/test_fragment_assembly.cpp.o"
+  "CMakeFiles/test_fragment_assembly.dir/test_fragment_assembly.cpp.o.d"
+  "test_fragment_assembly"
+  "test_fragment_assembly.pdb"
+  "test_fragment_assembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragment_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

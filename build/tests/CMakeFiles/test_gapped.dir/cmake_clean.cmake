@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gapped.dir/test_gapped.cpp.o"
+  "CMakeFiles/test_gapped.dir/test_gapped.cpp.o.d"
+  "test_gapped"
+  "test_gapped.pdb"
+  "test_gapped[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gapped_stats.dir/test_gapped_stats.cpp.o"
+  "CMakeFiles/test_gapped_stats.dir/test_gapped_stats.cpp.o.d"
+  "test_gapped_stats"
+  "test_gapped_stats.pdb"
+  "test_gapped_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gapped_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

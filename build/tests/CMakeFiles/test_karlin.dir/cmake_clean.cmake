@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_karlin.dir/test_karlin.cpp.o"
+  "CMakeFiles/test_karlin.dir/test_karlin.cpp.o.d"
+  "test_karlin"
+  "test_karlin.pdb"
+  "test_karlin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_karlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

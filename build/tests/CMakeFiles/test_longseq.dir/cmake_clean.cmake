@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_longseq.dir/test_longseq.cpp.o"
+  "CMakeFiles/test_longseq.dir/test_longseq.cpp.o.d"
+  "test_longseq"
+  "test_longseq.pdb"
+  "test_longseq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_longseq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multimatrix.dir/test_multimatrix.cpp.o"
+  "CMakeFiles/test_multimatrix.dir/test_multimatrix.cpp.o.d"
+  "test_multimatrix"
+  "test_multimatrix.pdb"
+  "test_multimatrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multimatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_index.dir/test_query_index.cpp.o"
+  "CMakeFiles/test_query_index.dir/test_query_index.cpp.o.d"
+  "test_query_index"
+  "test_query_index.pdb"
+  "test_query_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

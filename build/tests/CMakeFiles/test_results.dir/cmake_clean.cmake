@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_results.dir/test_results.cpp.o"
+  "CMakeFiles/test_results.dir/test_results.cpp.o.d"
+  "test_results"
+  "test_results.pdb"
+  "test_results[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

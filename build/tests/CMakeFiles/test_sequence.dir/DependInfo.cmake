@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sequence.cpp" "tests/CMakeFiles/test_sequence.dir/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/test_sequence.dir/test_sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/mublastp_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/fasta/CMakeFiles/mublastp_fasta.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mublastp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mublastp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mublastp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/mublastp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mublastp_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/score/CMakeFiles/mublastp_score.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mublastp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mublastp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_hit.dir/test_two_hit.cpp.o"
+  "CMakeFiles/test_two_hit.dir/test_two_hit.cpp.o.d"
+  "test_two_hit"
+  "test_two_hit.pdb"
+  "test_two_hit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ungapped.dir/test_ungapped.cpp.o"
+  "CMakeFiles/test_ungapped.dir/test_ungapped.cpp.o.d"
+  "test_ungapped"
+  "test_ungapped.pdb"
+  "test_ungapped[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ungapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ungapped.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_dbinfo.dir/mublastp_dbinfo.cpp.o"
+  "CMakeFiles/mublastp_dbinfo.dir/mublastp_dbinfo.cpp.o.d"
+  "mublastp_dbinfo"
+  "mublastp_dbinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_dbinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mublastp_dbinfo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_makedb.dir/mublastp_makedb.cpp.o"
+  "CMakeFiles/mublastp_makedb.dir/mublastp_makedb.cpp.o.d"
+  "mublastp_makedb"
+  "mublastp_makedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_makedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

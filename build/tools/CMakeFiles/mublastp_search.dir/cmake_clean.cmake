@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_search.dir/mublastp_search.cpp.o"
+  "CMakeFiles/mublastp_search.dir/mublastp_search.cpp.o.d"
+  "mublastp_search"
+  "mublastp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_synthgen.dir/mublastp_synthgen.cpp.o"
+  "CMakeFiles/mublastp_synthgen.dir/mublastp_synthgen.cpp.o.d"
+  "mublastp_synthgen"
+  "mublastp_synthgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_synthgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mublastp_verify.dir/mublastp_verify.cpp.o"
+  "CMakeFiles/mublastp_verify.dir/mublastp_verify.cpp.o.d"
+  "mublastp_verify"
+  "mublastp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mublastp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

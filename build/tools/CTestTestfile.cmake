@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_verify_engines "/root/repo/build/tools/mublastp_verify" "--residues=131072" "--queries=2" "--qlen=96")
+set_tests_properties(tool_verify_engines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_synth_roundtrip "/root/repo/build/tools/mublastp_synthgen" "--preset=envnr" "--residues=65536" "--out=/root/repo/build/itest_db.fasta" "--queries=1" "--qlen=64" "--qout=/root/repo/build/itest_q.fasta")
+set_tests_properties(tool_synth_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_makedb "/root/repo/build/tools/mublastp_makedb" "--in=/root/repo/build/itest_db.fasta" "--out=/root/repo/build/itest_db.mbi" "--block-kb=64")
+set_tests_properties(tool_makedb PROPERTIES  DEPENDS "tool_synth_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_search "/root/repo/build/tools/mublastp_search" "--index=/root/repo/build/itest_db.mbi" "--query=/root/repo/build/itest_q.fasta" "--outfmt=tabular")
+set_tests_properties(tool_search PROPERTIES  DEPENDS "tool_makedb" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_dbinfo "/root/repo/build/tools/mublastp_dbinfo" "--index=/root/repo/build/itest_db.mbi")
+set_tests_properties(tool_dbinfo PROPERTIES  DEPENDS "tool_makedb" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
