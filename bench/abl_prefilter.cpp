@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
 #include "index/db_index.hpp"
+#include "stats/stats.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -38,24 +39,32 @@ struct Fixture {
 // split so the sort savings are visible even when extension dominates.
 void run_variant(benchmark::State& state, const MuBlastpEngine& engine) {
   const Fixture& f = Fixture::get();
-  StageStats total;
+  stats::PipelineSnapshot total;
   for (auto _ : state) {
     for (SeqId q = 0; q < f.queries.size(); ++q) {
-      const QueryResult r = engine.search(f.queries.sequence(q));
-      total += r.stats;
+      stats::PipelineStats ps;
+      const QueryResult r = engine.search(f.queries.sequence(q), ps);
+      total.merge(ps.snapshot());
       benchmark::DoNotOptimize(r.alignments.data());
     }
   }
   const double runs =
       static_cast<double>(state.iterations() * f.queries.size());
+  const auto& c = total.totals;
   state.counters["sorted_records_per_query"] =
-      static_cast<double>(total.sorted_records) / runs;
+      static_cast<double>(c.sorted_records) / runs;
   state.counters["sorted_pct_of_hits"] =
-      100.0 * static_cast<double>(total.sorted_records) /
-      static_cast<double>(total.hits);
-  state.counters["sort_ms_per_query"] = 1e3 * total.sort_sec / runs;
-  state.counters["detect_ms_per_query"] = 1e3 * total.detect_sec / runs;
-  state.counters["extend_ms_per_query"] = 1e3 * total.extend_sec / runs;
+      100.0 * static_cast<double>(c.sorted_records) /
+      static_cast<double>(c.hits);
+  const auto sec = [&](stats::Stage s) {
+    return total.stage_seconds[static_cast<int>(s)];
+  };
+  state.counters["sort_ms_per_query"] =
+      1e3 * sec(stats::Stage::kSort) / runs;
+  state.counters["detect_ms_per_query"] =
+      1e3 * sec(stats::Stage::kHitDetect) / runs;
+  state.counters["extend_ms_per_query"] =
+      1e3 * sec(stats::Stage::kUngapped) / runs;
 }
 
 void BM_WithPrefilter(benchmark::State& state) {

@@ -14,6 +14,7 @@
 #include "baseline/query_engine.hpp"
 #include "bench_common.hpp"
 #include "index/db_index.hpp"
+#include "stats/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace mublastp;
@@ -51,18 +52,23 @@ int main(int argc, char** argv) {
   ncbi_db.search_traced(query, h_d);
   const memsim::MemStats sd = h_d.stats();
 
-  // --- Panel (d): native execution time (median of 3). ------------------
+  // --- Panel (d): native execution time (best of 3), with the per-stage
+  // split from the pipeline telemetry of the fastest run. -----------------
   const auto time_engine = [&](const auto& engine) {
-    double best = 1e100;
+    stats::PipelineSnapshot best;
+    best.total_seconds = 1e100;
     for (int rep = 0; rep < 3; ++rep) {
-      Timer t;
-      (void)engine.search(query);
-      best = std::min(best, t.seconds());
+      stats::PipelineStats ps;
+      (void)engine.search(query, ps);
+      const stats::PipelineSnapshot snap = ps.snapshot();
+      if (snap.total_seconds < best.total_seconds) best = snap;
     }
     return best;
   };
-  const double t_ncbi = time_engine(ncbi);
-  const double t_db = time_engine(ncbi_db);
+  const stats::PipelineSnapshot s_ncbi = time_engine(ncbi);
+  const stats::PipelineSnapshot s_db = time_engine(ncbi_db);
+  const double t_ncbi = s_ncbi.total_seconds;
+  const double t_db = s_db.total_seconds;
 
   std::printf("\n%-22s %12s %12s\n", "metric", "NCBI", "NCBI-db");
   std::printf("%-22s %11.2f%% %11.2f%%\n", "(a) LLC miss rate",
@@ -78,5 +84,13 @@ int main(int argc, char** argv) {
   std::printf("LLC miss ratio (db/q): %.1fx   TLB miss ratio (db/q): %.1fx\n",
               sd.llc_miss_rate() / std::max(1e-9, sq.llc_miss_rate()),
               sd.tlb_miss_rate() / std::max(1e-9, sq.tlb_miss_rate()));
+
+  std::printf("\nper-stage split of the fastest run (seconds):\n");
+  std::printf("%-22s %12s %12s\n", "stage", "NCBI", "NCBI-db");
+  for (int s = 0; s < stats::kNumStages; ++s) {
+    std::printf("%-22s %12.4f %12.4f\n",
+                stats::stage_name(static_cast<stats::Stage>(s)),
+                s_ncbi.stage_seconds[s], s_db.stage_seconds[s]);
+  }
   return 0;
 }

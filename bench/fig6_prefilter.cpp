@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/mublastp_engine.hpp"
 #include "index/db_index.hpp"
+#include "stats/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace mublastp;
@@ -36,10 +37,11 @@ int main(int argc, char** argv) {
     std::vector<double> pct;
     std::uint64_t total_hits = 0;
     for (SeqId q = 0; q < queries.size(); ++q) {
-      const QueryResult r = engine.search(queries.sequence(q));
-      pct.push_back(100.0 * static_cast<double>(r.stats.hit_pairs) /
-                    static_cast<double>(std::max<std::uint64_t>(1, r.stats.hits)));
-      total_hits += r.stats.hits;
+      stats::PipelineStats ps;
+      (void)engine.search(queries.sequence(q), ps);
+      const stats::PipelineSnapshot snap = ps.snapshot();
+      pct.push_back(100.0 * snap.survival_ratio());
+      total_hits += snap.totals.hits;
     }
     const double mean =
         std::accumulate(pct.begin(), pct.end(), 0.0) / pct.size();

@@ -2,7 +2,10 @@
 
 #include <omp.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "core/fragment_assembly.hpp"
 #include "core/hit_logic.hpp"
 
@@ -27,15 +30,20 @@ InterleavedDbEngine::InterleavedDbEngine(const DbIndex& index,
                  "search matrix must match the index's neighbor matrix");
 }
 
-template <typename Mem>
+template <typename Mem, typename Rec>
 void InterleavedDbEngine::search_block(std::span<const Residue> query,
                                        const DbIndexBlock& block,
+                                       std::uint32_t block_id,
                                        StageStats& stats,
                                        std::vector<UngappedAlignment>& out,
-                                       DiagState& state, Mem mem) const {
+                                       DiagState& state, Mem mem,
+                                       Rec rec) const {
   const ScoreMatrix& matrix = *params_.matrix;
   const SequenceStore& db = index_->db();
   const NeighborTable& neighbors = index_->neighbors();
+  [[maybe_unused]] StageStats before;
+  if constexpr (Rec::kEnabled) before = stats;
+  stats::LapTimer<Rec::kEnabled> lap;
 
   // One diagonal-state slot per (fragment, diagonal) — the "multiple last
   // hit arrays, one for each subject sequence" of Section II-B. Fragment f
@@ -86,18 +94,26 @@ void InterleavedDbEngine::search_block(std::span<const Residue> query,
       }
     }
   }
+  if constexpr (Rec::kEnabled) {
+    // Interleaved scan: detection, pairing and ungapped extension are one
+    // fused loop, so all of it is booked under hit_detect.
+    rec.block_round(block_id, stats::counters_between(stats, before),
+                    lap.lap(), 0.0, 0.0);
+  }
 }
 
-template <typename Mem>
+template <typename Mem, typename Rec>
 QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
-                                             Mem mem) const {
+                                             Mem mem, Rec rec) const {
   MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
                  "query shorter than word length");
   QueryResult result;
   std::vector<UngappedAlignment> ungapped;
   DiagState state;
+  std::uint32_t block_id = 0;
   for (const DbIndexBlock& block : index_->blocks()) {
-    search_block(query, block, result.stats, ungapped, state, mem);
+    search_block(query, block, block_id++, result.stats, ungapped, state, mem,
+                 rec);
   }
 
   // Remap sorted-store ids to the caller's original database ids.
@@ -111,32 +127,73 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   const SubjectLookup lookup = [this](SeqId original) {
     return index_->db().sequence(index_->sorted_id(original));
   };
+  [[maybe_unused]] StageStats before;
+  if constexpr (Rec::kEnabled) before = result.stats;
+  stats::LapTimer<Rec::kEnabled> lap;
   auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
                              params_, &result.stats);
+  if constexpr (Rec::kEnabled) {
+    rec.add(stats::counters_between(result.stats, before));
+    rec.stage(stats::Stage::kGapped, lap.lap());
+  }
   result.alignments =
       finalize_stage(query, lookup, std::move(gapped), matrix, params_,
                      karlin_, index_->db().total_residues());
+  if constexpr (Rec::kEnabled) rec.stage(stats::Stage::kFinalize, lap.lap());
   return result;
 }
 
 QueryResult InterleavedDbEngine::search(std::span<const Residue> query) const {
-  return search_impl(query, memsim::NullMemoryModel{});
+  return search_impl(query, memsim::NullMemoryModel{},
+                     stats::NullStats::Recorder{});
+}
+
+QueryResult InterleavedDbEngine::search(std::span<const Residue> query,
+                                        stats::PipelineStats& ps) const {
+  ps.begin_run(1, index_->blocks().size(), 1);
+  Timer total;
+  QueryResult result =
+      search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
+  ps.finish_run(total.seconds());
+  return result;
 }
 
 QueryResult InterleavedDbEngine::search_traced(
     std::span<const Residue> query, memsim::MemoryHierarchy& mem) const {
-  return search_impl(query, memsim::TracingMemoryModel(mem));
+  return search_impl(query, memsim::TracingMemoryModel(mem),
+                     stats::NullStats::Recorder{});
+}
+
+template <typename PS>
+std::vector<QueryResult> InterleavedDbEngine::batch_impl(
+    const SequenceStore& queries, int threads, PS* ps) const {
+  MUBLASTP_CHECK(threads > 0, "thread count must be positive");
+  std::vector<QueryResult> results(queries.size());
+  [[maybe_unused]] Timer run_timer;
+  if constexpr (PS::kEnabled) {
+    ps->begin_run(std::max(threads, 1), index_->blocks().size(),
+                  queries.size());
+  }
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if constexpr (PS::kEnabled) {
+      results[i] = search_impl(queries.sequence(static_cast<SeqId>(i)),
+                               memsim::NullMemoryModel{},
+                               ps->recorder(omp_get_thread_num()));
+    } else {
+      results[i] = search(queries.sequence(static_cast<SeqId>(i)));
+    }
+  }
+  if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
+  return results;
 }
 
 std::vector<QueryResult> InterleavedDbEngine::search_batch(
-    const SequenceStore& queries, int threads) const {
-  MUBLASTP_CHECK(threads > 0, "thread count must be positive");
-  std::vector<QueryResult> results(queries.size());
-#pragma omp parallel for schedule(dynamic) num_threads(threads)
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    results[i] = search(queries.sequence(static_cast<SeqId>(i)));
-  }
-  return results;
+    const SequenceStore& queries, int threads,
+    stats::PipelineStats* ps) const {
+  if (ps != nullptr) return batch_impl(queries, threads, ps);
+  stats::NullStats* off = nullptr;
+  return batch_impl(queries, threads, off);
 }
 
 }  // namespace mublastp

@@ -16,6 +16,7 @@
 #include "index/db_index.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
+#include "stats/stats.hpp"
 
 namespace mublastp {
 
@@ -28,26 +29,42 @@ class InterleavedDbEngine {
   /// Searches one query (all blocks, all four stages).
   QueryResult search(std::span<const Residue> query) const;
 
+  /// Same search with pipeline telemetry collected into `ps`. Detection and
+  /// ungapped extension are fused here, so the whole stage-1/2 scan is
+  /// booked under the hit_detect stage.
+  QueryResult search(std::span<const Residue> query,
+                     stats::PipelineStats& ps) const;
+
   /// Same search with stage-1/2 accesses traced through `mem`.
   QueryResult search_traced(std::span<const Residue> query,
                             memsim::MemoryHierarchy& mem) const;
 
-  /// OpenMP batch over queries, block loop outermost (same loop structure
-  /// as muBLASTP so the comparison isolates the irregularity).
+  /// OpenMP batch over queries. When `ps` is non-null, telemetry is
+  /// collected into per-thread accumulators and merged once at run end
+  /// (there is no serial block loop here); counters are deterministic for
+  /// any thread count all the same.
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
-                                        int threads) const;
+                                        int threads,
+                                        stats::PipelineStats* ps
+                                        = nullptr) const;
 
   const DbIndex& index() const { return *index_; }
   const SearchParams& params() const { return params_; }
 
  private:
-  template <typename Mem>
+  template <typename Mem, typename Rec>
   void search_block(std::span<const Residue> query, const DbIndexBlock& block,
-                    StageStats& stats, std::vector<UngappedAlignment>& out,
-                    DiagState& state, Mem mem) const;
+                    std::uint32_t block_id, StageStats& stats,
+                    std::vector<UngappedAlignment>& out, DiagState& state,
+                    Mem mem, Rec rec) const;
 
-  template <typename Mem>
-  QueryResult search_impl(std::span<const Residue> query, Mem mem) const;
+  template <typename Mem, typename Rec>
+  QueryResult search_impl(std::span<const Residue> query, Mem mem,
+                          Rec rec) const;
+
+  template <typename PS>
+  std::vector<QueryResult> batch_impl(const SequenceStore& queries,
+                                      int threads, PS* ps) const;
 
   const DbIndex* index_;
   SearchParams params_;

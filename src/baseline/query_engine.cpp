@@ -2,9 +2,11 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "core/hit_logic.hpp"
 #include "index/dfa_index.hpp"
 #include "index/query_index.hpp"
@@ -36,11 +38,13 @@ QueryIndexedEngine::QueryIndexedEngine(const SequenceStore& db,
   }
 }
 
-template <typename Mem>
+template <typename Mem, typename Rec>
 QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
-                                            Mem mem) const {
+                                            Mem mem, Rec rec) const {
   MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
                  "query shorter than word length");
+  [[maybe_unused]] StageStats scan_before;
+  stats::LapTimer<Rec::kEnabled> lap;
   QueryResult result;
   // Build only the detector in use; both materialize the same positions.
   const bool use_dfa = detector_ == Detector::kDfa;
@@ -106,36 +110,82 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
     }
   }
 
+  if constexpr (Rec::kEnabled) {
+    // The subject stream (detection + pairing + ungapped extension fused)
+    // is one scan over the whole database: booked as block 0, hit_detect.
+    rec.block_round(0, stats::counters_between(result.stats, scan_before),
+                    lap.lap(), 0.0, 0.0);
+  }
+
   canonicalize_ungapped(ungapped);
   result.ungapped = ungapped;
 
   const SubjectLookup lookup = [this](SeqId id) { return db_->sequence(id); };
+  [[maybe_unused]] StageStats before;
+  if constexpr (Rec::kEnabled) before = result.stats;
   auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
                              params_, &result.stats);
+  if constexpr (Rec::kEnabled) {
+    rec.add(stats::counters_between(result.stats, before));
+    rec.stage(stats::Stage::kGapped, lap.lap());
+  }
   result.alignments =
       finalize_stage(query, lookup, std::move(gapped), matrix, params_,
                      karlin_, db_->total_residues());
+  if constexpr (Rec::kEnabled) rec.stage(stats::Stage::kFinalize, lap.lap());
   return result;
 }
 
 QueryResult QueryIndexedEngine::search(std::span<const Residue> query) const {
-  return search_impl(query, memsim::NullMemoryModel{});
+  return search_impl(query, memsim::NullMemoryModel{},
+                     stats::NullStats::Recorder{});
+}
+
+QueryResult QueryIndexedEngine::search(std::span<const Residue> query,
+                                       stats::PipelineStats& ps) const {
+  ps.begin_run(1, 1, 1);
+  Timer total;
+  QueryResult result =
+      search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
+  ps.finish_run(total.seconds());
+  return result;
 }
 
 QueryResult QueryIndexedEngine::search_traced(
     std::span<const Residue> query, memsim::MemoryHierarchy& mem) const {
-  return search_impl(query, memsim::TracingMemoryModel(mem));
+  return search_impl(query, memsim::TracingMemoryModel(mem),
+                     stats::NullStats::Recorder{});
+}
+
+template <typename PS>
+std::vector<QueryResult> QueryIndexedEngine::batch_impl(
+    const SequenceStore& queries, int threads, PS* ps) const {
+  MUBLASTP_CHECK(threads > 0, "thread count must be positive");
+  std::vector<QueryResult> results(queries.size());
+  [[maybe_unused]] Timer run_timer;
+  if constexpr (PS::kEnabled) {
+    ps->begin_run(std::max(threads, 1), 1, queries.size());
+  }
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if constexpr (PS::kEnabled) {
+      results[i] = search_impl(queries.sequence(static_cast<SeqId>(i)),
+                               memsim::NullMemoryModel{},
+                               ps->recorder(omp_get_thread_num()));
+    } else {
+      results[i] = search(queries.sequence(static_cast<SeqId>(i)));
+    }
+  }
+  if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
+  return results;
 }
 
 std::vector<QueryResult> QueryIndexedEngine::search_batch(
-    const SequenceStore& queries, int threads) const {
-  MUBLASTP_CHECK(threads > 0, "thread count must be positive");
-  std::vector<QueryResult> results(queries.size());
-#pragma omp parallel for schedule(dynamic) num_threads(threads)
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    results[i] = search(queries.sequence(static_cast<SeqId>(i)));
-  }
-  return results;
+    const SequenceStore& queries, int threads,
+    stats::PipelineStats* ps) const {
+  if (ps != nullptr) return batch_impl(queries, threads, ps);
+  stats::NullStats* off = nullptr;
+  return batch_impl(queries, threads, off);
 }
 
 }  // namespace mublastp

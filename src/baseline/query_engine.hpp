@@ -18,6 +18,7 @@
 #include "index/neighbor.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
+#include "stats/stats.hpp"
 
 namespace mublastp {
 
@@ -39,21 +40,35 @@ class QueryIndexedEngine {
   /// Searches one query through all four stages.
   QueryResult search(std::span<const Residue> query) const;
 
+  /// Same search with pipeline telemetry collected into `ps`. The engine
+  /// has no index blocks; the whole database is booked as block 0, and the
+  /// fused detect+extend scan as the hit_detect stage.
+  QueryResult search(std::span<const Residue> query,
+                     stats::PipelineStats& ps) const;
+
   /// Same search with every stage-1/2 data access traced through `mem`.
   QueryResult search_traced(std::span<const Residue> query,
                             memsim::MemoryHierarchy& mem) const;
 
   /// Searches a batch with OpenMP over queries ("-num_threads" behaviour).
+  /// When `ps` is non-null, telemetry is collected and merged at run end.
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
-                                        int threads) const;
+                                        int threads,
+                                        stats::PipelineStats* ps
+                                        = nullptr) const;
 
   const SequenceStore& db() const { return *db_; }
   const SearchParams& params() const { return params_; }
   const NeighborTable& neighbors() const { return neighbors_; }
 
  private:
-  template <typename Mem>
-  QueryResult search_impl(std::span<const Residue> query, Mem mem) const;
+  template <typename Mem, typename Rec>
+  QueryResult search_impl(std::span<const Residue> query, Mem mem,
+                          Rec rec) const;
+
+  template <typename PS>
+  std::vector<QueryResult> batch_impl(const SequenceStore& queries,
+                                      int threads, PS* ps) const;
 
   const SequenceStore* db_;
   SearchParams params_;

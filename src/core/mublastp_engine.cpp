@@ -55,11 +55,12 @@ void MuBlastpEngine::sort_records(std::vector<HitRecord>& records,
   }
 }
 
-template <typename Mem>
+template <typename Mem, typename Rec>
 void MuBlastpEngine::search_block(std::span<const Residue> query,
-                                  const DbIndexBlock& block, StageStats& stats,
+                                  const DbIndexBlock& block,
+                                  std::uint32_t block_id, StageStats& stats,
                                   std::vector<UngappedAlignment>& out,
-                                  Workspace& ws, Mem mem) const {
+                                  Workspace& ws, Mem mem, Rec prec) const {
   const ScoreMatrix& matrix = *params_.matrix;
   const SequenceStore& db = index_->db();
   const NeighborTable& neighbors = index_->neighbors();
@@ -82,7 +83,9 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   ws.state.resize(ws.bases.back());
   ws.state.new_round(static_cast<std::int32_t>(qlen) + 1);
   ws.records.clear();
-  Timer stage_timer;
+  [[maybe_unused]] StageStats before;
+  if constexpr (Rec::kEnabled) before = stats;
+  stats::LapTimer<Rec::kEnabled> lap;
 
   // ---- Stage 1: hit detection (+ pre-filter with Algorithm 2). --------
   // Only index structures and the last-hit array are touched here — no
@@ -132,8 +135,7 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   }
 
   // ---- Stage 2a: hit reordering. ---------------------------------------
-  stats.detect_sec += stage_timer.seconds();
-  stage_timer.reset();
+  const double detect_sec = lap.lap();
   stats.sorted_records += ws.records.size();
   if constexpr (Mem::kEnabled) {
     // The sort streams the buffer once per digit (read + write); model that
@@ -146,8 +148,7 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
     }
   }
   sort_records(ws.records, key_bits);
-  stats.sort_sec += stage_timer.seconds();
-  stage_timer.reset();
+  const double sort_sec = lap.lap();
 
   // ---- Stage 2b: (post-)filter + ungapped extension in sorted order. ---
   // Without the pre-filter this is Algorithm 1: pair detection runs here,
@@ -209,19 +210,24 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
       ext_reached = static_cast<std::int32_t>(rec.qoff);
     }
   }
-  stats.extend_sec += stage_timer.seconds();
+  if constexpr (Rec::kEnabled) {
+    prec.block_round(block_id, stats::counters_between(stats, before),
+                     detect_sec, sort_sec, lap.lap());
+  }
 }
 
-template <typename Mem>
+template <typename Mem, typename Rec>
 QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
-                                        Mem mem) const {
+                                        Mem mem, Rec prec) const {
   MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
                  "query shorter than word length");
   QueryResult result;
   std::vector<UngappedAlignment> ungapped;
   Workspace ws;
+  std::uint32_t block_id = 0;
   for (const DbIndexBlock& block : index_->blocks()) {
-    search_block(query, block, result.stats, ungapped, ws, mem);
+    search_block(query, block, block_id++, result.stats, ungapped, ws, mem,
+                 prec);
   }
 
   for (UngappedAlignment& u : ungapped) {
@@ -234,25 +240,46 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   const SubjectLookup lookup = [this](SeqId original) {
     return index_->db().sequence(index_->sorted_id(original));
   };
+  [[maybe_unused]] StageStats before;
+  if constexpr (Rec::kEnabled) before = result.stats;
+  stats::LapTimer<Rec::kEnabled> lap;
   auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
                              params_, &result.stats);
+  if constexpr (Rec::kEnabled) {
+    prec.add(stats::counters_between(result.stats, before));
+    prec.stage(stats::Stage::kGapped, lap.lap());
+  }
   result.alignments =
       finalize_stage(query, lookup, std::move(gapped), matrix, params_,
                      karlin_, index_->db().total_residues());
+  if constexpr (Rec::kEnabled) prec.stage(stats::Stage::kFinalize, lap.lap());
   return result;
 }
 
 QueryResult MuBlastpEngine::search(std::span<const Residue> query) const {
-  return search_impl(query, memsim::NullMemoryModel{});
+  return search_impl(query, memsim::NullMemoryModel{},
+                     stats::NullStats::Recorder{});
+}
+
+QueryResult MuBlastpEngine::search(std::span<const Residue> query,
+                                   stats::PipelineStats& ps) const {
+  ps.begin_run(1, index_->blocks().size(), 1);
+  Timer total;
+  QueryResult result =
+      search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
+  ps.finish_run(total.seconds());
+  return result;
 }
 
 QueryResult MuBlastpEngine::search_traced(std::span<const Residue> query,
                                           memsim::MemoryHierarchy& mem) const {
-  return search_impl(query, memsim::TracingMemoryModel(mem));
+  return search_impl(query, memsim::TracingMemoryModel(mem),
+                     stats::NullStats::Recorder{});
 }
 
-std::vector<QueryResult> MuBlastpEngine::search_batch(
-    const SequenceStore& queries, int threads) const {
+template <typename PS>
+std::vector<QueryResult> MuBlastpEngine::batch_impl(
+    const SequenceStore& queries, int threads, PS* ps) const {
   MUBLASTP_CHECK(threads > 0, "thread count must be positive");
   const std::size_t nq = queries.size();
   std::vector<QueryResult> results(nq);
@@ -260,21 +287,35 @@ std::vector<QueryResult> MuBlastpEngine::search_batch(
 
   const int max_threads = std::max(threads, 1);
   std::vector<Workspace> workspaces(static_cast<std::size_t>(max_threads));
+  [[maybe_unused]] Timer run_timer;
+  if constexpr (PS::kEnabled) {
+    ps->begin_run(max_threads, index_->blocks().size(), nq);
+  }
 
   // Algorithm 3, first parallel region: stages 1-2, block loop outermost so
   // the block's index is shared in cache across threads. Each query is one
   // dynamic task; a query's accumulator is only ever touched by the thread
   // that owns it for the current block, and blocks are processed serially,
-  // so no synchronization is needed.
+  // so no synchronization is needed. Telemetry follows the same discipline:
+  // threads write private accumulators, merged at each block's end.
+  std::uint32_t block_id = 0;
   for (const DbIndexBlock& block : index_->blocks()) {
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
     for (std::size_t i = 0; i < nq; ++i) {
-      Workspace& ws =
-          workspaces[static_cast<std::size_t>(omp_get_thread_num())];
-      search_block(queries.sequence(static_cast<SeqId>(i)), block,
-                   results[i].stats, ungapped[i], ws,
-                   memsim::NullMemoryModel{});
+      const int tid = omp_get_thread_num();
+      Workspace& ws = workspaces[static_cast<std::size_t>(tid)];
+      if constexpr (PS::kEnabled) {
+        search_block(queries.sequence(static_cast<SeqId>(i)), block, block_id,
+                     results[i].stats, ungapped[i], ws,
+                     memsim::NullMemoryModel{}, ps->recorder(tid));
+      } else {
+        search_block(queries.sequence(static_cast<SeqId>(i)), block, block_id,
+                     results[i].stats, ungapped[i], ws,
+                     memsim::NullMemoryModel{}, stats::NullStats::Recorder{});
+      }
     }
+    if constexpr (PS::kEnabled) ps->merge_block(block_id);
+    ++block_id;
   }
 
   // Algorithm 3, second parallel region: stages 3-4 per query (gapped
@@ -293,13 +334,34 @@ std::vector<QueryResult> MuBlastpEngine::search_batch(
     results[i].ungapped = u;
     const std::span<const Residue> query =
         queries.sequence(static_cast<SeqId>(i));
+    [[maybe_unused]] StageStats before;
+    if constexpr (PS::kEnabled) before = results[i].stats;
+    stats::LapTimer<PS::kEnabled> lap;
     auto gapped = gapped_stage(query, lookup, std::move(u), matrix, params_,
                                &results[i].stats);
+    if constexpr (PS::kEnabled) {
+      auto prec = ps->recorder(omp_get_thread_num());
+      prec.add(stats::counters_between(results[i].stats, before));
+      prec.stage(stats::Stage::kGapped, lap.lap());
+    }
     results[i].alignments =
         finalize_stage(query, lookup, std::move(gapped), matrix, params_,
                        karlin_, index_->db().total_residues());
+    if constexpr (PS::kEnabled) {
+      ps->recorder(omp_get_thread_num())
+          .stage(stats::Stage::kFinalize, lap.lap());
+    }
   }
+  if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
   return results;
+}
+
+std::vector<QueryResult> MuBlastpEngine::search_batch(
+    const SequenceStore& queries, int threads,
+    stats::PipelineStats* ps) const {
+  if (ps != nullptr) return batch_impl(queries, threads, ps);
+  stats::NullStats* off = nullptr;
+  return batch_impl(queries, threads, off);
 }
 
 }  // namespace mublastp

@@ -29,6 +29,7 @@
 #include "index/db_index.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
+#include "stats/stats.hpp"
 
 namespace mublastp {
 
@@ -66,14 +67,24 @@ class MuBlastpEngine {
   /// Searches one query through all four stages (single-threaded).
   QueryResult search(std::span<const Residue> query) const;
 
+  /// Same search with pipeline telemetry (per-stage time, per-block
+  /// counters) collected into `ps` as one single-threaded run.
+  QueryResult search(std::span<const Residue> query,
+                     stats::PipelineStats& ps) const;
+
   /// Same search with stage-1/2 accesses traced through `mem`.
   QueryResult search_traced(std::span<const Residue> query,
                             memsim::MemoryHierarchy& mem) const;
 
   /// Algorithm 3: block loop outermost, OpenMP dynamic-for over queries for
   /// stages 1-2, then a second dynamic-for over queries for stages 3-4.
+  /// When `ps` is non-null, telemetry is collected into it: per-thread
+  /// accumulators are merged at each block's end, so all counters are
+  /// identical for any thread count.
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
-                                        int threads) const;
+                                        int threads,
+                                        stats::PipelineStats* ps
+                                        = nullptr) const;
 
   const DbIndex& index() const { return *index_; }
   const SearchParams& params() const { return params_; }
@@ -87,13 +98,19 @@ class MuBlastpEngine {
     std::vector<std::uint32_t> bases;  ///< per-fragment diagonal key bases
   };
 
-  template <typename Mem>
+  template <typename Mem, typename Rec>
   void search_block(std::span<const Residue> query, const DbIndexBlock& block,
-                    StageStats& stats, std::vector<UngappedAlignment>& out,
-                    Workspace& ws, Mem mem) const;
+                    std::uint32_t block_id, StageStats& stats,
+                    std::vector<UngappedAlignment>& out, Workspace& ws,
+                    Mem mem, Rec rec) const;
 
-  template <typename Mem>
-  QueryResult search_impl(std::span<const Residue> query, Mem mem) const;
+  template <typename Mem, typename Rec>
+  QueryResult search_impl(std::span<const Residue> query, Mem mem,
+                          Rec rec) const;
+
+  template <typename PS>
+  std::vector<QueryResult> batch_impl(const SequenceStore& queries,
+                                      int threads, PS* ps) const;
 
   void sort_records(std::vector<HitRecord>& records, int key_bits) const;
 

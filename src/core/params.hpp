@@ -88,7 +88,11 @@ struct GappedAlignment {
   std::string ops;
 };
 
-/// Per-stage counters used by the figure benches and the equivalence tests.
+/// Per-query pipeline counters, maintained by every engine on every search
+/// (increments only — cheap enough to always be on). Field names match
+/// stats::StageCounters so the telemetry subsystem (src/stats) can lift
+/// deltas out of them; wall-clock timing lives entirely in that subsystem
+/// and is collected only when a stats::PipelineStats run is active.
 struct StageStats {
   std::uint64_t hits = 0;            ///< stage-1 word hits
   std::uint64_t hit_pairs = 0;       ///< two-hit pairs (post pre-filter)
@@ -97,11 +101,7 @@ struct StageStats {
   std::uint64_t gapped_extensions = 0;
   std::uint64_t sorted_records = 0;  ///< records that went through reorder
 
-  // Wall-clock seconds per pipeline stage (filled by MuBlastpEngine; the
-  // interleaved engines cannot separate detection from extension).
-  double detect_sec = 0.0;  ///< hit detection (+ pre-filter)
-  double sort_sec = 0.0;    ///< hit reordering
-  double extend_sec = 0.0;  ///< ungapped extension sweep
+  friend bool operator==(const StageStats&, const StageStats&) = default;
 
   StageStats& operator+=(const StageStats& o) {
     hits += o.hits;
@@ -110,9 +110,6 @@ struct StageStats {
     ungapped_alignments += o.ungapped_alignments;
     gapped_extensions += o.gapped_extensions;
     sorted_records += o.sorted_records;
-    detect_sec += o.detect_sec;
-    sort_sec += o.sort_sec;
-    extend_sec += o.extend_sec;
     return *this;
   }
 };

@@ -1,0 +1,384 @@
+#include "stats/stats.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mublastp::stats {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kHitDetect:
+      return "hit_detect";
+    case Stage::kSort:
+      return "sort";
+    case Stage::kUngapped:
+      return "ungapped";
+    case Stage::kGapped:
+      return "gapped";
+    case Stage::kFinalize:
+      return "finalize";
+  }
+  return "unknown";
+}
+
+void PipelineSnapshot::merge(const PipelineSnapshot& o) {
+  if (engine.empty()) engine = o.engine;
+  threads = std::max(threads, o.threads);
+  queries += o.queries;
+  totals += o.totals;
+  for (int s = 0; s < kNumStages; ++s) stage_seconds[s] += o.stage_seconds[s];
+  total_seconds += o.total_seconds;
+  for (const BlockStats& b : o.per_block) {
+    if (per_block.size() <= b.block) per_block.resize(b.block + 1);
+    BlockStats& mine = per_block[b.block];
+    mine.block = b.block;
+    mine.rounds += b.rounds;
+    mine.counters += b.counters;
+    for (int s = 0; s < kNumStages; ++s) mine.seconds[s] += b.seconds[s];
+  }
+}
+
+void PipelineStats::begin_run(int threads, std::size_t blocks,
+                              std::uint64_t queries) {
+  MUBLASTP_CHECK(threads > 0, "stats run needs at least one thread");
+  threads_ = threads;
+  queries_ = queries;
+  total_seconds_ = 0.0;
+  accums_.assign(static_cast<std::size_t>(threads), {});
+  for (detail::ThreadAccum& a : accums_) {
+    a.blocks.resize(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      a.blocks[b].block = static_cast<std::uint32_t>(b);
+    }
+  }
+  blocks_.assign(blocks, {});
+  for (std::size_t b = 0; b < blocks; ++b) {
+    blocks_[b].block = static_cast<std::uint32_t>(b);
+  }
+  extra_counters_ = {};
+  extra_seconds_ = {};
+}
+
+void PipelineStats::merge_block(std::uint32_t block) {
+  BlockStats& agg = blocks_[block];
+  for (detail::ThreadAccum& a : accums_) {
+    BlockStats& mine = a.blocks[block];
+    agg.rounds += mine.rounds;
+    agg.counters += mine.counters;
+    for (int s = 0; s < kNumStages; ++s) agg.seconds[s] += mine.seconds[s];
+    mine = BlockStats{};
+    mine.block = block;
+  }
+}
+
+void PipelineStats::finish_run(double total_seconds) {
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) merge_block(b);
+  for (detail::ThreadAccum& a : accums_) {
+    extra_counters_ += a.extra;
+    for (int s = 0; s < kNumStages; ++s) extra_seconds_[s] += a.extra_seconds[s];
+    a.extra = {};
+    a.extra_seconds = {};
+  }
+  total_seconds_ = total_seconds;
+}
+
+PipelineSnapshot PipelineStats::snapshot() const {
+  PipelineSnapshot s;
+  s.engine = engine_;
+  s.threads = threads_;
+  s.queries = queries_;
+  s.total_seconds = total_seconds_;
+  s.per_block = blocks_;
+  s.totals = extra_counters_;
+  s.stage_seconds = extra_seconds_;
+  for (const BlockStats& b : blocks_) {
+    s.totals += b.counters;
+    for (int st = 0; st < kNumStages; ++st) {
+      s.stage_seconds[st] += b.seconds[st];
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// JSON schema "mublastp-stats-v1" (documented in docs/ALGORITHMS.md).
+// ---------------------------------------------------------------------------
+namespace {
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[128];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+// %.17g prints doubles with round-trip precision (shortest is nicer, but
+// 17 significant digits guarantee strtod gives back the exact bits).
+void append_double(std::string& out, double v) { append_f(out, "%.17g", v); }
+
+void append_counters(std::string& out, const StageCounters& c,
+                     const char* indent) {
+  append_f(out, "{\n%s  \"hits\": %" PRIu64 ",\n", indent, c.hits);
+  append_f(out, "%s  \"hit_pairs\": %" PRIu64 ",\n", indent, c.hit_pairs);
+  append_f(out, "%s  \"sorted_records\": %" PRIu64 ",\n", indent,
+           c.sorted_records);
+  append_f(out, "%s  \"extensions\": %" PRIu64 ",\n", indent, c.extensions);
+  append_f(out, "%s  \"ungapped_alignments\": %" PRIu64 ",\n", indent,
+           c.ungapped_alignments);
+  append_f(out, "%s  \"gapped_extensions\": %" PRIu64 "\n%s}", indent,
+           c.gapped_extensions, indent);
+}
+
+void append_seconds(std::string& out, const StageSeconds& sec,
+                    const char* indent) {
+  out += "{";
+  for (int s = 0; s < kNumStages; ++s) {
+    append_f(out, "%s\"%s\": ", s == 0 ? "" : ", ",
+             stage_name(static_cast<Stage>(s)));
+    append_double(out, sec[s]);
+  }
+  (void)indent;
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_json(const PipelineSnapshot& s) {
+  std::string out;
+  out.reserve(1024 + 256 * s.per_block.size());
+  out += "{\n  \"schema\": \"mublastp-stats-v1\",\n";
+  append_f(out, "  \"engine\": \"%s\",\n", s.engine.c_str());
+  append_f(out, "  \"threads\": %d,\n", s.threads);
+  append_f(out, "  \"queries\": %" PRIu64 ",\n", s.queries);
+  append_f(out, "  \"blocks\": %zu,\n", s.per_block.size());
+  out += "  \"counters\": ";
+  append_counters(out, s.totals, "  ");
+  out += ",\n  \"survival_ratio\": ";
+  append_double(out, s.survival_ratio());
+  out += ",\n  \"stage_seconds\": ";
+  append_seconds(out, s.stage_seconds, "  ");
+  out += ",\n  \"total_seconds\": ";
+  append_double(out, s.total_seconds);
+  out += ",\n  \"per_block\": [";
+  for (std::size_t i = 0; i < s.per_block.size(); ++i) {
+    const BlockStats& b = s.per_block[i];
+    out += i == 0 ? "\n" : ",\n";
+    append_f(out, "    {\"block\": %u, \"rounds\": %" PRIu64
+                  ", \"counters\": ",
+             b.block, b.rounds);
+    append_counters(out, b.counters, "    ");
+    out += ", \"seconds\": ";
+    append_seconds(out, b.seconds, "    ");
+    out += "}";
+  }
+  out += s.per_block.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the schema above (objects, arrays,
+// strings without escapes, integer and floating-point numbers). Exists so
+// tests can assert the emitted JSON round-trips without an external dep.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw Error(std::string("stats JSON: ") + what);
+  }
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (p >= end) fail("unexpected end of input");
+    return *p;
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected token");
+    ++p;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  std::string string() {
+    expect('"');
+    std::string s;
+    while (p < end && *p != '"') {
+      if (*p == '\\') fail("escapes not supported");
+      s += *p++;
+    }
+    if (p >= end) fail("unterminated string");
+    ++p;
+    return s;
+  }
+  // Numbers are returned as their source token; callers convert.
+  std::string number() {
+    skip_ws();
+    const char* start = p;
+    while (p < end && *p != '\0' &&
+           (std::strchr("+-.eE", *p) != nullptr || (*p >= '0' && *p <= '9'))) {
+      ++p;
+    }
+    if (p == start) fail("expected a number");
+    return std::string(start, p);
+  }
+  double number_double() { return std::strtod(number().c_str(), nullptr); }
+  std::uint64_t number_u64() {
+    return std::strtoull(number().c_str(), nullptr, 10);
+  }
+  void skip_value();
+  /// Walks an object, invoking fn(key) positioned at each value. fn must
+  /// consume the value (or call skip_value()).
+  template <typename Fn>
+  void object(Fn&& fn) {
+    expect('{');
+    if (consume('}')) return;
+    do {
+      const std::string key = string();
+      expect(':');
+      fn(key);
+    } while (consume(','));
+    expect('}');
+  }
+  template <typename Fn>
+  void array(Fn&& fn) {
+    expect('[');
+    if (consume(']')) return;
+    do {
+      fn();
+    } while (consume(','));
+    expect(']');
+  }
+};
+
+void Parser::skip_value() {
+  switch (peek()) {
+    case '{':
+      object([&](const std::string&) { skip_value(); });
+      break;
+    case '[':
+      array([&] { skip_value(); });
+      break;
+    case '"':
+      string();
+      break;
+    default:
+      number();
+      break;
+  }
+}
+
+StageCounters parse_counters(Parser& ps) {
+  StageCounters c;
+  ps.object([&](const std::string& key) {
+    if (key == "hits") c.hits = ps.number_u64();
+    else if (key == "hit_pairs") c.hit_pairs = ps.number_u64();
+    else if (key == "sorted_records") c.sorted_records = ps.number_u64();
+    else if (key == "extensions") c.extensions = ps.number_u64();
+    else if (key == "ungapped_alignments") c.ungapped_alignments = ps.number_u64();
+    else if (key == "gapped_extensions") c.gapped_extensions = ps.number_u64();
+    else ps.skip_value();
+  });
+  return c;
+}
+
+StageSeconds parse_seconds(Parser& ps) {
+  StageSeconds sec{};
+  ps.object([&](const std::string& key) {
+    for (int s = 0; s < kNumStages; ++s) {
+      if (key == stage_name(static_cast<Stage>(s))) {
+        sec[s] = ps.number_double();
+        return;
+      }
+    }
+    ps.skip_value();
+  });
+  return sec;
+}
+
+}  // namespace
+
+PipelineSnapshot from_json(const std::string& json) {
+  Parser ps{json.data(), json.data() + json.size()};
+  PipelineSnapshot s;
+  bool schema_ok = false;
+  ps.object([&](const std::string& key) {
+    if (key == "schema") {
+      schema_ok = ps.string() == "mublastp-stats-v1";
+    } else if (key == "engine") {
+      s.engine = ps.string();
+    } else if (key == "threads") {
+      s.threads = static_cast<int>(ps.number_u64());
+    } else if (key == "queries") {
+      s.queries = ps.number_u64();
+    } else if (key == "counters") {
+      s.totals = parse_counters(ps);
+    } else if (key == "stage_seconds") {
+      s.stage_seconds = parse_seconds(ps);
+    } else if (key == "total_seconds") {
+      s.total_seconds = ps.number_double();
+    } else if (key == "per_block") {
+      ps.array([&] {
+        BlockStats b;
+        ps.object([&](const std::string& bkey) {
+          if (bkey == "block") b.block = static_cast<std::uint32_t>(ps.number_u64());
+          else if (bkey == "rounds") b.rounds = ps.number_u64();
+          else if (bkey == "counters") b.counters = parse_counters(ps);
+          else if (bkey == "seconds") b.seconds = parse_seconds(ps);
+          else ps.skip_value();
+        });
+        s.per_block.push_back(std::move(b));
+      });
+    } else {
+      // "blocks" and "survival_ratio" are derived; tolerate unknown keys so
+      // minor-version additions stay readable.
+      ps.skip_value();
+    }
+  });
+  ps.skip_ws();
+  MUBLASTP_CHECK(ps.p == ps.end, "trailing garbage after stats JSON");
+  MUBLASTP_CHECK(schema_ok, "missing or unsupported stats JSON schema");
+  return s;
+}
+
+void print_table(std::FILE* out, const PipelineSnapshot& s) {
+  std::fprintf(out, "pipeline stats: engine=%s threads=%d queries=%" PRIu64
+                    " blocks=%zu\n",
+               s.engine.c_str(), s.threads, s.queries, s.per_block.size());
+  const StageCounters& c = s.totals;
+  std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hits", c.hits);
+  std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hit_pairs", c.hit_pairs);
+  std::fprintf(out, "  %-22s %15" PRIu64 "\n", "sorted_records",
+               c.sorted_records);
+  std::fprintf(out, "  %-22s %15" PRIu64 "\n", "extensions", c.extensions);
+  std::fprintf(out, "  %-22s %15" PRIu64 "\n", "ungapped_alignments",
+               c.ungapped_alignments);
+  std::fprintf(out, "  %-22s %15" PRIu64 "\n", "gapped_extensions",
+               c.gapped_extensions);
+  std::fprintf(out, "  %-22s %15.4f%%\n", "survival_ratio",
+               100.0 * s.survival_ratio());
+  for (int st = 0; st < kNumStages; ++st) {
+    std::fprintf(out, "  %-22s %14.4fs\n",
+                 stage_name(static_cast<Stage>(st)), s.stage_seconds[st]);
+  }
+  std::fprintf(out, "  %-22s %14.4fs\n", "total", s.total_seconds);
+}
+
+}  // namespace mublastp::stats

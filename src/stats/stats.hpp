@@ -1,0 +1,265 @@
+// Pipeline telemetry: the paper's stage-level accounting (per-stage time
+// breakdowns of Figure 2, the <5% pre-filter survival ratio of Figure 6,
+// hit/pair/extension/HSP counts) as a runtime-observable subsystem.
+//
+// Mirrors the memsim MemoryModel pattern: engine kernels are templated on a
+// stats policy. The default NullStats compiles to nothing — every hook is a
+// no-op the optimizer removes, so uninstrumented searches pay zero cost.
+// PipelineStats is the runtime collector: per-stage wall time, pipeline
+// counters and per-block aggregates, collected into per-thread accumulators
+// that are merged at block end (the serial point of the Algorithm 3 block
+// loop). Because counter addition is associative and commutative and every
+// (block, query) round produces the same delta on any thread, the merged
+// counters are bit-identical regardless of thread count or schedule — which
+// is what makes pipeline behaviour assertable in tests.
+//
+// Granularity note: the recorder hooks fire once per (block, query) round
+// and once per stage-3/4 query, never per hit. Per-hit counting stays in
+// the per-query StageStats (core/params.hpp) the engines already maintain;
+// the recorder receives the round's delta of those counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace mublastp::stats {
+
+/// Pipeline stages, in execution order. For the interleaved engines
+/// (query-indexed "NCBI" and database-indexed "NCBI-db") detection and
+/// ungapped extension are fused, so their whole stage-1/2 scan is booked
+/// under kHitDetect and kSort/kUngapped stay zero — the asymmetry the
+/// paper's decoupling removes.
+enum class Stage : int {
+  kHitDetect = 0,  ///< hit detection (+ pre-filter)
+  kSort,           ///< hit reordering (radix sort)
+  kUngapped,       ///< ungapped extension sweep
+  kGapped,         ///< gapped extension (score-only)
+  kFinalize,       ///< merge, cull, traceback, E-values
+};
+inline constexpr int kNumStages = 5;
+
+/// Stable JSON field name of a stage ("hit_detect", "sort", ...).
+const char* stage_name(Stage s);
+
+/// Whole-pipeline counters. Deterministic for a fixed input: independent of
+/// thread count, schedule and wall time.
+struct StageCounters {
+  std::uint64_t hits = 0;                ///< stage-1 word hits
+  std::uint64_t hit_pairs = 0;           ///< two-hit pairs (pre-filter out)
+  std::uint64_t sorted_records = 0;      ///< records through the reorder
+  std::uint64_t extensions = 0;          ///< ungapped extensions executed
+  std::uint64_t ungapped_alignments = 0; ///< HSPs (score >= ungapped cutoff)
+  std::uint64_t gapped_extensions = 0;   ///< gapped extensions executed
+
+  StageCounters& operator+=(const StageCounters& o) {
+    hits += o.hits;
+    hit_pairs += o.hit_pairs;
+    sorted_records += o.sorted_records;
+    extensions += o.extensions;
+    ungapped_alignments += o.ungapped_alignments;
+    gapped_extensions += o.gapped_extensions;
+    return *this;
+  }
+  friend bool operator==(const StageCounters&, const StageCounters&) = default;
+
+  /// Pre-filter survival ratio (Figure 6): fraction of stage-1 hits that
+  /// become two-hit pairs. 0 when there were no hits at all (empty or
+  /// all-ambiguity inputs must not divide by zero).
+  double survival_ratio() const {
+    return hits == 0 ? 0.0
+                     : static_cast<double>(hit_pairs) /
+                           static_cast<double>(hits);
+  }
+};
+
+/// Copies the counter fields out of any struct exposing them under the same
+/// names (core's per-query StageStats; core depends on this library, so the
+/// coupling is by field name only).
+template <typename S>
+StageCounters counters_of(const S& s) {
+  return {s.hits,       s.hit_pairs,           s.sorted_records,
+          s.extensions, s.ungapped_alignments, s.gapped_extensions};
+}
+
+/// Delta between two snapshots of the same accumulating struct.
+template <typename S>
+StageCounters counters_between(const S& after, const S& before) {
+  return {after.hits - before.hits,
+          after.hit_pairs - before.hit_pairs,
+          after.sorted_records - before.sorted_records,
+          after.extensions - before.extensions,
+          after.ungapped_alignments - before.ungapped_alignments,
+          after.gapped_extensions - before.gapped_extensions};
+}
+
+/// Seconds per Stage, indexed by static_cast<int>(Stage).
+using StageSeconds = std::array<double, kNumStages>;
+
+/// Aggregate over every (query, block) round of one index block.
+struct BlockStats {
+  std::uint32_t block = 0;
+  std::uint64_t rounds = 0;  ///< (block, query) rounds aggregated
+  StageCounters counters;
+  StageSeconds seconds{};
+};
+
+/// Immutable result of one collection run — exactly what the JSON schema
+/// (docs/ALGORITHMS.md "Telemetry") serializes.
+struct PipelineSnapshot {
+  std::string engine;          ///< "mublastp", "ncbi-db", "ncbi"
+  int threads = 0;
+  std::uint64_t queries = 0;
+  StageCounters totals;
+  StageSeconds stage_seconds{};
+  double total_seconds = 0.0;  ///< wall time of the whole run
+  std::vector<BlockStats> per_block;
+
+  double survival_ratio() const { return totals.survival_ratio(); }
+
+  /// Folds another run into this one (benches aggregating per-query runs).
+  void merge(const PipelineSnapshot& o);
+};
+
+/// Serializes a snapshot to the stable "mublastp-stats-v1" JSON schema.
+/// Doubles are printed with round-trip precision, so
+/// to_json(from_json(s)) == s for any s this function produced.
+std::string to_json(const PipelineSnapshot& s);
+
+/// Parses a snapshot back. Accepts exactly the schema to_json emits (field
+/// order-insensitive); throws mublastp::Error on malformed input.
+PipelineSnapshot from_json(const std::string& json);
+
+/// Human-readable table (the --stats output of the tools).
+void print_table(std::FILE* out, const PipelineSnapshot& s);
+
+/// Compile-time-off policy: every hook is an empty inline the optimizer
+/// deletes, so instrumented kernels cost nothing when built with it.
+struct NullStats {
+  static constexpr bool kEnabled = false;
+  struct Recorder {
+    static constexpr bool kEnabled = false;
+    void block_round(std::uint32_t, const StageCounters&, double, double,
+                     double) const {}
+    void stage(Stage, double) const {}
+    void add(const StageCounters&) const {}
+  };
+  void begin_run(int, std::size_t, std::uint64_t) const {}
+  Recorder recorder(int) const { return {}; }
+  void merge_block(std::uint32_t) const {}
+  void finish_run(double) const {}
+};
+
+/// Stopwatch that vanishes (no clock reads) when the policy is disabled.
+template <bool Enabled>
+class LapTimer;
+
+template <>
+class LapTimer<false> {
+ public:
+  double lap() { return 0.0; }
+};
+
+template <>
+class LapTimer<true> {
+ public:
+  /// Seconds since construction or the previous lap; restarts the clock.
+  double lap() {
+    const double s = timer_.seconds();
+    timer_.reset();
+    return s;
+  }
+
+ private:
+  Timer timer_;
+};
+
+namespace detail {
+
+/// One thread's private accumulator: per-block rounds plus the stage-3/4
+/// spill that has no block attribution. Written by exactly one thread
+/// between merges, so no synchronization is needed.
+struct ThreadAccum {
+  std::vector<BlockStats> blocks;  ///< indexed by block id
+  StageCounters extra;
+  StageSeconds extra_seconds{};
+};
+
+}  // namespace detail
+
+/// Runtime collector. Lifecycle: begin_run sizes one accumulator per
+/// thread; during parallel regions each thread writes only its own
+/// accumulator through its Recorder (no locks, no atomics); merge_block /
+/// finish_run fold accumulators in serial code.
+class PipelineStats {
+ public:
+  static constexpr bool kEnabled = true;
+
+  explicit PipelineStats(std::string engine = "mublastp")
+      : engine_(std::move(engine)) {}
+
+  /// Prepares a run: clears all prior state and sizes `threads`
+  /// accumulators over `blocks` index blocks for `queries` queries.
+  void begin_run(int threads, std::size_t blocks, std::uint64_t queries);
+
+  /// Write handle bound to one thread's accumulator. Cheap to copy; must
+  /// only be used by the thread it was requested for.
+  class Recorder {
+   public:
+    static constexpr bool kEnabled = true;
+
+    /// Books one (block, query) round of stages 1-2.
+    void block_round(std::uint32_t block, const StageCounters& c,
+                     double detect_sec, double sort_sec, double extend_sec) {
+      BlockStats& b = accum_->blocks[block];
+      ++b.rounds;
+      b.counters += c;
+      b.seconds[static_cast<int>(Stage::kHitDetect)] += detect_sec;
+      b.seconds[static_cast<int>(Stage::kSort)] += sort_sec;
+      b.seconds[static_cast<int>(Stage::kUngapped)] += extend_sec;
+    }
+    /// Books stage-3/4 wall time (not attributable to one block).
+    void stage(Stage s, double sec) {
+      accum_->extra_seconds[static_cast<int>(s)] += sec;
+    }
+    /// Books stage-3/4 counter deltas.
+    void add(const StageCounters& c) { accum_->extra += c; }
+
+   private:
+    friend class PipelineStats;
+    explicit Recorder(detail::ThreadAccum* a) : accum_(a) {}
+    detail::ThreadAccum* accum_;
+  };
+
+  Recorder recorder(int thread) { return Recorder(&accums_[thread]); }
+
+  /// The Algorithm 3 barrier merge: folds every thread's accumulator for
+  /// `block` into the run aggregate and clears it. Called from the serial
+  /// section after each block's parallel region.
+  void merge_block(std::uint32_t block);
+
+  /// Folds everything still unmerged (engines without a serial block loop
+  /// never call merge_block) and stamps the run wall time.
+  void finish_run(double total_seconds);
+
+  /// Aggregated view of the run; call after finish_run.
+  PipelineSnapshot snapshot() const;
+
+  const std::string& engine() const { return engine_; }
+
+ private:
+  std::string engine_;
+  int threads_ = 0;
+  std::uint64_t queries_ = 0;
+  double total_seconds_ = 0.0;
+  std::vector<detail::ThreadAccum> accums_;
+  std::vector<BlockStats> blocks_;  ///< merged per-block aggregates
+  StageCounters extra_counters_;    ///< merged stage-3/4 counters
+  StageSeconds extra_seconds_{};    ///< merged stage-3/4 seconds
+};
+
+}  // namespace mublastp::stats

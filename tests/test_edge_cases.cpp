@@ -4,8 +4,10 @@
 
 #include "baseline/interleaved_engine.hpp"
 #include "baseline/query_engine.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
+#include "stats/stats.hpp"
 #include "synth/synth.hpp"
 
 namespace mublastp {
@@ -107,6 +109,47 @@ TEST_F(EdgeCases, RepetitiveLowComplexityQuery) {
   const QueryResult b = idb.search(query);
   EXPECT_EQ(a.ungapped, b.ungapped);
   EXPECT_EQ(a.stats.hits, b.stats.hits);
+}
+
+TEST_F(EdgeCases, EmptyDatabaseIsRejectedCleanly) {
+  // Degenerate input must surface as a typed error, not a crash — both for
+  // the index builder and for the engine that takes a raw store.
+  const SequenceStore empty;
+  EXPECT_THROW((void)DbIndex::build(empty, {}), Error);
+  EXPECT_THROW(QueryIndexedEngine{empty}, Error);
+}
+
+TEST_F(EdgeCases, SingleResidueQueryThrowsCleanlyWithStats) {
+  // One residue can't form a word; the guard must fire before any stats
+  // hook runs, and the collector must stay usable afterwards.
+  const std::vector<Residue> query(1, encode_residue('A'));
+  const MuBlastpEngine mu(*index_);
+  stats::PipelineStats ps;
+  EXPECT_THROW((void)mu.search(query, ps), Error);
+  const QueryIndexedEngine ncbi(db_);
+  EXPECT_THROW((void)ncbi.search(query, ps), Error);
+  // The collector is reset by the next begin_run: a real search still works.
+  Rng rng(77);
+  const SequenceStore good = synth::sample_queries(db_, 1, 64, rng);
+  const QueryResult r = mu.search(good.sequence(0), ps);
+  EXPECT_EQ(ps.snapshot().totals, stats::counters_of(r.stats));
+}
+
+TEST_F(EdgeCases, AllAmbiguityQueryWithStatsYieldsZeroRatioAndValidJson) {
+  // All-X query: zero hits everywhere. The survival ratio must come back as
+  // 0 (no divide by zero) and the snapshot must still serialize cleanly.
+  const std::vector<Residue> query(100, encode_residue('X'));
+  const MuBlastpEngine mu(*index_);
+  stats::PipelineStats ps;
+  const QueryResult r = mu.search(query, ps);
+  EXPECT_TRUE(r.alignments.empty());
+  const stats::PipelineSnapshot snap = ps.snapshot();
+  EXPECT_EQ(snap.totals.hits, 0u);
+  EXPECT_EQ(snap.survival_ratio(), 0.0);
+  const std::string json = stats::to_json(snap);
+  const stats::PipelineSnapshot back = stats::from_json(json);
+  EXPECT_EQ(back.totals, snap.totals);
+  EXPECT_EQ(back.survival_ratio(), 0.0);
 }
 
 TEST_F(EdgeCases, StopCodonResiduesAreSearchable) {

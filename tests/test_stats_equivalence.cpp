@@ -1,0 +1,117 @@
+// Counter-level engine equivalence: the telemetry must report the same
+// pipeline, not just the same results. All engines derive identical hit,
+// two-hit-pair, HSP and gapped-extension counts on the same input; the two
+// database-indexed engines additionally execute the identical set of
+// ungapped extensions (paper Section V-E, extended to the counters).
+#include <gtest/gtest.h>
+
+#include "baseline/interleaved_engine.hpp"
+#include "baseline/query_engine.hpp"
+#include "common/rng.hpp"
+#include "core/mublastp_engine.hpp"
+#include "stats/stats.hpp"
+#include "synth/synth.hpp"
+
+namespace mublastp {
+namespace {
+
+struct CounterCase {
+  std::uint64_t seed;
+  std::size_t db_residues;
+  std::size_t query_len;
+  std::size_t block_bytes;
+};
+
+class StatsEquivalence : public ::testing::TestWithParam<CounterCase> {
+ protected:
+  void SetUp() override {
+    const CounterCase& c = GetParam();
+    db_ = synth::generate_database(synth::sprot_like(c.db_residues), c.seed);
+    Rng rng(c.seed ^ 0x57a7);
+    queries_ = synth::sample_queries(db_, 3, c.query_len, rng);
+    DbIndexConfig cfg;
+    cfg.block_bytes = c.block_bytes;
+    index_ = std::make_unique<DbIndex>(DbIndex::build(db_, cfg));
+  }
+
+  template <typename Engine>
+  stats::PipelineSnapshot snap_of(const Engine& engine,
+                                  std::span<const Residue> query) {
+    stats::PipelineStats ps;
+    (void)engine.search(query, ps);
+    return ps.snapshot();
+  }
+
+  SequenceStore db_;
+  SequenceStore queries_;
+  std::unique_ptr<DbIndex> index_;
+};
+
+TEST_P(StatsEquivalence, CountersAgreeAcrossEngines) {
+  const QueryIndexedEngine ncbi(db_);
+  const InterleavedDbEngine ncbi_db(*index_);
+  const MuBlastpEngine mu(*index_);
+  MuBlastpOptions nopf;
+  nopf.prefilter = false;
+  const MuBlastpEngine mu_nopf(*index_, {}, nopf);
+
+  for (SeqId q = 0; q < queries_.size(); ++q) {
+    const auto query = queries_.sequence(q);
+    const stats::PipelineSnapshot s_ncbi = snap_of(ncbi, query);
+    const stats::PipelineSnapshot s_db = snap_of(ncbi_db, query);
+    const stats::PipelineSnapshot s_mu = snap_of(mu, query);
+    const stats::PipelineSnapshot s_nopf = snap_of(mu_nopf, query);
+
+    // The hit set is scan-order independent (symmetric neighbor relation):
+    // every engine, including the query-indexed baseline, counts it alike.
+    EXPECT_EQ(s_ncbi.totals.hits, s_mu.totals.hits) << "query " << q;
+    EXPECT_EQ(s_db.totals.hits, s_mu.totals.hits) << "query " << q;
+    EXPECT_EQ(s_nopf.totals.hits, s_mu.totals.hits) << "query " << q;
+
+    // Two-hit pairing, HSPs and gapped extensions are pipeline-invariant.
+    for (const stats::PipelineSnapshot* s : {&s_ncbi, &s_db, &s_nopf}) {
+      EXPECT_EQ(s->totals.hit_pairs, s_mu.totals.hit_pairs) << "query " << q;
+      EXPECT_EQ(s->totals.ungapped_alignments,
+                s_mu.totals.ungapped_alignments)
+          << "query " << q;
+      EXPECT_EQ(s->totals.gapped_extensions, s_mu.totals.gapped_extensions)
+          << "query " << q;
+    }
+
+    // Both database-indexed pipelines extend the same pair set, so the
+    // ungapped-extension execution counts match exactly as well. (The
+    // pre-filter-off variant differs only in what it sorts.)
+    EXPECT_EQ(s_db.totals.extensions, s_mu.totals.extensions) << "query " << q;
+    EXPECT_EQ(s_nopf.totals.extensions, s_mu.totals.extensions)
+        << "query " << q;
+    EXPECT_GE(s_nopf.totals.sorted_records, s_mu.totals.sorted_records)
+        << "query " << q;
+
+    EXPECT_DOUBLE_EQ(s_db.survival_ratio(), s_mu.survival_ratio())
+        << "query " << q;
+  }
+}
+
+TEST_P(StatsEquivalence, BatchCountersMatchSingleQueryCounters) {
+  const MuBlastpEngine mu(*index_);
+  stats::PipelineStats batch_ps;
+  (void)mu.search_batch(queries_, 4, &batch_ps);
+  const stats::PipelineSnapshot batch = batch_ps.snapshot();
+
+  stats::StageCounters sum;
+  for (SeqId q = 0; q < queries_.size(); ++q) {
+    sum += snap_of(mu, queries_.sequence(q)).totals;
+  }
+  EXPECT_EQ(batch.totals, sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StatsEquivalence,
+    ::testing::Values(CounterCase{911, 60000, 64, 16 * 1024},
+                      CounterCase{922, 120000, 128, 64 * 1024}),
+    [](const ::testing::TestParamInfo<CounterCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace mublastp

@@ -3,9 +3,16 @@
 //
 // Usage:
 //   mublastp_search --index=db.mbi --query=q.fasta [--threads=N]
-//                   [--outfmt=pairwise|tabular] [--max-alignments=K]
+//                   [--outfmt=pairwise|tabular|none] [--max-alignments=K]
+//                   [--stats[=json]]
+//
+// --stats prints a human-readable pipeline-telemetry table to stderr;
+// --stats=json emits the machine-readable snapshot (schema
+// "mublastp-stats-v1", see docs/ALGORITHMS.md) to stdout. Combine
+// --stats=json with --outfmt=none for a stdout that is pure JSON.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -14,6 +21,7 @@
 #include "fasta/fasta.hpp"
 #include "index/db_index_io.hpp"
 #include "report/report.hpp"
+#include "stats/stats.hpp"
 
 namespace {
 
@@ -34,6 +42,14 @@ std::size_t arg_num(int argc, char** argv, const std::string& key,
   return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
 }
 
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,11 +57,32 @@ int main(int argc, char** argv) {
   const std::string index_path = arg_str(argc, argv, "index", "");
   const std::string query_path = arg_str(argc, argv, "query", "");
   const std::string outfmt = arg_str(argc, argv, "outfmt", "pairwise");
+  const std::string stats_mode =
+      arg_flag(argc, argv, "stats") ? "table"
+                                    : arg_str(argc, argv, "stats", "");
   if (index_path.empty() || query_path.empty()) {
     std::fprintf(stderr,
                  "usage: mublastp_search --index=db.mbi --query=q.fasta"
-                 " [--threads=1] [--outfmt=pairwise|tabular]"
-                 " [--max-alignments=25]\n");
+                 " [--threads=1] [--outfmt=pairwise|tabular|none]"
+                 " [--max-alignments=25] [--stats[=json]]\n");
+    return 2;
+  }
+  if (!stats_mode.empty() && stats_mode != "table" && stats_mode != "json") {
+    std::fprintf(stderr, "error: unknown --stats mode '%s'"
+                 " (expected --stats or --stats=json)\n", stats_mode.c_str());
+    return 2;
+  }
+  if (outfmt != "pairwise" && outfmt != "tabular" && outfmt != "none") {
+    std::fprintf(stderr, "error: unknown --outfmt '%s'"
+                 " (expected pairwise, tabular or none)\n", outfmt.c_str());
+    return 2;
+  }
+  // Fail fast with a precise message on an unreadable index path; the binary
+  // loader's own errors are kept for files that exist but are corrupt.
+  if (!std::ifstream(index_path, std::ios::binary).good()) {
+    std::fprintf(stderr, "error: cannot read index file '%s'"
+                 " (missing file or insufficient permissions)\n",
+                 index_path.c_str());
     return 2;
   }
 
@@ -65,8 +102,9 @@ int main(int argc, char** argv) {
     const int threads = static_cast<int>(arg_num(argc, argv, "threads", 1));
 
     t.reset();
-    const std::vector<QueryResult> results =
-        engine.search_batch(queries, threads);
+    stats::PipelineStats pipeline_stats;
+    const std::vector<QueryResult> results = engine.search_batch(
+        queries, threads, stats_mode.empty() ? nullptr : &pipeline_stats);
     std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
                  threads);
 
@@ -83,9 +121,20 @@ int main(int argc, char** argv) {
       if (outfmt == "tabular") {
         write_tabular(std::cout, queries.name(q), queries.sequence(q), db, r,
                       blosum62());
-      } else {
+      } else if (outfmt == "pairwise") {
         write_pairwise(std::cout, queries.name(q), queries.sequence(q), db, r,
                        blosum62());
+      }  // outfmt == "none": suppress the report (e.g. for --stats=json)
+    }
+
+    if (!stats_mode.empty()) {
+      const stats::PipelineSnapshot snap = pipeline_stats.snapshot();
+      if (stats_mode == "json") {
+        const std::string json = stats::to_json(snap);
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        stats::print_table(stderr, snap);
       }
     }
     return 0;

@@ -5,9 +5,17 @@
 //
 // Usage:
 //   mublastp_verify [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
+//                   [--stats[=json]]
 //   mublastp_verify --db=db.fasta --query=q.fasta
 //
-// Exit code 0 iff every stage of every engine pair matches exactly.
+// Exit code 0 iff every stage of every engine pair matches exactly — both
+// the result lists AND the pipeline counters (hits, two-hit pairs, ungapped
+// alignments, gapped extensions must be identical across engines; ungapped
+// extension counts additionally match across the database-indexed engines).
+//
+// --stats prints one telemetry table per engine to stderr; --stats=json
+// emits one "mublastp-stats-v1" JSON snapshot per engine, one per line, to
+// stdout.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,6 +26,7 @@
 #include "core/mublastp_engine.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index.hpp"
+#include "stats/stats.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -41,8 +50,27 @@ std::size_t arg_num(int argc, char** argv, const std::string& key,
   return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
 }
 
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
+
 bool same_ungapped(const QueryResult& a, const QueryResult& b) {
   return a.ungapped == b.ungapped;
+}
+
+// Counter-level equivalence: every engine must detect the same hits, keep
+// the same two-hit pairs, and produce the same HSPs and gapped extensions.
+// (sorted_records and extensions are execution-strategy details — e.g. the
+// pre-filter-off variant sorts raw hits — and are not compared across all.)
+bool same_counters(const stats::StageCounters& a,
+                   const stats::StageCounters& b) {
+  return a.hits == b.hits && a.hit_pairs == b.hit_pairs &&
+         a.ungapped_alignments == b.ungapped_alignments &&
+         a.gapped_extensions == b.gapped_extensions;
 }
 
 bool same_final(const QueryResult& a, const QueryResult& b) {
@@ -63,6 +91,15 @@ bool same_final(const QueryResult& a, const QueryResult& b) {
 
 int main(int argc, char** argv) {
   try {
+    const std::string stats_mode =
+        arg_flag(argc, argv, "stats") ? "table"
+                                      : arg_str(argc, argv, "stats", "");
+    if (!stats_mode.empty() && stats_mode != "table" && stats_mode != "json") {
+      std::fprintf(stderr, "error: unknown --stats mode '%s'"
+                   " (expected --stats or --stats=json)\n",
+                   stats_mode.c_str());
+      return 2;
+    }
     SequenceStore db;
     SequenceStore queries;
     const std::string db_path = arg_str(argc, argv, "db", "");
@@ -91,16 +128,23 @@ int main(int argc, char** argv) {
     struct Named {
       const char* name;
       QueryResult result;
+      stats::PipelineSnapshot snap;
     };
 
+    stats::PipelineSnapshot agg[4];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
       const auto query = queries.sequence(q);
+      const auto run = [&](const char* name, const auto& engine) {
+        stats::PipelineStats ps(name);
+        QueryResult r = engine.search(query, ps);
+        return Named{name, std::move(r), ps.snapshot()};
+      };
       const Named runs[] = {
-          {"NCBI", ncbi.search(query)},
-          {"NCBI-db", ncbi_db.search(query)},
-          {"muBLASTP", mu.search(query)},
-          {"muBLASTP/Alg1", mu_nopf.search(query)},
+          run("ncbi", ncbi),
+          run("ncbi-db", ncbi_db),
+          run("mublastp", mu),
+          run("mublastp-alg1", mu_nopf),
       };
       bool ok = true;
       for (std::size_t i = 1; i < 4; ++i) {
@@ -114,12 +158,68 @@ int main(int argc, char** argv) {
                       runs[i].name);
           ok = false;
         }
+        if (!same_counters(runs[0].snap.totals, runs[i].snap.totals)) {
+          std::printf("query %u: COUNTER MISMATCH %s vs %s"
+                      " (hits %llu vs %llu, pairs %llu vs %llu,"
+                      " HSPs %llu vs %llu, gapped %llu vs %llu)\n",
+                      q, runs[0].name, runs[i].name,
+                      static_cast<unsigned long long>(runs[0].snap.totals.hits),
+                      static_cast<unsigned long long>(runs[i].snap.totals.hits),
+                      static_cast<unsigned long long>(
+                          runs[0].snap.totals.hit_pairs),
+                      static_cast<unsigned long long>(
+                          runs[i].snap.totals.hit_pairs),
+                      static_cast<unsigned long long>(
+                          runs[0].snap.totals.ungapped_alignments),
+                      static_cast<unsigned long long>(
+                          runs[i].snap.totals.ungapped_alignments),
+                      static_cast<unsigned long long>(
+                          runs[0].snap.totals.gapped_extensions),
+                      static_cast<unsigned long long>(
+                          runs[i].snap.totals.gapped_extensions));
+          ok = false;
+        }
       }
+      // Both database-indexed engines execute the same two-hit pairs, so
+      // their ungapped-extension counts must agree exactly as well.
+      if (runs[1].snap.totals.extensions != runs[2].snap.totals.extensions) {
+        std::printf("query %u: EXTENSION-COUNT MISMATCH %s vs %s"
+                    " (%llu vs %llu)\n", q, runs[1].name, runs[2].name,
+                    static_cast<unsigned long long>(
+                        runs[1].snap.totals.extensions),
+                    static_cast<unsigned long long>(
+                        runs[2].snap.totals.extensions));
+        ok = false;
+      }
+      for (int i = 0; i < 4; ++i) agg[i].merge(runs[i].snap);
       std::printf("query %-3u %-40s %s (%zu ungapped, %zu alignments)\n", q,
                   queries.name(q).c_str(), ok ? "OK" : "MISMATCH",
                   runs[0].result.ungapped.size(),
                   runs[0].result.alignments.size());
       all_ok = all_ok && ok;
+    }
+    if (!stats_mode.empty()) {
+      for (int i = 0; i < 4; ++i) {
+        if (stats_mode == "json") {
+          // One snapshot per line (JSONL): collapse the pretty-printed form
+          // by dropping newlines and their indentation (no string in the
+          // schema contains either).
+          const std::string json = stats::to_json(agg[i]);
+          std::string line;
+          line.reserve(json.size());
+          for (std::size_t p = 0; p < json.size(); ++p) {
+            if (json[p] == '\n') {
+              while (p + 1 < json.size() && json[p + 1] == ' ') ++p;
+              continue;
+            }
+            line.push_back(json[p]);
+          }
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          std::fputc('\n', stdout);
+        } else {
+          stats::print_table(stderr, agg[i]);
+        }
+      }
     }
     std::printf("%s\n", all_ok
                             ? "verification PASSED: all engines identical at "
