@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -20,27 +21,27 @@ const SearchParams& checked_params(const SearchParams& p) {
 
 }  // namespace
 
-InterleavedDbEngine::InterleavedDbEngine(const DbIndex& index,
+InterleavedDbEngine::InterleavedDbEngine(DbIndexView index,
                                          SearchParams params)
-    : index_(&index),
+    : view_(std::move(index)),
       params_(checked_params(params)),
       karlin_(gapped_params(*params.matrix, params.gap_open,
                             params.gap_extend)) {
-  MUBLASTP_CHECK(params_.matrix == index.config().matrix,
+  MUBLASTP_CHECK(params_.matrix == view_.config().matrix,
                  "search matrix must match the index's neighbor matrix");
 }
 
 template <typename Mem, typename Rec>
 void InterleavedDbEngine::search_block(std::span<const Residue> query,
-                                       const DbIndexBlock& block,
+                                       const DbBlockView& block,
                                        std::uint32_t block_id,
                                        StageStats& stats,
                                        std::vector<UngappedAlignment>& out,
                                        DiagState& state, Mem mem,
                                        Rec rec) const {
   const ScoreMatrix& matrix = *params_.matrix;
-  const SequenceStore& db = index_->db();
-  const NeighborTable& neighbors = index_->neighbors();
+  const DbIndexView& db = view_;
+  const NeighborTable& neighbors = view_.neighbors();
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = stats;
   stats::LapTimer<Rec::kEnabled> lap;
@@ -111,21 +112,21 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   std::vector<UngappedAlignment> ungapped;
   DiagState state;
   std::uint32_t block_id = 0;
-  for (const DbIndexBlock& block : index_->blocks()) {
+  for (const DbBlockView& block : view_.blocks()) {
     search_block(query, block, block_id++, result.stats, ungapped, state, mem,
                  rec);
   }
 
   // Remap sorted-store ids to the caller's original database ids.
   for (UngappedAlignment& u : ungapped) {
-    u.subject = index_->original_id(u.subject);
+    u.subject = view_.original_id(u.subject);
   }
   canonicalize_ungapped(ungapped);
   result.ungapped = ungapped;
 
   const ScoreMatrix& matrix = *params_.matrix;
   const SubjectLookup lookup = [this](SeqId original) {
-    return index_->db().sequence(index_->sorted_id(original));
+    return view_.sequence(view_.sorted_id(original));
   };
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
@@ -138,7 +139,7 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   }
   result.alignments =
       finalize_stage(query, lookup, std::move(gapped), matrix, params_,
-                     karlin_, index_->db().total_residues());
+                     karlin_, view_.total_residues());
   if constexpr (Rec::kEnabled) rec.stage(stats::Stage::kFinalize, lap.lap());
   return result;
 }
@@ -150,7 +151,7 @@ QueryResult InterleavedDbEngine::search(std::span<const Residue> query) const {
 
 QueryResult InterleavedDbEngine::search(std::span<const Residue> query,
                                         stats::PipelineStats& ps) const {
-  ps.begin_run(1, index_->blocks().size(), 1);
+  ps.begin_run(1, view_.blocks().size(), 1);
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
@@ -171,7 +172,7 @@ std::vector<QueryResult> InterleavedDbEngine::batch_impl(
   std::vector<QueryResult> results(queries.size());
   [[maybe_unused]] Timer run_timer;
   if constexpr (PS::kEnabled) {
-    ps->begin_run(std::max(threads, 1), index_->blocks().size(),
+    ps->begin_run(std::max(threads, 1), view_.blocks().size(),
                   queries.size());
   }
 #pragma omp parallel for schedule(dynamic) num_threads(threads)

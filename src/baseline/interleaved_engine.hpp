@@ -13,7 +13,7 @@
 #include "core/params.hpp"
 #include "core/results.hpp"
 #include "core/two_hit.hpp"
-#include "index/db_index.hpp"
+#include "index/db_index_view.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
 #include "stats/stats.hpp"
@@ -23,8 +23,9 @@ namespace mublastp {
 /// Interleaved database-indexed engine ("NCBI-db").
 class InterleavedDbEngine {
  public:
-  /// `index` must outlive the engine.
-  explicit InterleavedDbEngine(const DbIndex& index, SearchParams params = {});
+  /// The index behind `index` (owned DbIndex or MappedDbIndex — both
+  /// convert implicitly) must outlive the engine.
+  explicit InterleavedDbEngine(DbIndexView index, SearchParams params = {});
 
   /// Searches one query (all blocks, all four stages).
   QueryResult search(std::span<const Residue> query) const;
@@ -48,12 +49,12 @@ class InterleavedDbEngine {
                                         stats::PipelineStats* ps
                                         = nullptr) const;
 
-  const DbIndex& index() const { return *index_; }
+  const DbIndexView& view() const { return view_; }
   const SearchParams& params() const { return params_; }
 
  private:
   template <typename Mem, typename Rec>
-  void search_block(std::span<const Residue> query, const DbIndexBlock& block,
+  void search_block(std::span<const Residue> query, const DbBlockView& block,
                     std::uint32_t block_id, StageStats& stats,
                     std::vector<UngappedAlignment>& out, DiagState& state,
                     Mem mem, Rec rec) const;
@@ -66,7 +67,7 @@ class InterleavedDbEngine {
   std::vector<QueryResult> batch_impl(const SequenceStore& queries,
                                       int threads, PS* ps) const;
 
-  const DbIndex* index_;
+  DbIndexView view_;
   SearchParams params_;
   KarlinParams karlin_;
 };

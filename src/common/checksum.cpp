@@ -1,0 +1,38 @@
+#include "common/checksum.hpp"
+
+#include <array>
+
+namespace mublastp {
+namespace {
+
+// Table generated at static-init time from the reflected polynomial; the
+// classic byte-at-a-time Sarwate algorithm. Fast enough to checksum index
+// sections at load (GB/s range), with zero code dependencies.
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data,
+                    std::uint32_t crc) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mublastp

@@ -56,6 +56,11 @@ class SequenceStore {
   /// Byte offset of sequence `id` inside the arena.
   std::size_t arena_offset(SeqId id) const { return offsets_[id]; }
 
+  /// All size() + 1 arena offsets (offsets()[i]..offsets()[i+1] brackets
+  /// sequence i). Exposed so index serialization and zero-copy views can
+  /// address the arena without per-sequence calls.
+  std::span<const std::size_t> arena_offsets() const { return offsets_; }
+
   /// Returns a copy with sequences permuted by `order` (order[i] = old id of
   /// the sequence that becomes new id i). Used for length-sorting databases.
   SequenceStore permuted(const std::vector<SeqId>& order) const;

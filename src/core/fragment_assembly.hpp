@@ -20,9 +20,11 @@ namespace mublastp {
 
 /// Converts a fragment-local ungapped segment to whole-sequence coordinates,
 /// re-extending across the boundary when the local extension was clipped.
-/// `qoff`/`soff_local` anchor the hit that produced `seg`.
-inline UngappedAlignment resolve_fragment_segment(
-    std::span<const Residue> query, const SequenceStore& db,
+/// `qoff`/`soff_local` anchor the hit that produced `seg`. `Db` is anything
+/// with sequence(SeqId) -> span<const Residue> (SequenceStore, DbIndexView).
+template <typename Db>
+UngappedAlignment resolve_fragment_segment(
+    std::span<const Residue> query, const Db& db,
     const FragmentRef& frag, const UngappedSeg& seg, std::uint32_t qoff,
     std::uint32_t soff_local, const ScoreMatrix& matrix,
     const SearchParams& params) {

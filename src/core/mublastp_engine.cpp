@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -22,14 +23,14 @@ const SearchParams& checked_params(const SearchParams& p) {
 
 }  // namespace
 
-MuBlastpEngine::MuBlastpEngine(const DbIndex& index, SearchParams params,
+MuBlastpEngine::MuBlastpEngine(DbIndexView index, SearchParams params,
                                MuBlastpOptions options)
-    : index_(&index),
+    : view_(std::move(index)),
       params_(checked_params(params)),
       options_(options),
       karlin_(gapped_params(*params.matrix, params.gap_open,
                             params.gap_extend)) {
-  MUBLASTP_CHECK(params_.matrix == index.config().matrix,
+  MUBLASTP_CHECK(params_.matrix == view_.config().matrix,
                  "search matrix must match the index's neighbor matrix");
 }
 
@@ -57,13 +58,13 @@ void MuBlastpEngine::sort_records(std::vector<HitRecord>& records,
 
 template <typename Mem, typename Rec>
 void MuBlastpEngine::search_block(std::span<const Residue> query,
-                                  const DbIndexBlock& block,
+                                  const DbBlockView& block,
                                   std::uint32_t block_id, StageStats& stats,
                                   std::vector<UngappedAlignment>& out,
                                   Workspace& ws, Mem mem, Rec prec) const {
   const ScoreMatrix& matrix = *params_.matrix;
-  const SequenceStore& db = index_->db();
-  const NeighborTable& neighbors = index_->neighbors();
+  const DbIndexView& db = view_;
+  const NeighborTable& neighbors = view_.neighbors();
 
   // Dense per-block diagonal keys: fragment f owns [bases[f], bases[f+1]),
   // with bases[f+1] - bases[f] = len_f + qlen + 1 diagonals. The key is
@@ -225,20 +226,20 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   std::vector<UngappedAlignment> ungapped;
   Workspace ws;
   std::uint32_t block_id = 0;
-  for (const DbIndexBlock& block : index_->blocks()) {
+  for (const DbBlockView& block : view_.blocks()) {
     search_block(query, block, block_id++, result.stats, ungapped, ws, mem,
                  prec);
   }
 
   for (UngappedAlignment& u : ungapped) {
-    u.subject = index_->original_id(u.subject);
+    u.subject = view_.original_id(u.subject);
   }
   canonicalize_ungapped(ungapped);
   result.ungapped = ungapped;
 
   const ScoreMatrix& matrix = *params_.matrix;
   const SubjectLookup lookup = [this](SeqId original) {
-    return index_->db().sequence(index_->sorted_id(original));
+    return view_.sequence(view_.sorted_id(original));
   };
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
@@ -251,7 +252,7 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   }
   result.alignments =
       finalize_stage(query, lookup, std::move(gapped), matrix, params_,
-                     karlin_, index_->db().total_residues());
+                     karlin_, view_.total_residues());
   if constexpr (Rec::kEnabled) prec.stage(stats::Stage::kFinalize, lap.lap());
   return result;
 }
@@ -263,7 +264,7 @@ QueryResult MuBlastpEngine::search(std::span<const Residue> query) const {
 
 QueryResult MuBlastpEngine::search(std::span<const Residue> query,
                                    stats::PipelineStats& ps) const {
-  ps.begin_run(1, index_->blocks().size(), 1);
+  ps.begin_run(1, view_.blocks().size(), 1);
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
@@ -289,7 +290,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   std::vector<Workspace> workspaces(static_cast<std::size_t>(max_threads));
   [[maybe_unused]] Timer run_timer;
   if constexpr (PS::kEnabled) {
-    ps->begin_run(max_threads, index_->blocks().size(), nq);
+    ps->begin_run(max_threads, view_.blocks().size(), nq);
   }
 
   // Algorithm 3, first parallel region: stages 1-2, block loop outermost so
@@ -299,7 +300,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   // so no synchronization is needed. Telemetry follows the same discipline:
   // threads write private accumulators, merged at each block's end.
   std::uint32_t block_id = 0;
-  for (const DbIndexBlock& block : index_->blocks()) {
+  for (const DbBlockView& block : view_.blocks()) {
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
     for (std::size_t i = 0; i < nq; ++i) {
       const int tid = omp_get_thread_num();
@@ -322,13 +323,13 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   // extension, merge, sort, traceback).
   const ScoreMatrix& matrix = *params_.matrix;
   const SubjectLookup lookup = [this](SeqId original) {
-    return index_->db().sequence(index_->sorted_id(original));
+    return view_.sequence(view_.sorted_id(original));
   };
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < nq; ++i) {
     auto& u = ungapped[i];
     for (UngappedAlignment& seg : u) {
-      seg.subject = index_->original_id(seg.subject);
+      seg.subject = view_.original_id(seg.subject);
     }
     canonicalize_ungapped(u);
     results[i].ungapped = u;
@@ -346,7 +347,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
     }
     results[i].alignments =
         finalize_stage(query, lookup, std::move(gapped), matrix, params_,
-                       karlin_, index_->db().total_residues());
+                       karlin_, view_.total_residues());
     if constexpr (PS::kEnabled) {
       ps->recorder(omp_get_thread_num())
           .stage(stats::Stage::kFinalize, lap.lap());

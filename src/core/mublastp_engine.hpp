@@ -26,7 +26,7 @@
 #include "core/params.hpp"
 #include "core/results.hpp"
 #include "core/two_hit.hpp"
-#include "index/db_index.hpp"
+#include "index/db_index_view.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
 #include "stats/stats.hpp"
@@ -60,8 +60,9 @@ struct HitRecord {
 /// The muBLASTP engine.
 class MuBlastpEngine {
  public:
-  /// `index` must outlive the engine.
-  explicit MuBlastpEngine(const DbIndex& index, SearchParams params = {},
+  /// The index behind `index` (owned DbIndex or MappedDbIndex — both
+  /// convert implicitly) must outlive the engine.
+  explicit MuBlastpEngine(DbIndexView index, SearchParams params = {},
                           MuBlastpOptions options = {});
 
   /// Searches one query through all four stages (single-threaded).
@@ -86,7 +87,7 @@ class MuBlastpEngine {
                                         stats::PipelineStats* ps
                                         = nullptr) const;
 
-  const DbIndex& index() const { return *index_; }
+  const DbIndexView& view() const { return view_; }
   const SearchParams& params() const { return params_; }
   const MuBlastpOptions& options() const { return options_; }
 
@@ -99,7 +100,7 @@ class MuBlastpEngine {
   };
 
   template <typename Mem, typename Rec>
-  void search_block(std::span<const Residue> query, const DbIndexBlock& block,
+  void search_block(std::span<const Residue> query, const DbBlockView& block,
                     std::uint32_t block_id, StageStats& stats,
                     std::vector<UngappedAlignment>& out, Workspace& ws,
                     Mem mem, Rec rec) const;
@@ -114,7 +115,7 @@ class MuBlastpEngine {
 
   void sort_records(std::vector<HitRecord>& records, int key_bits) const;
 
-  const DbIndex* index_;
+  DbIndexView view_;
   SearchParams params_;
   MuBlastpOptions options_;
   KarlinParams karlin_;

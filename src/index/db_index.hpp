@@ -102,7 +102,9 @@ class DbIndexBlock {
 
  private:
   friend class DbIndex;
+  friend class DbIndexView;
   friend void save_db_index(std::ostream& out, const DbIndex& index);
+  friend void save_db_index_v2(std::ostream& out, const DbIndex& index);
   friend DbIndex load_db_index(std::istream& in);
   std::vector<std::uint32_t> offsets_;  // kNumWords + 1
   std::vector<std::uint32_t> entries_;
@@ -144,7 +146,9 @@ class DbIndex {
   static std::size_t optimal_block_bytes(std::size_t l3_bytes, int threads);
 
  private:
+  friend class DbIndexView;
   friend void save_db_index(std::ostream& out, const DbIndex& index);
+  friend void save_db_index_v2(std::ostream& out, const DbIndex& index);
   friend DbIndex load_db_index(std::istream& in);
 
   DbIndex(SequenceStore db, std::vector<SeqId> order, DbIndexConfig config,

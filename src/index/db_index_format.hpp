@@ -1,0 +1,123 @@
+// On-disk layout of index format v3: a checksummed section table over
+// 64-byte-aligned raw sections.
+//
+// v2 streamed every vector through length-prefixed records, which forces a
+// copying deserialization pass. v3 instead lays out each array as one
+// contiguous section whose in-file representation IS the in-memory
+// representation, so a loader can mmap the file and serve spans straight
+// out of the mapping:
+//
+//   FileHeaderV3 (64 bytes, magic "MUBI", version 3, CRC of section table)
+//   SectionRecord[section_count]   (id, offset, length, CRC32 per section)
+//   ...zero padding to 64-byte boundaries...
+//   section payloads, each starting on a 64-byte boundary
+//
+// Alignment is 64 bytes (one cache line) so that every typed span carved
+// out of the mapping is naturally aligned and block data never straddles a
+// line needlessly. All scalars are little-endian; this library only targets
+// little-endian hosts (same contract as v2).
+//
+// The section table names every payload, which is what lets corruption
+// errors say *which* part of the file is bad ("index section 'entries'
+// checksum mismatch") instead of a generic stream failure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/sequence.hpp"
+#include "index/db_index.hpp"
+
+namespace mublastp {
+
+/// Current (sectioned, mmap-able) file-format version.
+inline constexpr std::uint32_t kDbIndexFormatV3 = 3;
+/// Legacy streamed format still accepted by the copy loader.
+inline constexpr std::uint32_t kDbIndexFormatV2 = 2;
+
+/// Section payload alignment: one cache line.
+inline constexpr std::size_t kSectionAlign = 64;
+
+/// Identifies a section in the v3 table. Values are stable on-disk ids.
+enum class SectionId : std::uint32_t {
+  kConfig = 1,       ///< build config + matrix name + element counts
+  kSeqOffsets = 2,   ///< (num_seqs + 1) x u64 arena offsets
+  kArena = 3,        ///< residue arena of the length-sorted store
+  kNameOffsets = 4,  ///< (num_seqs + 1) x u64 offsets into the name blob
+  kNameBlob = 5,     ///< concatenated sequence names (no terminators)
+  kOrder = 6,        ///< num_seqs x u32 sorted-id -> original-id
+  kInverse = 7,      ///< num_seqs x u32 original-id -> sorted-id
+  kBlockMeta = 8,    ///< num_blocks x BlockMetaRecord
+  kFragments = 9,    ///< concatenated FragmentRef arrays of all blocks
+  kCsrOffsets = 10,  ///< num_blocks x (kNumWords + 1) x u32
+  kEntries = 11,     ///< concatenated packed-entry arrays of all blocks
+};
+
+/// Human-readable section name used in error messages and dbinfo output.
+std::string_view section_name(SectionId id);
+
+/// Fixed-size file header at offset 0.
+struct FileHeaderV3 {
+  char magic[4];               ///< "MUBI"
+  std::uint32_t version;       ///< 3
+  std::uint32_t section_count;
+  std::uint32_t table_crc32;   ///< CRC32 of the section-table bytes
+  std::uint64_t file_bytes;    ///< total file size (fast truncation check)
+  std::uint8_t reserved[40];   ///< zero; pads the header to 64 bytes
+};
+static_assert(sizeof(FileHeaderV3) == 64);
+
+/// One row of the section table, directly after the header.
+struct SectionRecord {
+  std::uint32_t id;        ///< SectionId
+  std::uint32_t reserved;  ///< zero
+  std::uint64_t offset;    ///< absolute file offset, kSectionAlign-aligned
+  std::uint64_t length;    ///< payload bytes (excluding padding)
+  std::uint64_t crc32;     ///< CRC32 of the payload (low 32 bits)
+};
+static_assert(sizeof(SectionRecord) == 32);
+
+/// Per-block scalars in the kBlockMeta section. Fragment/entry counts are
+/// also the cursor into the concatenated kFragments/kEntries sections.
+struct BlockMetaRecord {
+  std::uint64_t num_fragments;
+  std::uint64_t num_entries;
+  std::uint64_t max_fragment_len;
+  std::uint64_t total_chars;
+  std::int32_t offset_bits;
+  std::uint32_t reserved;  ///< zero
+};
+static_assert(sizeof(BlockMetaRecord) == 40);
+static_assert(sizeof(FragmentRef) == 12,
+              "FragmentRef is serialized raw; layout must stay packed");
+
+/// Typed, validated view over a complete v3 file image (a read-only mmap or
+/// a heap buffer — the parser does not care). Spans point INTO the image;
+/// the image must outlive them.
+struct ParsedIndexFile {
+  DbIndexConfig config;  ///< matrix resolved via matrix_by_name
+  std::uint64_t num_seqs = 0;
+  std::uint64_t num_blocks = 0;
+  std::span<const std::uint64_t> seq_offsets;   ///< num_seqs + 1
+  std::span<const Residue> arena;
+  std::span<const std::uint64_t> name_offsets;  ///< num_seqs + 1
+  std::string_view name_blob;
+  std::span<const SeqId> order;
+  std::span<const SeqId> inverse;
+  std::span<const BlockMetaRecord> block_meta;
+  std::span<const FragmentRef> fragments;       ///< all blocks, concatenated
+  std::span<const std::uint32_t> csr_offsets;   ///< all blocks, concatenated
+  std::span<const std::uint32_t> entries;       ///< all blocks, concatenated
+};
+
+/// Parses and validates a v3 file image. Checks, in order: header magic /
+/// version / size, section-table CRC, per-section bounds + alignment +
+/// CRC32 (when `verify_checksums`), then cross-section structural
+/// invariants (counts consistent, CSR offsets monotone, fragments and
+/// entries in range). Throws mublastp::Error naming the offending section;
+/// never returns a partially-valid view.
+ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
+                                  bool verify_checksums = true);
+
+}  // namespace mublastp

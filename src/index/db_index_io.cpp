@@ -1,10 +1,17 @@
 #include "index/db_index_io.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
+#include <iterator>
 #include <ostream>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "index/db_index_format.hpp"
+#include "score/matrix.hpp"
 
 namespace mublastp {
 namespace {
@@ -62,11 +69,232 @@ std::string read_string(std::istream& in) {
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// v3: section assembly (writer side)
+// ---------------------------------------------------------------------------
+
+// A section payload being assembled in memory before offsets and checksums
+// are known. Payloads are byte strings; the writer computes the final
+// layout, then streams header + table + padded payloads in one pass.
+struct PendingSection {
+  SectionId id;
+  std::string payload;
+};
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void append_span(std::string& out, std::span<const T> v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(v.data()), v.size_bytes());
+}
+
+std::size_t align_up(std::size_t n) {
+  return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+// ---------------------------------------------------------------------------
+// v3: parse helpers (reader side)
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void fail_section(SectionId id, const std::string& what) {
+  throw Error("index section '" + std::string(section_name(id)) + "' " +
+              what);
+}
+
+// Reads scalars sequentially out of one section's payload with bounds
+// checks attributed to that section.
+struct SectionReader {
+  SectionId id;
+  std::span<const std::byte> bytes;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos + sizeof(T) > bytes.size()) {
+      fail_section(id, "is too short (truncated payload)");
+    }
+    T value{};
+    std::memcpy(&value, bytes.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+
+  std::string_view read_string(std::size_t n) {
+    if (pos + n > bytes.size()) {
+      fail_section(id, "is too short (truncated payload)");
+    }
+    const auto* p = reinterpret_cast<const char*>(bytes.data() + pos);
+    pos += n;
+    return {p, n};
+  }
+};
+
+// Casts a section payload to a typed span, checking divisibility. The
+// payload offset is kSectionAlign-aligned by the table validation, so any
+// element alignment up to 64 holds.
+template <typename T>
+std::span<const T> typed_section(SectionId id,
+                                 std::span<const std::byte> bytes) {
+  if (bytes.size() % sizeof(T) != 0) {
+    fail_section(id, "has invalid size (not a whole number of elements)");
+  }
+  return {reinterpret_cast<const T*>(bytes.data()), bytes.size() / sizeof(T)};
+}
+
 }  // namespace
 
+std::string_view section_name(SectionId id) {
+  switch (id) {
+    case SectionId::kConfig: return "config";
+    case SectionId::kSeqOffsets: return "seq-offsets";
+    case SectionId::kArena: return "arena";
+    case SectionId::kNameOffsets: return "name-offsets";
+    case SectionId::kNameBlob: return "name-blob";
+    case SectionId::kOrder: return "order";
+    case SectionId::kInverse: return "inverse";
+    case SectionId::kBlockMeta: return "block-meta";
+    case SectionId::kFragments: return "fragments";
+    case SectionId::kCsrOffsets: return "csr-offsets";
+    case SectionId::kEntries: return "entries";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// v3 writer
+// ---------------------------------------------------------------------------
+
 void save_db_index(std::ostream& out, const DbIndex& index) {
+  const SequenceStore& db = index.db_;
+  std::vector<PendingSection> sections;
+
+  {
+    PendingSection s{SectionId::kConfig, {}};
+    append_pod<std::uint64_t>(s.payload, index.config_.block_bytes);
+    append_pod<std::int32_t>(s.payload, index.config_.neighbor_threshold);
+    const std::string matrix_name(index.config_.matrix->name());
+    append_pod<std::uint32_t>(s.payload,
+                              static_cast<std::uint32_t>(matrix_name.size()));
+    s.payload += matrix_name;
+    append_pod<std::uint64_t>(s.payload, index.config_.long_seq_limit);
+    append_pod<std::uint64_t>(s.payload, index.config_.long_seq_overlap);
+    append_pod<std::uint64_t>(s.payload, db.size());
+    append_pod<std::uint64_t>(s.payload, index.blocks_.size());
+    sections.push_back(std::move(s));
+  }
+  {
+    PendingSection s{SectionId::kSeqOffsets, {}};
+    static_assert(sizeof(std::size_t) == sizeof(std::uint64_t));
+    append_span<std::size_t>(s.payload, db.arena_offsets());
+    sections.push_back(std::move(s));
+  }
+  {
+    PendingSection s{SectionId::kArena, {}};
+    append_span<Residue>(s.payload, db.arena());
+    sections.push_back(std::move(s));
+  }
+  {
+    PendingSection offs{SectionId::kNameOffsets, {}};
+    PendingSection blob{SectionId::kNameBlob, {}};
+    std::uint64_t cursor = 0;
+    append_pod<std::uint64_t>(offs.payload, cursor);
+    for (SeqId i = 0; i < db.size(); ++i) {
+      blob.payload += db.name(i);
+      cursor += db.name(i).size();
+      append_pod<std::uint64_t>(offs.payload, cursor);
+    }
+    sections.push_back(std::move(offs));
+    sections.push_back(std::move(blob));
+  }
+  {
+    PendingSection s{SectionId::kOrder, {}};
+    append_span<SeqId>(s.payload, index.order_);
+    sections.push_back(std::move(s));
+  }
+  {
+    PendingSection s{SectionId::kInverse, {}};
+    append_span<SeqId>(s.payload, index.inverse_);
+    sections.push_back(std::move(s));
+  }
+  {
+    PendingSection meta{SectionId::kBlockMeta, {}};
+    PendingSection frags{SectionId::kFragments, {}};
+    PendingSection csr{SectionId::kCsrOffsets, {}};
+    PendingSection entries{SectionId::kEntries, {}};
+    for (const DbIndexBlock& b : index.blocks_) {
+      const BlockMetaRecord m{b.fragments_.size(), b.entries_.size(),
+                              b.max_fragment_len_, b.total_chars_,
+                              b.offset_bits_, 0};
+      append_pod(meta.payload, m);
+      append_span<FragmentRef>(frags.payload, b.fragments_);
+      append_span<std::uint32_t>(csr.payload, b.offsets_);
+      append_span<std::uint32_t>(entries.payload, b.entries_);
+    }
+    sections.push_back(std::move(meta));
+    sections.push_back(std::move(frags));
+    sections.push_back(std::move(csr));
+    sections.push_back(std::move(entries));
+  }
+
+  // Lay sections out after the header + table, each on a 64-byte boundary.
+  std::vector<SectionRecord> table(sections.size());
+  std::size_t cursor = align_up(sizeof(FileHeaderV3) +
+                                sections.size() * sizeof(SectionRecord));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    table[i].id = static_cast<std::uint32_t>(sections[i].id);
+    table[i].reserved = 0;
+    table[i].offset = cursor;
+    table[i].length = sections[i].payload.size();
+    table[i].crc32 = crc32(sections[i].payload.data(),
+                           sections[i].payload.size());
+    cursor = align_up(cursor + sections[i].payload.size());
+  }
+
+  FileHeaderV3 header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kDbIndexFormatV3;
+  header.section_count = static_cast<std::uint32_t>(sections.size());
+  header.table_crc32 =
+      crc32(table.data(), table.size() * sizeof(SectionRecord));
+  // The last section's padding is not written; the file ends at its payload.
+  header.file_bytes = table.back().offset + table.back().length;
+
+  write_pod(out, header);
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(table.size() *
+                                         sizeof(SectionRecord)));
+  std::size_t written = sizeof(FileHeaderV3) +
+                        table.size() * sizeof(SectionRecord);
+  static constexpr char kZeros[kSectionAlign] = {};
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out.write(kZeros, static_cast<std::streamsize>(table[i].offset -
+                                                   written));
+    out.write(sections[i].payload.data(),
+              static_cast<std::streamsize>(sections[i].payload.size()));
+    written = table[i].offset + sections[i].payload.size();
+  }
+  MUBLASTP_CHECK(out.good(), "write failure while saving index");
+}
+
+void save_db_index_file(const std::string& path, const DbIndex& index) {
+  std::ofstream out(path, std::ios::binary);
+  MUBLASTP_CHECK(out.good(), "cannot open for writing: " + path);
+  save_db_index(out, index);
+}
+
+// ---------------------------------------------------------------------------
+// v2 writer (legacy, kept for compatibility testing and old deployments)
+// ---------------------------------------------------------------------------
+
+void save_db_index_v2(std::ostream& out, const DbIndex& index) {
   out.write(kMagic, sizeof(kMagic));
-  write_pod<std::uint32_t>(out, kDbIndexFormatVersion);
+  write_pod<std::uint32_t>(out, kDbIndexFormatV2);
 
   // Config.
   write_pod<std::uint64_t>(out, index.config_.block_bytes);
@@ -101,11 +329,230 @@ void save_db_index(std::ostream& out, const DbIndex& index) {
   MUBLASTP_CHECK(out.good(), "write failure while saving index");
 }
 
-void save_db_index_file(const std::string& path, const DbIndex& index) {
-  std::ofstream out(path, std::ios::binary);
-  MUBLASTP_CHECK(out.good(), "cannot open for writing: " + path);
-  save_db_index(out, index);
+// ---------------------------------------------------------------------------
+// v3 parser (shared by the copy loader and MappedDbIndex)
+// ---------------------------------------------------------------------------
+
+ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
+                                  bool verify_checksums) {
+  MUBLASTP_CHECK(image.size() >= sizeof(FileHeaderV3),
+                 "truncated index file: missing header");
+  FileHeaderV3 header;
+  std::memcpy(&header, image.data(), sizeof(header));
+  MUBLASTP_CHECK(std::equal(header.magic, header.magic + 4, kMagic),
+                 "not a muBLASTP index file (bad magic)");
+  MUBLASTP_CHECK(header.version == kDbIndexFormatV3,
+                 "unsupported index format version " +
+                     std::to_string(header.version));
+  MUBLASTP_CHECK(header.file_bytes == image.size(),
+                 "truncated index file: header declares " +
+                     std::to_string(header.file_bytes) + " bytes, file has " +
+                     std::to_string(image.size()));
+  MUBLASTP_CHECK(header.section_count >= 1 && header.section_count <= 64,
+                 "index header: implausible section count");
+  const std::size_t table_bytes =
+      header.section_count * sizeof(SectionRecord);
+  MUBLASTP_CHECK(sizeof(FileHeaderV3) + table_bytes <= image.size(),
+                 "truncated index file: section table out of bounds");
+  std::vector<SectionRecord> table(header.section_count);
+  std::memcpy(table.data(), image.data() + sizeof(FileHeaderV3), table_bytes);
+  MUBLASTP_CHECK(crc32(table.data(), table_bytes) == header.table_crc32,
+                 "index header: section table checksum mismatch");
+
+  // Locate every required section, once each, in bounds and aligned. The
+  // checksum is verified before any payload byte is interpreted.
+  const auto section = [&](SectionId id) -> std::span<const std::byte> {
+    const SectionRecord* found = nullptr;
+    for (const SectionRecord& r : table) {
+      if (r.id == static_cast<std::uint32_t>(id)) {
+        if (found != nullptr) fail_section(id, "appears more than once");
+        found = &r;
+      }
+    }
+    if (found == nullptr) fail_section(id, "is missing from the file");
+    if (found->offset % kSectionAlign != 0) {
+      fail_section(id, "is misaligned");
+    }
+    if (found->offset > image.size() ||
+        found->length > image.size() - found->offset) {
+      fail_section(id, "is out of bounds (truncated file?)");
+    }
+    const auto payload = image.subspan(found->offset, found->length);
+    if (verify_checksums &&
+        crc32(payload) != static_cast<std::uint32_t>(found->crc32)) {
+      fail_section(id, "checksum mismatch (corrupt file)");
+    }
+    return payload;
+  };
+
+  ParsedIndexFile p;
+
+  {
+    SectionReader r{SectionId::kConfig, section(SectionId::kConfig)};
+    p.config.block_bytes = r.read<std::uint64_t>();
+    p.config.neighbor_threshold = r.read<std::int32_t>();
+    const auto name_len = r.read<std::uint32_t>();
+    if (name_len > (1u << 10)) {
+      fail_section(SectionId::kConfig, "has an implausible matrix name");
+    }
+    p.config.matrix = &matrix_by_name(std::string(r.read_string(name_len)));
+    p.config.long_seq_limit = r.read<std::uint64_t>();
+    p.config.long_seq_overlap = r.read<std::uint64_t>();
+    p.num_seqs = r.read<std::uint64_t>();
+    p.num_blocks = r.read<std::uint64_t>();
+    if (p.num_seqs == 0 || p.num_seqs >= (std::uint64_t{1} << 40)) {
+      fail_section(SectionId::kConfig, "has an implausible sequence count");
+    }
+    if (p.num_blocks == 0 || p.num_blocks >= (std::uint64_t{1} << 32)) {
+      fail_section(SectionId::kConfig, "has an implausible block count");
+    }
+  }
+
+  p.seq_offsets =
+      typed_section<std::uint64_t>(SectionId::kSeqOffsets,
+                                   section(SectionId::kSeqOffsets));
+  p.arena = typed_section<Residue>(SectionId::kArena,
+                                   section(SectionId::kArena));
+  p.name_offsets =
+      typed_section<std::uint64_t>(SectionId::kNameOffsets,
+                                   section(SectionId::kNameOffsets));
+  {
+    const auto blob = section(SectionId::kNameBlob);
+    p.name_blob = {reinterpret_cast<const char*>(blob.data()), blob.size()};
+  }
+  p.order = typed_section<SeqId>(SectionId::kOrder,
+                                 section(SectionId::kOrder));
+  p.inverse = typed_section<SeqId>(SectionId::kInverse,
+                                   section(SectionId::kInverse));
+  p.block_meta =
+      typed_section<BlockMetaRecord>(SectionId::kBlockMeta,
+                                     section(SectionId::kBlockMeta));
+  p.fragments = typed_section<FragmentRef>(SectionId::kFragments,
+                                           section(SectionId::kFragments));
+  p.csr_offsets =
+      typed_section<std::uint32_t>(SectionId::kCsrOffsets,
+                                   section(SectionId::kCsrOffsets));
+  p.entries = typed_section<std::uint32_t>(SectionId::kEntries,
+                                           section(SectionId::kEntries));
+
+  // Cross-section structural validation. Sizes first (cheap, always on)...
+  if (p.seq_offsets.size() != p.num_seqs + 1) {
+    fail_section(SectionId::kSeqOffsets, "has the wrong element count");
+  }
+  if (p.name_offsets.size() != p.num_seqs + 1) {
+    fail_section(SectionId::kNameOffsets, "has the wrong element count");
+  }
+  if (p.order.size() != p.num_seqs) {
+    fail_section(SectionId::kOrder, "has the wrong element count");
+  }
+  if (p.inverse.size() != p.num_seqs) {
+    fail_section(SectionId::kInverse, "has the wrong element count");
+  }
+  if (p.block_meta.size() != p.num_blocks) {
+    fail_section(SectionId::kBlockMeta, "has the wrong element count");
+  }
+  if (p.csr_offsets.size() !=
+      p.num_blocks * (static_cast<std::size_t>(kNumWords) + 1)) {
+    fail_section(SectionId::kCsrOffsets, "has the wrong element count");
+  }
+  if (p.seq_offsets.front() != 0 || p.seq_offsets.back() != p.arena.size()) {
+    fail_section(SectionId::kSeqOffsets, "does not bracket the arena");
+  }
+  if (p.name_offsets.front() != 0 ||
+      p.name_offsets.back() != p.name_blob.size()) {
+    fail_section(SectionId::kNameOffsets, "does not bracket the name blob");
+  }
+  std::uint64_t total_frags = 0;
+  std::uint64_t total_entries = 0;
+  for (const BlockMetaRecord& m : p.block_meta) {
+    total_frags += m.num_fragments;
+    total_entries += m.num_entries;
+    if (m.offset_bits < 1 || m.offset_bits > 31) {
+      fail_section(SectionId::kBlockMeta, "has bad offset bits");
+    }
+  }
+  if (p.fragments.size() != total_frags) {
+    fail_section(SectionId::kFragments, "has the wrong element count");
+  }
+  if (p.entries.size() != total_entries) {
+    fail_section(SectionId::kEntries, "has the wrong element count");
+  }
+
+  // ...then the deep per-element invariants, which read every payload page
+  // (skipped together with the checksums when the caller opted out of
+  // verification to keep the load strictly lazy).
+  if (verify_checksums) {
+    for (std::size_t i = 0; i + 1 < p.seq_offsets.size(); ++i) {
+      if (p.seq_offsets[i] > p.seq_offsets[i + 1]) {
+        fail_section(SectionId::kSeqOffsets, "is not monotone");
+      }
+    }
+    for (std::size_t i = 0; i + 1 < p.name_offsets.size(); ++i) {
+      if (p.name_offsets[i] > p.name_offsets[i + 1]) {
+        fail_section(SectionId::kNameOffsets, "is not monotone");
+      }
+    }
+    for (std::size_t i = 0; i < p.order.size(); ++i) {
+      if (p.order[i] >= p.num_seqs) {
+        fail_section(SectionId::kOrder, "maps outside the store");
+      }
+      if (p.inverse[i] >= p.num_seqs || p.order[p.inverse[i]] != i) {
+        fail_section(SectionId::kInverse, "is not the inverse of 'order'");
+      }
+    }
+    constexpr std::size_t kCsrLen = static_cast<std::size_t>(kNumWords) + 1;
+    std::size_t frag_cursor = 0;
+    std::size_t entry_cursor = 0;
+    for (std::size_t b = 0; b < p.block_meta.size(); ++b) {
+      const BlockMetaRecord& m = p.block_meta[b];
+      const auto frags = p.fragments.subspan(frag_cursor, m.num_fragments);
+      const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
+      const auto entries = p.entries.subspan(entry_cursor, m.num_entries);
+      std::uint64_t max_len = 0;
+      std::uint64_t chars = 0;
+      for (const FragmentRef& f : frags) {
+        const bool in_range =
+            f.seq < p.num_seqs &&
+            p.seq_offsets[f.seq] + f.start + f.len <=
+                p.seq_offsets[f.seq + 1];
+        if (!in_range) {
+          fail_section(SectionId::kFragments, "references out-of-range data");
+        }
+        max_len = std::max<std::uint64_t>(max_len, f.len);
+        chars += f.len;
+      }
+      if (m.max_fragment_len != max_len || m.total_chars != chars) {
+        fail_section(SectionId::kBlockMeta,
+                     "disagrees with the fragment data");
+      }
+      for (std::size_t w = 0; w + 1 < csr.size(); ++w) {
+        if (csr[w] > csr[w + 1]) {
+          fail_section(SectionId::kCsrOffsets, "is not monotone");
+        }
+      }
+      if (csr.front() != 0 || csr.back() != entries.size()) {
+        fail_section(SectionId::kCsrOffsets,
+                     "does not bracket the block's entries");
+      }
+      const std::uint32_t offset_mask =
+          (std::uint32_t{1} << m.offset_bits) - 1;
+      for (const std::uint32_t e : entries) {
+        const std::uint32_t frag = e >> m.offset_bits;
+        if (frag >= frags.size() ||
+            (e & offset_mask) + kWordLength > frags[frag].len) {
+          fail_section(SectionId::kEntries, "decodes out of range");
+        }
+      }
+      frag_cursor += m.num_fragments;
+      entry_cursor += m.num_entries;
+    }
+  }
+  return p;
 }
+
+// ---------------------------------------------------------------------------
+// copy loader (v2 + v3)
+// ---------------------------------------------------------------------------
 
 DbIndex load_db_index(std::istream& in) {
   char magic[4];
@@ -113,10 +560,61 @@ DbIndex load_db_index(std::istream& in) {
   MUBLASTP_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
                  "not a muBLASTP index file (bad magic)");
   const auto version = read_pod<std::uint32_t>(in);
-  MUBLASTP_CHECK(version == kDbIndexFormatVersion,
+  MUBLASTP_CHECK(version == kDbIndexFormatV2 || version == kDbIndexFormatV3,
                  "unsupported index format version " +
                      std::to_string(version));
 
+  if (version == kDbIndexFormatV3) {
+    // Slurp the remaining stream and reuse the section parser, then copy
+    // the parsed spans into an owned DbIndex. mmap loading (MappedDbIndex)
+    // skips this copy entirely; this path exists for stream sources and
+    // callers that want an owned index.
+    std::string image(reinterpret_cast<const char*>(kMagic),
+                      sizeof(kMagic));
+    image.append(reinterpret_cast<const char*>(&version), sizeof(version));
+    image.append(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    const ParsedIndexFile p = parse_db_index_v3(
+        {reinterpret_cast<const std::byte*>(image.data()), image.size()});
+
+    SequenceStore db;
+    for (std::uint64_t i = 0; i < p.num_seqs; ++i) {
+      const auto seq =
+          p.arena.subspan(p.seq_offsets[i], p.seq_offsets[i + 1] -
+                                                p.seq_offsets[i]);
+      db.add(seq, std::string(p.name_blob.substr(
+                      p.name_offsets[i],
+                      p.name_offsets[i + 1] - p.name_offsets[i])));
+    }
+    std::vector<SeqId> order(p.order.begin(), p.order.end());
+    NeighborTable neighbors(*p.config.matrix, p.config.neighbor_threshold);
+    DbIndex index(std::move(db), std::move(order), p.config,
+                  std::move(neighbors));
+    index.inverse_.assign(p.inverse.begin(), p.inverse.end());
+
+    constexpr std::size_t kCsrLen = static_cast<std::size_t>(kNumWords) + 1;
+    index.blocks_.resize(p.num_blocks);
+    std::size_t frag_cursor = 0;
+    std::size_t entry_cursor = 0;
+    for (std::size_t b = 0; b < p.num_blocks; ++b) {
+      const BlockMetaRecord& m = p.block_meta[b];
+      DbIndexBlock& block = index.blocks_[b];
+      const auto frags = p.fragments.subspan(frag_cursor, m.num_fragments);
+      const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
+      const auto entries = p.entries.subspan(entry_cursor, m.num_entries);
+      block.fragments_.assign(frags.begin(), frags.end());
+      block.offsets_.assign(csr.begin(), csr.end());
+      block.entries_.assign(entries.begin(), entries.end());
+      block.max_fragment_len_ = m.max_fragment_len;
+      block.total_chars_ = m.total_chars;
+      block.offset_bits_ = m.offset_bits;
+      frag_cursor += m.num_fragments;
+      entry_cursor += m.num_entries;
+    }
+    return index;
+  }
+
+  // --- v2 body (legacy streamed format) ---------------------------------
   DbIndexConfig config;
   config.block_bytes = read_pod<std::uint64_t>(in);
   config.neighbor_threshold = read_pod<std::int32_t>(in);
@@ -199,10 +697,78 @@ DbIndex load_db_index(std::istream& in) {
   return index;
 }
 
+namespace {
+
+// Path-level preconditions shared by the copy loader and describe. The
+// stream API cannot distinguish "directory" from "garbage", so check the
+// filesystem first and fail with a message that names the actual problem.
+void check_index_path(const std::string& path) {
+  std::error_code ec;
+  const auto status = std::filesystem::status(path, ec);
+  MUBLASTP_CHECK(!ec && std::filesystem::exists(status),
+                 "cannot open index file: " + path);
+  MUBLASTP_CHECK(!std::filesystem::is_directory(status),
+                 "index path is a directory, not a file: " + path);
+  MUBLASTP_CHECK(std::filesystem::is_regular_file(status),
+                 "index path is not a regular file: " + path);
+  const auto size = std::filesystem::file_size(path, ec);
+  MUBLASTP_CHECK(!ec, "cannot stat index file: " + path);
+  MUBLASTP_CHECK(size > 0, "empty index file: " + path);
+}
+
+}  // namespace
+
 DbIndex load_db_index_file(const std::string& path) {
+  check_index_path(path);
   std::ifstream in(path, std::ios::binary);
   MUBLASTP_CHECK(in.good(), "cannot open index file: " + path);
   return load_db_index(in);
+}
+
+DbIndexFileInfo describe_db_index_file(const std::string& path) {
+  check_index_path(path);
+  std::ifstream in(path, std::ios::binary);
+  MUBLASTP_CHECK(in.good(), "cannot open index file: " + path);
+
+  DbIndexFileInfo info;
+  std::error_code ec;
+  info.file_bytes = std::filesystem::file_size(path, ec);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  MUBLASTP_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
+                 "not a muBLASTP index file (bad magic): " + path);
+  info.version = read_pod<std::uint32_t>(in);
+  MUBLASTP_CHECK(
+      info.version == kDbIndexFormatV2 || info.version == kDbIndexFormatV3,
+      "unsupported index format version " + std::to_string(info.version));
+  if (info.version == kDbIndexFormatV2) return info;  // v2 has no table
+
+  const auto section_count = read_pod<std::uint32_t>(in);
+  const auto table_crc = read_pod<std::uint32_t>(in);
+  const auto file_bytes = read_pod<std::uint64_t>(in);
+  MUBLASTP_CHECK(file_bytes == info.file_bytes,
+                 "truncated index file: header declares " +
+                     std::to_string(file_bytes) + " bytes, file has " +
+                     std::to_string(info.file_bytes));
+  MUBLASTP_CHECK(section_count >= 1 && section_count <= 64,
+                 "index header: implausible section count");
+  in.seekg(sizeof(FileHeaderV3));
+  std::vector<SectionRecord> table(section_count);
+  in.read(reinterpret_cast<char*>(table.data()),
+          static_cast<std::streamsize>(section_count *
+                                       sizeof(SectionRecord)));
+  MUBLASTP_CHECK(in.good(), "truncated index file: section table missing");
+  MUBLASTP_CHECK(
+      crc32(table.data(), section_count * sizeof(SectionRecord)) ==
+          table_crc,
+      "index header: section table checksum mismatch");
+  for (const SectionRecord& r : table) {
+    info.sections.push_back(
+        {std::string(section_name(static_cast<SectionId>(r.id))), r.id,
+         r.offset, r.length, static_cast<std::uint32_t>(r.crc32)});
+  }
+  return info;
 }
 
 }  // namespace mublastp

@@ -3,38 +3,74 @@
 // The whole point of a database index is "build once, search many times"
 // (paper Section V-A explicitly excludes index build time because "the
 // index only need to be built once for a given database"). This module
-// persists a DbIndex to a versioned little-endian binary file:
+// persists a DbIndex to a versioned little-endian binary file and reads it
+// back, in two formats:
 //
-//   magic "MUBI" | format version | DbIndexConfig | sorted SequenceStore
-//   (arena + offsets + names) | original-id order | blocks (fragments,
-//   CSR offsets, packed entries)
+//   v3 (current): checksummed section table over 64-byte-aligned raw
+//   sections (see db_index_format.hpp). Written by save_db_index, readable
+//   by both the copy loader here and the zero-copy MappedDbIndex.
 //
-// The neighbor table is NOT serialized: it is a pure function of
-// (matrix, threshold) and rebuilding it costs milliseconds, while storing
-// it would add megabytes.
+//   v2 (legacy): streamed length-prefixed records. Still loadable (old
+//   files keep working) and still writable via save_db_index_v2 so the
+//   compatibility path stays testable.
+//
+// The neighbor table is NOT serialized in either format: it is a pure
+// function of (matrix, threshold) and rebuilding it costs milliseconds,
+// while storing it would add megabytes.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "index/db_index.hpp"
 
 namespace mublastp {
 
-/// Current file-format version.
-inline constexpr std::uint32_t kDbIndexFormatVersion = 2;
+/// Current file-format version (the sectioned, mmap-able v3).
+inline constexpr std::uint32_t kDbIndexFormatVersion = 3;
 
-/// Writes `index` to a binary stream. Throws mublastp::Error on I/O errors.
+/// Writes `index` as format v3. Throws mublastp::Error on I/O errors.
 void save_db_index(std::ostream& out, const DbIndex& index);
 
-/// Writes `index` to a file.
+/// Writes `index` to a file (format v3).
 void save_db_index_file(const std::string& path, const DbIndex& index);
 
-/// Reads an index back. Throws mublastp::Error on malformed or truncated
-/// input, bad magic, or unsupported version.
+/// Writes `index` in the legacy v2 streamed format. Kept so backward
+/// compatibility of the v2 reader stays testable and old deployments can be
+/// fed from new builds; new files should use save_db_index.
+void save_db_index_v2(std::ostream& out, const DbIndex& index);
+
+/// Reads an index back (v2 or v3, dispatched on the version field). Throws
+/// mublastp::Error on malformed or truncated input, bad magic, checksum
+/// mismatches, or unsupported versions — never returns a partial index.
 DbIndex load_db_index(std::istream& in);
 
-/// Reads an index from a file.
+/// Reads an index from a file. Rejects non-regular files (directories,
+/// sockets) and zero-byte files with a clear Error before touching the
+/// stream.
 DbIndex load_db_index_file(const std::string& path);
+
+/// One section-table row as reported by describe_db_index_file.
+struct IndexSectionInfo {
+  std::string name;           ///< section_name() of the id
+  std::uint32_t id = 0;       ///< raw SectionId value
+  std::uint64_t offset = 0;   ///< absolute file offset
+  std::uint64_t length = 0;   ///< payload bytes
+  std::uint32_t crc32 = 0;    ///< stored payload checksum
+};
+
+/// Surface-level description of an index file (for dbinfo and probes).
+struct DbIndexFileInfo {
+  std::uint32_t version = 0;      ///< 2 or 3
+  std::uint64_t file_bytes = 0;
+  std::vector<IndexSectionInfo> sections;  ///< empty for v2 files
+};
+
+/// Reads only the header + section table of an index file: cheap (no
+/// payload is touched, no checksum verified beyond the table's own). Used
+/// by tools to print the layout and to pick the mmap vs copy load path.
+DbIndexFileInfo describe_db_index_file(const std::string& path);
 
 }  // namespace mublastp

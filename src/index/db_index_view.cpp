@@ -1,0 +1,45 @@
+#include "index/db_index_view.hpp"
+
+#include "index/mapped_db_index.hpp"
+
+namespace mublastp {
+
+static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+              "index views require 64-bit size_t (arena offsets are stored "
+              "as u64 on disk and viewed as size_t in memory)");
+
+DbIndexView::DbIndexView(const DbIndex& index)
+    : arena_(index.db_.arena()),
+      seq_offsets_(index.db_.arena_offsets()),
+      order_(index.order_),
+      inverse_(index.inverse_),
+      neighbors_(&index.neighbors_),
+      config_(index.config_),
+      owned_names_(&index.db_) {
+  blocks_.reserve(index.blocks_.size());
+  for (const DbIndexBlock& b : index.blocks_) {
+    blocks_.emplace_back(b.offsets_, b.entries_, b.fragments_,
+                         b.max_fragment_len_, b.total_chars_, b.offset_bits_);
+  }
+}
+
+DbIndexView::DbIndexView(const MappedDbIndex& mapped)
+    : arena_(mapped.arena()),
+      seq_offsets_(reinterpret_cast<const std::size_t*>(
+                       mapped.seq_offsets().data()),
+                   mapped.seq_offsets().size()),
+      order_(mapped.order()),
+      inverse_(mapped.inverse()),
+      blocks_(mapped.blocks().begin(), mapped.blocks().end()),
+      neighbors_(&mapped.neighbors()),
+      config_(mapped.config()),
+      name_offsets_(mapped.name_offsets()),
+      name_blob_(mapped.name_blob().data()) {}
+
+std::string_view DbIndexView::name(SeqId id) const {
+  if (owned_names_ != nullptr) return owned_names_->name(id);
+  return {name_blob_ + name_offsets_[id],
+          name_offsets_[id + 1] - name_offsets_[id]};
+}
+
+}  // namespace mublastp

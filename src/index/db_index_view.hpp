@@ -1,0 +1,153 @@
+// Non-owning view over a database index, the common currency of the
+// engines.
+//
+// Two concrete index representations exist: the owned DbIndex (vectors
+// built in memory or copy-loaded from a v2/v3 file) and the MappedDbIndex
+// (spans served straight out of a read-only mmap of a v3 file). Search must
+// drive both identically — same hits, same HSPs, same telemetry counters —
+// so the engines are written against this view instead of either concrete
+// type. The view is a handful of spans plus scalars: constructing one
+// allocates only the per-block view array, and every hot-path accessor
+// compiles to the same loads the old DbIndex& code paths produced.
+//
+// Lifetime: a DbIndexView borrows everything (arena, CSR arrays, neighbor
+// table) from the index it was built over; that index must outlive the view
+// and every engine holding it — the same contract engines already had with
+// `const DbIndex&`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "index/db_index.hpp"
+
+namespace mublastp {
+
+class MappedDbIndex;
+
+/// One index block as spans: same accessor API as DbIndexBlock, backed by
+/// either that block's vectors or a slice of a mapped file.
+class DbBlockView {
+ public:
+  DbBlockView() = default;
+  DbBlockView(std::span<const std::uint32_t> offsets,
+              std::span<const std::uint32_t> entries,
+              std::span<const FragmentRef> fragments,
+              std::size_t max_fragment_len, std::size_t total_chars,
+              int offset_bits)
+      : offsets_(offsets),
+        entries_(entries),
+        fragments_(fragments),
+        max_fragment_len_(max_fragment_len),
+        total_chars_(total_chars),
+        offset_bits_(offset_bits) {}
+
+  /// Packed 32-bit entries for `word` (exact word only, no neighbors),
+  /// ordered by (fragment, offset) ascending.
+  std::span<const std::uint32_t> entries(std::uint32_t word) const {
+    return {entries_.data() + offsets_[word],
+            offsets_[word + 1] - offsets_[word]};
+  }
+
+  /// Decodes the block-local fragment id of an entry.
+  std::uint32_t entry_fragment(std::uint32_t entry) const {
+    return entry >> offset_bits_;
+  }
+
+  /// Decodes the in-fragment word offset of an entry.
+  std::uint32_t entry_offset(std::uint32_t entry) const {
+    return entry & ((std::uint32_t{1} << offset_bits_) - 1);
+  }
+
+  /// Fragment descriptors; local id indexes this.
+  std::span<const FragmentRef> fragments() const { return fragments_; }
+
+  /// Longest fragment in the block (bounds the diagonal range).
+  std::size_t max_fragment_len() const { return max_fragment_len_; }
+
+  /// Total residues covered by this block.
+  std::size_t total_chars() const { return total_chars_; }
+
+  /// Total stored positions.
+  std::size_t num_positions() const { return entries_.size(); }
+
+  /// Approximate footprint of the position data (32-bit entries).
+  std::size_t position_bytes() const {
+    return entries_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Bits used for the offset field of packed entries.
+  int offset_bits() const { return offset_bits_; }
+
+ private:
+  std::span<const std::uint32_t> offsets_;  // kNumWords + 1
+  std::span<const std::uint32_t> entries_;
+  std::span<const FragmentRef> fragments_;
+  std::size_t max_fragment_len_ = 0;
+  std::size_t total_chars_ = 0;
+  int offset_bits_ = 0;
+};
+
+/// The engines' read-only window onto an index, whatever owns it.
+class DbIndexView {
+ public:
+  /// View over an owned, in-memory index. Implicit on purpose: existing
+  /// `Engine(index)` call sites keep compiling unchanged.
+  DbIndexView(const DbIndex& index);  // NOLINT(google-explicit-constructor)
+
+  /// View over a memory-mapped index file.
+  DbIndexView(const MappedDbIndex& mapped);  // NOLINT
+
+  /// Index blocks in ascending sequence-length order.
+  std::span<const DbBlockView> blocks() const { return blocks_; }
+
+  /// Shared word -> neighbor-words table.
+  const NeighborTable& neighbors() const { return *neighbors_; }
+
+  /// Construction parameters of the underlying index.
+  const DbIndexConfig& config() const { return config_; }
+
+  /// Number of sequences in the (length-sorted) store.
+  std::size_t num_sequences() const { return seq_offsets_.size() - 1; }
+
+  /// Residues of sorted-store sequence `id`.
+  std::span<const Residue> sequence(SeqId id) const {
+    return arena_.subspan(seq_offsets_[id],
+                          seq_offsets_[id + 1] - seq_offsets_[id]);
+  }
+
+  /// Length in residues of sorted-store sequence `id`.
+  std::size_t length(SeqId id) const {
+    return seq_offsets_[id + 1] - seq_offsets_[id];
+  }
+
+  /// FASTA header (may be empty) of sorted-store sequence `id`.
+  std::string_view name(SeqId id) const;
+
+  /// Total residues across all sequences.
+  std::size_t total_residues() const { return arena_.size(); }
+
+  /// Maps a sorted-store id back to the original database id.
+  SeqId original_id(SeqId sorted_id) const { return order_[sorted_id]; }
+
+  /// Maps an original id to its position in the sorted store.
+  SeqId sorted_id(SeqId original) const { return inverse_[original]; }
+
+ private:
+  std::span<const Residue> arena_;
+  std::span<const std::size_t> seq_offsets_;  // num_sequences() + 1
+  std::span<const SeqId> order_;
+  std::span<const SeqId> inverse_;
+  std::vector<DbBlockView> blocks_;
+  const NeighborTable* neighbors_ = nullptr;
+  DbIndexConfig config_;
+  // Name storage differs by backing: the owned store keeps std::strings,
+  // the mapped form a blob + offsets. Exactly one of these is active.
+  const SequenceStore* owned_names_ = nullptr;
+  std::span<const std::uint64_t> name_offsets_;
+  const char* name_blob_ = nullptr;
+};
+
+}  // namespace mublastp

@@ -1,0 +1,103 @@
+#include "index/mapped_db_index.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mublastp {
+
+MappedDbIndex::Mapping::Mapping(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  MUBLASTP_CHECK(fd >= 0, "cannot open index file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("cannot stat index file: " + path);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    throw Error("index path is a directory, not a file: " + path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    throw Error("index path is not a regular file: " + path);
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    throw Error("empty index file: " + path);
+  }
+  const std::size_t len = static_cast<std::size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  MUBLASTP_CHECK(addr != MAP_FAILED, "mmap failed for index file: " + path);
+  data = static_cast<const std::byte*>(addr);
+  size = len;
+}
+
+MappedDbIndex::Mapping::~Mapping() {
+  if (data != nullptr) {
+    ::munmap(const_cast<std::byte*>(data), size);
+  }
+}
+
+MappedDbIndex::Mapping::Mapping(Mapping&& other) noexcept
+    : data(std::exchange(other.data, nullptr)),
+      size(std::exchange(other.size, 0)) {}
+
+MappedDbIndex::Mapping& MappedDbIndex::Mapping::operator=(
+    Mapping&& other) noexcept {
+  if (this != &other) {
+    if (data != nullptr) ::munmap(const_cast<std::byte*>(data), size);
+    data = std::exchange(other.data, nullptr);
+    size = std::exchange(other.size, 0);
+  }
+  return *this;
+}
+
+MappedDbIndex::MappedDbIndex(const std::string& path, Options options)
+    : map_(path),
+      parsed_(parse_db_index_v3(map_.bytes(), options.verify_checksums)),
+      neighbors_(*parsed_.config.matrix, parsed_.config.neighbor_threshold),
+      path_(path) {
+  // Carve per-block span descriptors out of the concatenated sections.
+  blocks_.reserve(parsed_.num_blocks);
+  std::size_t frag_cursor = 0;
+  std::size_t entry_cursor = 0;
+  std::size_t csr_cursor = 0;
+  constexpr std::size_t kCsrLen = static_cast<std::size_t>(kNumWords) + 1;
+  for (const BlockMetaRecord& m : parsed_.block_meta) {
+    blocks_.emplace_back(
+        parsed_.csr_offsets.subspan(csr_cursor, kCsrLen),
+        parsed_.entries.subspan(entry_cursor, m.num_entries),
+        parsed_.fragments.subspan(frag_cursor, m.num_fragments),
+        m.max_fragment_len, m.total_chars, m.offset_bits);
+    frag_cursor += m.num_fragments;
+    entry_cursor += m.num_entries;
+    csr_cursor += kCsrLen;
+  }
+}
+
+std::size_t MappedDbIndex::resident_bytes() const {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0 || map_.data == nullptr) return 0;
+  const std::size_t page_size = static_cast<std::size_t>(page);
+  const std::size_t pages = (map_.size + page_size - 1) / page_size;
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(const_cast<std::byte*>(map_.data), map_.size, vec.data()) !=
+      0) {
+    return 0;
+  }
+  std::size_t resident = 0;
+  for (const unsigned char v : vec) {
+    if (v & 1u) ++resident;
+  }
+  return resident * page_size;
+}
+
+}  // namespace mublastp

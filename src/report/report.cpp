@@ -53,9 +53,33 @@ AlignmentSummary summarize_alignment(std::span<const Residue> query,
   return s;
 }
 
-void write_tabular(std::ostream& out, const std::string& query_name,
-                   std::span<const Residue> query, const SequenceStore& db,
-                   const QueryResult& result, const ScoreMatrix& matrix) {
+namespace {
+
+// Subject access in *original* database id space, over either backing.
+// GappedAlignment::subject carries original ids; the index view stores
+// sequences length-sorted, so its adapter remaps per lookup.
+struct StoreDb {
+  const SequenceStore& db;
+  std::span<const Residue> sequence(SeqId original) const {
+    return db.sequence(original);
+  }
+  std::string_view name(SeqId original) const { return db.name(original); }
+};
+
+struct ViewDb {
+  const DbIndexView& view;
+  std::span<const Residue> sequence(SeqId original) const {
+    return view.sequence(view.sorted_id(original));
+  }
+  std::string_view name(SeqId original) const {
+    return view.name(view.sorted_id(original));
+  }
+};
+
+template <typename Db>
+void write_tabular_impl(std::ostream& out, const std::string& query_name,
+                        std::span<const Residue> query, const Db& db,
+                        const QueryResult& result, const ScoreMatrix& matrix) {
   for (const GappedAlignment& a : result.alignments) {
     const auto subject = db.sequence(a.subject);
     const AlignmentSummary s = summarize_alignment(query, subject, a, matrix);
@@ -71,8 +95,6 @@ void write_tabular(std::ostream& out, const std::string& query_name,
   }
 }
 
-namespace {
-
 // The middle line of a pairwise block: letter on identity, '+' on positive
 // substitution, blank otherwise (NCBI's convention).
 char match_char(Residue a, Residue b, const ScoreMatrix& matrix) {
@@ -80,12 +102,11 @@ char match_char(Residue a, Residue b, const ScoreMatrix& matrix) {
   return matrix(a, b) > 0 ? '+' : ' ';
 }
 
-}  // namespace
-
-void write_pairwise(std::ostream& out, const std::string& query_name,
-                    std::span<const Residue> query, const SequenceStore& db,
-                    const QueryResult& result, const ScoreMatrix& matrix,
-                    std::size_t line_width) {
+template <typename Db>
+void write_pairwise_impl(std::ostream& out, const std::string& query_name,
+                         std::span<const Residue> query, const Db& db,
+                         const QueryResult& result, const ScoreMatrix& matrix,
+                         std::size_t line_width) {
   MUBLASTP_CHECK(line_width > 0, "line width must be positive");
   out << "Query= " << query_name << "\n  Length=" << query.size() << "\n";
   if (result.alignments.empty()) {
@@ -158,6 +179,36 @@ void write_pairwise(std::ostream& out, const std::string& query_name,
     }
   }
   out << '\n';
+}
+
+}  // namespace
+
+void write_tabular(std::ostream& out, const std::string& query_name,
+                   std::span<const Residue> query, const SequenceStore& db,
+                   const QueryResult& result, const ScoreMatrix& matrix) {
+  write_tabular_impl(out, query_name, query, StoreDb{db}, result, matrix);
+}
+
+void write_tabular(std::ostream& out, const std::string& query_name,
+                   std::span<const Residue> query, const DbIndexView& db,
+                   const QueryResult& result, const ScoreMatrix& matrix) {
+  write_tabular_impl(out, query_name, query, ViewDb{db}, result, matrix);
+}
+
+void write_pairwise(std::ostream& out, const std::string& query_name,
+                    std::span<const Residue> query, const SequenceStore& db,
+                    const QueryResult& result, const ScoreMatrix& matrix,
+                    std::size_t line_width) {
+  write_pairwise_impl(out, query_name, query, StoreDb{db}, result, matrix,
+                      line_width);
+}
+
+void write_pairwise(std::ostream& out, const std::string& query_name,
+                    std::span<const Residue> query, const DbIndexView& db,
+                    const QueryResult& result, const ScoreMatrix& matrix,
+                    std::size_t line_width) {
+  write_pairwise_impl(out, query_name, query, ViewDb{db}, result, matrix,
+                      line_width);
 }
 
 }  // namespace mublastp

@@ -17,6 +17,7 @@
 
 #include "common/sequence.hpp"
 #include "core/params.hpp"
+#include "index/db_index_view.hpp"
 #include "score/matrix.hpp"
 
 namespace mublastp {
@@ -49,10 +50,23 @@ void write_tabular(std::ostream& out, const std::string& query_name,
                    std::span<const Residue> query, const SequenceStore& db,
                    const QueryResult& result, const ScoreMatrix& matrix);
 
+/// Same, but resolving subjects through an index view (mapped or owned);
+/// `result` subjects are original database ids, remapped internally. Lets
+/// mmap-backed searches report without materializing a SequenceStore.
+void write_tabular(std::ostream& out, const std::string& query_name,
+                   std::span<const Residue> query, const DbIndexView& db,
+                   const QueryResult& result, const ScoreMatrix& matrix);
+
 /// Writes one query's results as classic pairwise alignment blocks.
 /// `line_width` residues per block line.
 void write_pairwise(std::ostream& out, const std::string& query_name,
                     std::span<const Residue> query, const SequenceStore& db,
+                    const QueryResult& result, const ScoreMatrix& matrix,
+                    std::size_t line_width = 60);
+
+/// Pairwise form of the index-view overload above.
+void write_pairwise(std::ostream& out, const std::string& query_name,
+                    std::span<const Residue> query, const DbIndexView& db,
                     const QueryResult& result, const ScoreMatrix& matrix,
                     std::size_t line_width = 60);
 

@@ -27,6 +27,7 @@ const char* stage_name(Stage s) {
 
 void PipelineSnapshot::merge(const PipelineSnapshot& o) {
   if (engine.empty()) engine = o.engine;
+  if (!index_load.recorded()) index_load = o.index_load;
   threads = std::max(threads, o.threads);
   queries += o.queries;
   totals += o.totals;
@@ -92,6 +93,7 @@ PipelineSnapshot PipelineStats::snapshot() const {
   s.threads = threads_;
   s.queries = queries_;
   s.total_seconds = total_seconds_;
+  s.index_load = index_load_;
   s.per_block = blocks_;
   s.totals = extra_counters_;
   s.stage_seconds = extra_seconds_;
@@ -165,6 +167,14 @@ std::string to_json(const PipelineSnapshot& s) {
   append_seconds(out, s.stage_seconds, "  ");
   out += ",\n  \"total_seconds\": ";
   append_double(out, s.total_seconds);
+  if (s.index_load.recorded()) {
+    append_f(out, ",\n  \"index\": {\"mode\": \"%s\", \"load_seconds\": ",
+             s.index_load.mode.c_str());
+    append_double(out, s.index_load.load_seconds);
+    append_f(out, ", \"file_bytes\": %" PRIu64
+                  ", \"resident_bytes\": %" PRIu64 "}",
+             s.index_load.file_bytes, s.index_load.resident_bytes);
+  }
   out += ",\n  \"per_block\": [";
   for (std::size_t i = 0; i < s.per_block.size(); ++i) {
     const BlockStats& b = s.per_block[i];
@@ -334,6 +344,14 @@ PipelineSnapshot from_json(const std::string& json) {
       s.stage_seconds = parse_seconds(ps);
     } else if (key == "total_seconds") {
       s.total_seconds = ps.number_double();
+    } else if (key == "index") {
+      ps.object([&](const std::string& ikey) {
+        if (ikey == "mode") s.index_load.mode = ps.string();
+        else if (ikey == "load_seconds") s.index_load.load_seconds = ps.number_double();
+        else if (ikey == "file_bytes") s.index_load.file_bytes = ps.number_u64();
+        else if (ikey == "resident_bytes") s.index_load.resident_bytes = ps.number_u64();
+        else ps.skip_value();
+      });
     } else if (key == "per_block") {
       ps.array([&] {
         BlockStats b;
@@ -379,6 +397,12 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                  stage_name(static_cast<Stage>(st)), s.stage_seconds[st]);
   }
   std::fprintf(out, "  %-22s %14.4fs\n", "total", s.total_seconds);
+  if (s.index_load.recorded()) {
+    std::fprintf(out, "  index load: mode=%s load=%.4fs file=%" PRIu64
+                      "B resident=%" PRIu64 "B\n",
+                 s.index_load.mode.c_str(), s.index_load.load_seconds,
+                 s.index_load.file_bytes, s.index_load.resident_bytes);
+  }
 }
 
 }  // namespace mublastp::stats

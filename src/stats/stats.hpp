@@ -108,6 +108,21 @@ struct BlockStats {
   StageSeconds seconds{};
 };
 
+/// How the database index behind a run was obtained. Populated only by
+/// tools that load an index from disk; an empty `mode` means "not
+/// recorded" and the whole object is omitted from the JSON, so snapshots
+/// from in-memory runs are byte-identical to pre-v3 output.
+struct IndexLoadStats {
+  std::string mode;                 ///< "" (unset), "copy" or "mmap"
+  double load_seconds = 0.0;        ///< open + parse (+ checksum) wall time
+  std::uint64_t file_bytes = 0;     ///< index file size
+  std::uint64_t resident_bytes = 0; ///< mincore() residency (mmap only)
+
+  bool recorded() const { return !mode.empty(); }
+  friend bool operator==(const IndexLoadStats&,
+                         const IndexLoadStats&) = default;
+};
+
 /// Immutable result of one collection run — exactly what the JSON schema
 /// (docs/ALGORITHMS.md "Telemetry") serializes.
 struct PipelineSnapshot {
@@ -118,6 +133,7 @@ struct PipelineSnapshot {
   StageSeconds stage_seconds{};
   double total_seconds = 0.0;  ///< wall time of the whole run
   std::vector<BlockStats> per_block;
+  IndexLoadStats index_load;   ///< optional; see IndexLoadStats
 
   double survival_ratio() const { return totals.survival_ratio(); }
 
@@ -249,10 +265,16 @@ class PipelineStats {
   /// Aggregated view of the run; call after finish_run.
   PipelineSnapshot snapshot() const;
 
+  /// Stamps how the index behind this run was obtained; carried into every
+  /// subsequent snapshot(). Independent of begin_run/finish_run (set it
+  /// once after loading, before or after the searches).
+  void set_index_load(IndexLoadStats s) { index_load_ = std::move(s); }
+
   const std::string& engine() const { return engine_; }
 
  private:
   std::string engine_;
+  IndexLoadStats index_load_;
   int threads_ = 0;
   std::uint64_t queries_ = 0;
   double total_seconds_ = 0.0;

@@ -1,0 +1,270 @@
+// Fail-closed battery for index format v3: every way a file can rot —
+// truncation at and inside every section, a flipped byte in every section,
+// a clobbered header field — must surface as a mublastp::Error naming the
+// offending part of the file. Never a crash, never a partial index. The
+// battery drives BOTH loaders (the copy loader and MappedDbIndex) over the
+// same corrupted bytes; the CI sanitizer job runs this under ASan/UBSan.
+#include "index/db_index_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "index/db_index_format.hpp"
+#include "index/mapped_db_index.hpp"
+#include "synth/synth.hpp"
+
+namespace mublastp {
+namespace {
+
+// One saved index, parsed section table and all, shared by every test.
+class IndexIoCorrupt : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const SequenceStore db =
+        synth::generate_database(synth::sprot_like(30000), 77);
+    DbIndexConfig cfg;
+    cfg.block_bytes = 8 * 1024;  // several blocks -> non-trivial sections
+    index_ = new DbIndex(DbIndex::build(db, cfg));
+    std::stringstream buf;
+    save_db_index(buf, *index_);
+    bytes_ = new std::string(buf.str());
+
+    FileHeaderV3 header;
+    std::memcpy(&header, bytes_->data(), sizeof(header));
+    table_ = new std::vector<SectionRecord>(header.section_count);
+    std::memcpy(table_->data(), bytes_->data() + sizeof(FileHeaderV3),
+                header.section_count * sizeof(SectionRecord));
+  }
+
+  static void TearDownTestSuite() {
+    delete index_;
+    delete bytes_;
+    delete table_;
+    index_ = nullptr;
+    bytes_ = nullptr;
+    table_ = nullptr;
+  }
+
+  static const std::string& bytes() { return *bytes_; }
+  static const std::vector<SectionRecord>& table() { return *table_; }
+
+  // Writes `data` to a temp file and asserts that BOTH load paths (copy
+  // loader and verified mmap) reject it with an Error mentioning
+  // `expect_substr` (empty = any Error). Returns the messages for logging.
+  static void expect_rejected(const std::string& data,
+                              const std::string& expect_substr,
+                              const std::string& context) {
+    const std::string path =
+        ::testing::TempDir() + "/mublastp_corrupt_case.mbi";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    }
+    check_throws([&] { (void)load_db_index_file(path); }, expect_substr,
+                 context + " [copy loader]");
+    check_throws([&] { MappedDbIndex mapped(path); }, expect_substr,
+                 context + " [mmap loader]");
+    // The stream entry point must agree with the file entry point.
+    std::stringstream in(data);
+    check_throws([&] { (void)load_db_index(in); }, expect_substr,
+                 context + " [stream loader]");
+    std::remove(path.c_str());
+  }
+
+  template <typename Fn>
+  static void check_throws(Fn&& fn, const std::string& expect_substr,
+                           const std::string& context) {
+    try {
+      fn();
+      ADD_FAILURE() << context << ": corrupt input was accepted";
+    } catch (const Error& e) {
+      if (!expect_substr.empty()) {
+        EXPECT_NE(std::string(e.what()).find(expect_substr),
+                  std::string::npos)
+            << context << ": error was \"" << e.what()
+            << "\", expected it to mention \"" << expect_substr << "\"";
+      }
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << context << ": threw non-mublastp exception: "
+                    << e.what();
+    }
+  }
+
+  static DbIndex* index_;
+  static std::string* bytes_;
+  static std::vector<SectionRecord>* table_;
+};
+
+DbIndex* IndexIoCorrupt::index_ = nullptr;
+std::string* IndexIoCorrupt::bytes_ = nullptr;
+std::vector<SectionRecord>* IndexIoCorrupt::table_ = nullptr;
+
+TEST_F(IndexIoCorrupt, SavedFileIsSane) {
+  ASSERT_EQ(table().size(), 11u);
+  FileHeaderV3 header;
+  std::memcpy(&header, bytes().data(), sizeof(header));
+  EXPECT_EQ(header.file_bytes, bytes().size());
+  for (const SectionRecord& r : table()) {
+    EXPECT_EQ(r.offset % kSectionAlign, 0u);
+    EXPECT_LE(r.offset + r.length, bytes().size());
+  }
+}
+
+TEST_F(IndexIoCorrupt, TruncationAtEverySectionBoundary) {
+  // Cut exactly at the start of each section: everything after it is gone.
+  for (const SectionRecord& r : table()) {
+    const std::string name(section_name(static_cast<SectionId>(r.id)));
+    expect_rejected(bytes().substr(0, r.offset), "truncated",
+                    "cut at start of '" + name + "'");
+  }
+  // And cut just before the end of the file (last byte missing).
+  expect_rejected(bytes().substr(0, bytes().size() - 1), "truncated",
+                  "last byte missing");
+}
+
+TEST_F(IndexIoCorrupt, TruncationMidSection) {
+  for (const SectionRecord& r : table()) {
+    if (r.length < 2) continue;
+    const std::string name(section_name(static_cast<SectionId>(r.id)));
+    expect_rejected(bytes().substr(0, r.offset + r.length / 2), "truncated",
+                    "cut inside '" + name + "'");
+  }
+}
+
+TEST_F(IndexIoCorrupt, TruncationInsideHeaderAndTable) {
+  for (const std::size_t cut : {0ul, 3ul, 7ul, 15ul, sizeof(FileHeaderV3) - 1,
+                                sizeof(FileHeaderV3) + 5}) {
+    expect_rejected(bytes().substr(0, cut), "",
+                    "cut at byte " + std::to_string(cut));
+  }
+}
+
+TEST_F(IndexIoCorrupt, ByteFlipInEverySectionNamesTheSection) {
+  for (const SectionRecord& r : table()) {
+    if (r.length == 0) continue;  // nothing to flip (and padding is not CRCd)
+    const std::string name(section_name(static_cast<SectionId>(r.id)));
+    for (const std::uint64_t at :
+         {r.offset, r.offset + r.length / 2, r.offset + r.length - 1}) {
+      std::string mutated = bytes();
+      mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+      expect_rejected(mutated, "index section '" + name + "'",
+                      "flip at +" + std::to_string(at - r.offset) + " in '" +
+                          name + "'");
+    }
+  }
+}
+
+TEST_F(IndexIoCorrupt, CorruptMagic) {
+  std::string mutated = bytes();
+  mutated[0] = 'X';
+  expect_rejected(mutated, "bad magic", "magic[0]");
+}
+
+TEST_F(IndexIoCorrupt, CorruptVersion) {
+  std::string mutated = bytes();
+  mutated[4] = 99;
+  expect_rejected(mutated, "unsupported index format version", "version=99");
+}
+
+TEST_F(IndexIoCorrupt, CorruptDeclaredFileSize) {
+  std::string mutated = bytes();
+  mutated[16] = static_cast<char>(mutated[16] ^ 0x01);  // file_bytes LSB
+  expect_rejected(mutated, "truncated index file", "file_bytes flipped");
+}
+
+TEST_F(IndexIoCorrupt, CorruptTableChecksum) {
+  std::string mutated = bytes();
+  mutated[12] = static_cast<char>(mutated[12] ^ 0x01);  // table_crc32 LSB
+  expect_rejected(mutated, "section table checksum mismatch",
+                  "table_crc32 flipped");
+}
+
+TEST_F(IndexIoCorrupt, CorruptSectionRecord) {
+  // Any damage to the table itself (here: the first record's stored CRC) is
+  // caught by the table checksum before the record is trusted.
+  std::string mutated = bytes();
+  const std::size_t crc_field =
+      sizeof(FileHeaderV3) + offsetof(SectionRecord, crc32);
+  mutated[crc_field] = static_cast<char>(mutated[crc_field] ^ 0x01);
+  expect_rejected(mutated, "section table checksum mismatch",
+                  "section record crc flipped");
+}
+
+TEST_F(IndexIoCorrupt, ImplausibleSectionCount) {
+  std::string mutated = bytes();
+  std::uint32_t huge = 0xFFFF;
+  std::memcpy(mutated.data() + 8, &huge, sizeof(huge));  // section_count
+  expect_rejected(mutated, "", "section_count=0xFFFF");
+}
+
+TEST_F(IndexIoCorrupt, EmptyFile) {
+  const std::string path = ::testing::TempDir() + "/mublastp_empty.mbi";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  check_throws([&] { (void)load_db_index_file(path); }, "empty index file",
+               "zero-byte file [copy loader]");
+  check_throws([&] { MappedDbIndex mapped(path); }, "", "zero-byte [mmap]");
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexIoCorrupt, DirectoryPath) {
+  const std::string dir = ::testing::TempDir() + "/mublastp_dir.mbi";
+  std::filesystem::create_directory(dir);
+  check_throws([&] { (void)load_db_index_file(dir); }, "directory",
+               "directory path [copy loader]");
+  check_throws([&] { MappedDbIndex mapped(dir); }, "", "directory [mmap]");
+  std::filesystem::remove(dir);
+}
+
+TEST_F(IndexIoCorrupt, MissingFile) {
+  check_throws(
+      [&] { (void)load_db_index_file("/nonexistent/db.mbi"); },
+      "cannot open index file", "missing file [copy loader]");
+  check_throws([&] { MappedDbIndex mapped("/nonexistent/db.mbi"); }, "",
+               "missing file [mmap]");
+}
+
+TEST_F(IndexIoCorrupt, MmapRejectsV2Files) {
+  std::stringstream v2;
+  save_db_index_v2(v2, *index_);
+  const std::string path = ::testing::TempDir() + "/mublastp_v2_reject.mbi";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::string data = v2.str();
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  // The copy loader accepts it; the zero-copy loader must refuse cleanly.
+  EXPECT_NO_THROW((void)load_db_index_file(path));
+  check_throws([&] { MappedDbIndex mapped(path); }, "", "v2 via mmap");
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexIoCorrupt, DescribeRejectsCorruptHeaders) {
+  const std::string path = ::testing::TempDir() + "/mublastp_describe.mbi";
+  const auto write = [&](const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+  std::string mutated = bytes();
+  mutated[0] = 'X';
+  write(mutated);
+  check_throws([&] { (void)describe_db_index_file(path); }, "bad magic",
+               "describe: magic");
+  mutated = bytes();
+  mutated[12] = static_cast<char>(mutated[12] ^ 0x01);
+  write(mutated);
+  check_throws([&] { (void)describe_db_index_file(path); },
+               "section table checksum mismatch", "describe: table crc");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mublastp

@@ -46,10 +46,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    // File-level description first: format version and, for v3, the
+    // checksummed section table the mmap loader navigates by.
+    const DbIndexFileInfo finfo = describe_db_index_file(path);
     const DbIndex index = load_db_index_file(path);
     const SequenceStore& db = index.db();
 
     std::printf("index file        : %s\n", path.c_str());
+    std::printf("format            : v%u, %llu bytes%s\n", finfo.version,
+                static_cast<unsigned long long>(finfo.file_bytes),
+                finfo.version >= kDbIndexFormatVersion
+                    ? " (mmap-able, checksummed sections)"
+                    : " (legacy streamed; copy-load only)");
+    for (const IndexSectionInfo& s : finfo.sections) {
+      std::printf("  section %-12s offset=%-10llu length=%-10llu"
+                  " crc32=%08x\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.length), s.crc32);
+    }
     std::printf("sequences         : %zu (%zu residues)\n", db.size(),
                 db.total_residues());
     std::printf("neighbor threshold: T=%d (%zu word-neighbor pairs, avg "

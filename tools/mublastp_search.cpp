@@ -4,22 +4,30 @@
 // Usage:
 //   mublastp_search --index=db.mbi --query=q.fasta [--threads=N]
 //                   [--outfmt=pairwise|tabular|none] [--max-alignments=K]
-//                   [--stats[=json]]
+//                   [--stats[=json]] [--mmap|--no-mmap]
+//
+// Index loading: v3 index files are memory-mapped by default (zero-copy;
+// pages shared with other processes serving the same database), v2 files
+// are copy-loaded. --mmap forces the mapped path (errors on v2 files);
+// --no-mmap forces the copy loader for either version.
 //
 // --stats prints a human-readable pipeline-telemetry table to stderr;
 // --stats=json emits the machine-readable snapshot (schema
-// "mublastp-stats-v1", see docs/ALGORITHMS.md) to stdout. Combine
+// "mublastp-stats-v1", see docs/ALGORITHMS.md) to stdout, including an
+// "index" object recording the load mode/time/residency. Combine
 // --stats=json with --outfmt=none for a stdout that is pure JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "common/timer.hpp"
 #include "core/mublastp_engine.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index_io.hpp"
+#include "index/mapped_db_index.hpp"
 #include "report/report.hpp"
 #include "stats/stats.hpp"
 
@@ -60,11 +68,18 @@ int main(int argc, char** argv) {
   const std::string stats_mode =
       arg_flag(argc, argv, "stats") ? "table"
                                     : arg_str(argc, argv, "stats", "");
+  const bool force_mmap = arg_flag(argc, argv, "mmap");
+  const bool force_copy = arg_flag(argc, argv, "no-mmap");
   if (index_path.empty() || query_path.empty()) {
     std::fprintf(stderr,
                  "usage: mublastp_search --index=db.mbi --query=q.fasta"
                  " [--threads=1] [--outfmt=pairwise|tabular|none]"
-                 " [--max-alignments=25] [--stats[=json]]\n");
+                 " [--max-alignments=25] [--stats[=json]]"
+                 " [--mmap|--no-mmap]\n");
+    return 2;
+  }
+  if (force_mmap && force_copy) {
+    std::fprintf(stderr, "error: --mmap and --no-mmap are exclusive\n");
     return 2;
   }
   if (!stats_mode.empty() && stats_mode != "table" && stats_mode != "json") {
@@ -87,10 +102,39 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Pick the load path: v3 files are mapped unless --no-mmap; v2 files
+    // only have the copy loader. The probe reads just header + table.
+    const DbIndexFileInfo info = describe_db_index_file(index_path);
+    const bool use_mmap =
+        force_mmap || (!force_copy && info.version >= kDbIndexFormatVersion);
+    if (force_mmap && info.version < kDbIndexFormatVersion) {
+      std::fprintf(stderr,
+                   "error: --mmap requires a format v%u index; '%s' is v%u"
+                   " (rebuild it with mublastp_makedb)\n",
+                   kDbIndexFormatVersion, index_path.c_str(), info.version);
+      return 2;
+    }
+
     Timer t;
-    const DbIndex index = load_db_index_file(index_path);
-    std::fprintf(stderr, "loaded index: %zu sequences, %zu blocks (%.2fs)\n",
-                 index.db().size(), index.blocks().size(), t.seconds());
+    std::optional<MappedDbIndex> mapped;
+    std::optional<DbIndex> owned;
+    if (use_mmap) {
+      mapped.emplace(index_path);
+    } else {
+      owned.emplace(load_db_index_file(index_path));
+    }
+    const DbIndexView view = mapped ? DbIndexView(*mapped)
+                                    : DbIndexView(*owned);
+    stats::IndexLoadStats load_stats;
+    load_stats.mode = use_mmap ? "mmap" : "copy";
+    load_stats.load_seconds = t.seconds();
+    load_stats.file_bytes = info.file_bytes;
+    load_stats.resident_bytes = mapped ? mapped->resident_bytes() : 0;
+    std::fprintf(stderr,
+                 "loaded index (%s, v%u): %zu sequences, %zu blocks"
+                 " (%.2fs)\n",
+                 load_stats.mode.c_str(), info.version, view.num_sequences(),
+                 view.blocks().size(), load_stats.load_seconds);
 
     SequenceStore queries;
     read_fasta_file(query_path, queries);
@@ -98,32 +142,27 @@ int main(int argc, char** argv) {
 
     SearchParams params;
     params.max_alignments = arg_num(argc, argv, "max-alignments", 25);
-    const MuBlastpEngine engine(index, params);
+    const MuBlastpEngine engine(view, params);
     const int threads = static_cast<int>(arg_num(argc, argv, "threads", 1));
 
     t.reset();
     stats::PipelineStats pipeline_stats;
+    pipeline_stats.set_index_load(load_stats);
     const std::vector<QueryResult> results = engine.search_batch(
         queries, threads, stats_mode.empty() ? nullptr : &pipeline_stats);
     std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
                  threads);
 
-    // Results come back against the index's ORIGINAL ids; for reporting we
-    // need names/residues from the store the engine searched — the sorted
-    // store inside the index, addressed through the id maps.
-    const SequenceStore& db = index.db();
+    // Results carry ORIGINAL database ids; the view overloads of the report
+    // writers resolve residues/names through the index's id maps, so both
+    // the owned and the mapped form report identically.
     for (SeqId q = 0; q < queries.size(); ++q) {
-      // Remap subjects to sorted-store ids so report lookups are direct.
-      QueryResult r = results[q];
-      for (GappedAlignment& a : r.alignments) {
-        a.subject = index.sorted_id(a.subject);
-      }
       if (outfmt == "tabular") {
-        write_tabular(std::cout, queries.name(q), queries.sequence(q), db, r,
-                      blosum62());
+        write_tabular(std::cout, queries.name(q), queries.sequence(q), view,
+                      results[q], blosum62());
       } else if (outfmt == "pairwise") {
-        write_pairwise(std::cout, queries.name(q), queries.sequence(q), db, r,
-                       blosum62());
+        write_pairwise(std::cout, queries.name(q), queries.sequence(q), view,
+                       results[q], blosum62());
       }  // outfmt == "none": suppress the report (e.g. for --stats=json)
     }
 

@@ -1,7 +1,8 @@
 // mublastp_verify: the paper's Section V-E check as a command — run the
 // query-indexed engine (NCBI), the interleaved database-indexed engine
-// (NCBI-db) and muBLASTP (with and without pre-filtering) on the same
-// workload and diff their outputs stage by stage.
+// (NCBI-db) and muBLASTP (with and without pre-filtering, plus a run over a
+// memory-mapped copy of the index) on the same workload and diff their
+// outputs stage by stage.
 //
 // Usage:
 //   mublastp_verify [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
@@ -12,12 +13,18 @@
 // the result lists AND the pipeline counters (hits, two-hit pairs, ungapped
 // alignments, gapped extensions must be identical across engines; ungapped
 // extension counts additionally match across the database-indexed engines).
+// The mmap run saves the index to a temporary file, reopens it zero-copy
+// through MappedDbIndex and must be indistinguishable from the in-memory
+// engine — the round-trip guarantee of index format v3.
 //
 // --stats prints one telemetry table per engine to stderr; --stats=json
 // emits one "mublastp-stats-v1" JSON snapshot per engine, one per line, to
 // stdout.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "baseline/interleaved_engine.hpp"
@@ -26,6 +33,8 @@
 #include "core/mublastp_engine.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index.hpp"
+#include "index/db_index_io.hpp"
+#include "index/mapped_db_index.hpp"
 #include "stats/stats.hpp"
 #include "synth/synth.hpp"
 
@@ -125,13 +134,26 @@ int main(int argc, char** argv) {
     nopf.prefilter = false;
     const MuBlastpEngine mu_nopf(index, {}, nopf);
 
+    // The owned-vs-mapped equivalence check: round-trip the index through a
+    // v3 file and drive the same engine off the read-only mapping.
+    const std::filesystem::path tmp_index =
+        std::filesystem::temp_directory_path() /
+        ("mublastp_verify_" + std::to_string(::getpid()) + ".mbi");
+    save_db_index_file(tmp_index.string(), index);
+    const MappedDbIndex mapped(tmp_index.string());
+    // The mapping keeps the pages alive after the unlink (POSIX), so the
+    // temp file cannot leak even if a later check throws.
+    std::filesystem::remove(tmp_index);
+    const MuBlastpEngine mu_mmap(mapped);
+
     struct Named {
       const char* name;
       QueryResult result;
       stats::PipelineSnapshot snap;
     };
 
-    stats::PipelineSnapshot agg[4];
+    constexpr int kRuns = 5;
+    stats::PipelineSnapshot agg[kRuns];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
       const auto query = queries.sequence(q);
@@ -140,14 +162,15 @@ int main(int argc, char** argv) {
         QueryResult r = engine.search(query, ps);
         return Named{name, std::move(r), ps.snapshot()};
       };
-      const Named runs[] = {
+      const Named runs[kRuns] = {
           run("ncbi", ncbi),
           run("ncbi-db", ncbi_db),
           run("mublastp", mu),
           run("mublastp-alg1", mu_nopf),
+          run("mublastp-mmap", mu_mmap),
       };
       bool ok = true;
-      for (std::size_t i = 1; i < 4; ++i) {
+      for (std::size_t i = 1; i < kRuns; ++i) {
         if (!same_ungapped(runs[0].result, runs[i].result)) {
           std::printf("query %u: STAGE-2 MISMATCH %s vs %s\n", q,
                       runs[0].name, runs[i].name);
@@ -191,7 +214,14 @@ int main(int argc, char** argv) {
                         runs[2].snap.totals.extensions));
         ok = false;
       }
-      for (int i = 0; i < 4; ++i) agg[i].merge(runs[i].snap);
+      // Owned and mapped runs are the SAME engine on the same data; every
+      // counter — including execution-strategy ones — must be identical.
+      if (runs[2].snap.totals != runs[4].snap.totals) {
+        std::printf("query %u: OWNED/MAPPED COUNTER MISMATCH %s vs %s\n", q,
+                    runs[2].name, runs[4].name);
+        ok = false;
+      }
+      for (int i = 0; i < kRuns; ++i) agg[i].merge(runs[i].snap);
       std::printf("query %-3u %-40s %s (%zu ungapped, %zu alignments)\n", q,
                   queries.name(q).c_str(), ok ? "OK" : "MISMATCH",
                   runs[0].result.ungapped.size(),
@@ -199,7 +229,7 @@ int main(int argc, char** argv) {
       all_ok = all_ok && ok;
     }
     if (!stats_mode.empty()) {
-      for (int i = 0; i < 4; ++i) {
+      for (int i = 0; i < kRuns; ++i) {
         if (stats_mode == "json") {
           // One snapshot per line (JSONL): collapse the pretty-printed form
           // by dropping newlines and their indentation (no string in the
