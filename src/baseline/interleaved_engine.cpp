@@ -22,9 +22,11 @@ const SearchParams& checked_params(const SearchParams& p) {
 }  // namespace
 
 InterleavedDbEngine::InterleavedDbEngine(DbIndexView index,
-                                         SearchParams params)
+                                         SearchParams params,
+                                         simd::KernelPath kernel)
     : view_(std::move(index)),
       params_(checked_params(params)),
+      kernel_(kernel),
       karlin_(gapped_params(*params.matrix, params.gap_open,
                             params.gap_extend)) {
   MUBLASTP_CHECK(params_.matrix == view_.config().matrix,
@@ -37,8 +39,9 @@ void InterleavedDbEngine::search_block(std::span<const Residue> query,
                                        std::uint32_t block_id,
                                        StageStats& stats,
                                        std::vector<UngappedAlignment>& out,
-                                       DiagState& state, Mem mem,
-                                       Rec rec) const {
+                                       DiagState& state, Mem mem, Rec rec,
+                                       const SimdExtendContext* simd_ctx)
+    const {
   const ScoreMatrix& matrix = *params_.matrix;
   const DbIndexView& db = view_;
   const NeighborTable& neighbors = view_.neighbors();
@@ -87,7 +90,7 @@ void InterleavedDbEngine::search_block(std::span<const Residue> query,
         // Interleaved: the extension runs right here, touching this
         // fragment's residues while the scan is somewhere else entirely.
         process_hit(state, key, query, subject, qoff, soff, matrix, params_,
-                    stats, segs, mem);
+                    stats, segs, mem, simd_ctx);
         for (const UngappedSeg& seg : segs) {
           out.push_back(resolve_fragment_segment(query, db, frag, seg, qoff,
                                                  soff, matrix, params_));
@@ -111,10 +114,21 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   QueryResult result;
   std::vector<UngappedAlignment> ungapped;
   DiagState state;
+  // One profile per query, shared by every block's extensions. Traced runs
+  // must replay the scalar kernel's access stream, so they never batch.
+  simd::QueryProfile profile;
+  SimdExtendContext ctx{kernel_, &profile};
+  const SimdExtendContext* simd_ctx = nullptr;
+  if constexpr (!Mem::kEnabled) {
+    if (kernel_ != simd::KernelPath::kScalar) {
+      profile.build(query, *params_.matrix);
+      simd_ctx = &ctx;
+    }
+  }
   std::uint32_t block_id = 0;
   for (const DbBlockView& block : view_.blocks()) {
     search_block(query, block, block_id++, result.stats, ungapped, state, mem,
-                 rec);
+                 rec, simd_ctx);
   }
 
   // Remap sorted-store ids to the caller's original database ids.
@@ -152,6 +166,7 @@ QueryResult InterleavedDbEngine::search(std::span<const Residue> query) const {
 QueryResult InterleavedDbEngine::search(std::span<const Residue> query,
                                         stats::PipelineStats& ps) const {
   ps.begin_run(1, view_.blocks().size(), 1);
+  ps.set_kernel(simd::kernel_name(kernel_));
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
@@ -174,6 +189,7 @@ std::vector<QueryResult> InterleavedDbEngine::batch_impl(
   if constexpr (PS::kEnabled) {
     ps->begin_run(std::max(threads, 1), view_.blocks().size(),
                   queries.size());
+    ps->set_kernel(simd::kernel_name(kernel_));
   }
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < queries.size(); ++i) {

@@ -16,6 +16,7 @@
 #include "index/db_index_view.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
 
 namespace mublastp {
@@ -24,8 +25,12 @@ namespace mublastp {
 class InterleavedDbEngine {
  public:
   /// The index behind `index` (owned DbIndex or MappedDbIndex — both
-  /// convert implicitly) must outlive the engine.
-  explicit InterleavedDbEngine(DbIndexView index, SearchParams params = {});
+  /// convert implicitly) must outlive the engine. `kernel` selects the
+  /// ungapped-extension kernel; results are bit-identical for every path,
+  /// and traced runs always use the scalar kernel.
+  explicit InterleavedDbEngine(DbIndexView index, SearchParams params = {},
+                               simd::KernelPath kernel
+                               = simd::default_kernel());
 
   /// Searches one query (all blocks, all four stages).
   QueryResult search(std::span<const Residue> query) const;
@@ -51,13 +56,15 @@ class InterleavedDbEngine {
 
   const DbIndexView& view() const { return view_; }
   const SearchParams& params() const { return params_; }
+  simd::KernelPath kernel() const { return kernel_; }
 
  private:
   template <typename Mem, typename Rec>
   void search_block(std::span<const Residue> query, const DbBlockView& block,
                     std::uint32_t block_id, StageStats& stats,
                     std::vector<UngappedAlignment>& out, DiagState& state,
-                    Mem mem, Rec rec) const;
+                    Mem mem, Rec rec,
+                    const struct SimdExtendContext* simd_ctx) const;
 
   template <typename Mem, typename Rec>
   QueryResult search_impl(std::span<const Residue> query, Mem mem,
@@ -69,6 +76,7 @@ class InterleavedDbEngine {
 
   DbIndexView view_;
   SearchParams params_;
+  simd::KernelPath kernel_;
   KarlinParams karlin_;
 };
 

@@ -25,13 +25,15 @@ const SearchParams& checked_params(const SearchParams& p) {
 QueryIndexedEngine::QueryIndexedEngine(const SequenceStore& db,
                                        SearchParams params,
                                        Score neighbor_threshold,
-                                       Detector detector)
+                                       Detector detector,
+                                       simd::KernelPath kernel)
     : db_(&db),
       params_(checked_params(params)),
       neighbors_(*params.matrix, neighbor_threshold),
       karlin_(gapped_params(*params.matrix, params.gap_open,
                             params.gap_extend)),
-      detector_(detector) {
+      detector_(detector),
+      kernel_(kernel) {
   MUBLASTP_CHECK(!db.empty(), "database is empty");
   for (SeqId id = 0; id < db.size(); ++id) {
     max_subject_len_ = std::max(max_subject_len_, db.length(id));
@@ -63,6 +65,18 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
   const std::size_t diag_range = query.size() + max_subject_len_;
   state.resize(diag_range);
 
+  // One profile per query, shared across all subjects. Traced runs must
+  // replay the scalar kernel's access stream, so they stay scalar.
+  simd::QueryProfile profile;
+  SimdExtendContext ctx{kernel_, &profile};
+  const SimdExtendContext* simd_ctx = nullptr;
+  if constexpr (!Mem::kEnabled) {
+    if (kernel_ != simd::KernelPath::kScalar) {
+      profile.build(query, matrix);
+      simd_ctx = &ctx;
+    }
+  }
+
   std::vector<UngappedSeg> segs;
   std::vector<UngappedAlignment> ungapped;
 
@@ -82,7 +96,7 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
           static_cast<std::size_t>(static_cast<std::int64_t>(soff) - qoff +
                                    static_cast<std::int64_t>(query.size()));
       process_hit(state, key, query, subject, qoff, soff, matrix, params_,
-                  result.stats, segs, mem);
+                  result.stats, segs, mem, simd_ctx);
     };
     if (use_dfa) {
       dfa->scan(subject, on_hit);
@@ -144,6 +158,7 @@ QueryResult QueryIndexedEngine::search(std::span<const Residue> query) const {
 QueryResult QueryIndexedEngine::search(std::span<const Residue> query,
                                        stats::PipelineStats& ps) const {
   ps.begin_run(1, 1, 1);
+  ps.set_kernel(simd::kernel_name(kernel_));
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
@@ -165,6 +180,7 @@ std::vector<QueryResult> QueryIndexedEngine::batch_impl(
   [[maybe_unused]] Timer run_timer;
   if constexpr (PS::kEnabled) {
     ps->begin_run(std::max(threads, 1), 1, queries.size());
+    ps->set_kernel(simd::kernel_name(kernel_));
   }
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < queries.size(); ++i) {

@@ -18,6 +18,7 @@
 #include "index/neighbor.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
 
 namespace mublastp {
@@ -32,10 +33,12 @@ class QueryIndexedEngine {
   };
 
   /// `db` must outlive the engine. `neighbor_threshold` is the word pair
-  /// threshold T.
+  /// threshold T. `kernel` selects the ungapped-extension kernel; results
+  /// are bit-identical for every path, and traced runs always use scalar.
   QueryIndexedEngine(const SequenceStore& db, SearchParams params = {},
                      Score neighbor_threshold = kDefaultNeighborThreshold,
-                     Detector detector = Detector::kLookupTable);
+                     Detector detector = Detector::kLookupTable,
+                     simd::KernelPath kernel = simd::default_kernel());
 
   /// Searches one query through all four stages.
   QueryResult search(std::span<const Residue> query) const;
@@ -60,6 +63,7 @@ class QueryIndexedEngine {
   const SequenceStore& db() const { return *db_; }
   const SearchParams& params() const { return params_; }
   const NeighborTable& neighbors() const { return neighbors_; }
+  simd::KernelPath kernel() const { return kernel_; }
 
  private:
   template <typename Mem, typename Rec>
@@ -75,6 +79,7 @@ class QueryIndexedEngine {
   NeighborTable neighbors_;
   KarlinParams karlin_;
   Detector detector_;
+  simd::KernelPath kernel_;
   std::size_t max_subject_len_ = 0;
 };
 

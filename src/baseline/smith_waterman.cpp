@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <vector>
+
+#include "simd/kernels.hpp"
 
 namespace mublastp {
 namespace {
@@ -165,6 +168,17 @@ Score smith_waterman_score(std::span<const Residue> query,
     std::swap(f_prev, f_cur);
   }
   return best;
+}
+
+Score smith_waterman_score(std::span<const Residue> query,
+                           std::span<const Residue> subject,
+                           const ScoreMatrix& matrix, Score gap_open,
+                           Score gap_extend, simd::KernelPath kernel) {
+  if (const std::optional<Score> striped = simd::smith_waterman_score_striped(
+          kernel, query, subject, matrix, gap_open, gap_extend)) {
+    return *striped;
+  }
+  return smith_waterman_score(query, subject, matrix, gap_open, gap_extend);
 }
 
 Score best_ungapped_score(std::span<const Residue> query,

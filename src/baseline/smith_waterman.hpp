@@ -12,6 +12,7 @@
 
 #include "common/alphabet.hpp"
 #include "score/matrix.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mublastp {
 
@@ -39,6 +40,15 @@ Score smith_waterman_score(std::span<const Residue> query,
                            std::span<const Residue> subject,
                            const ScoreMatrix& matrix, Score gap_open,
                            Score gap_extend);
+
+/// Same score through the selected kernel: SSE4.2/AVX2 run the Farrar
+/// striped int16 kernel, falling back to the scalar rolling-row code when
+/// the kernel declines (kScalar, empty input, or the int16 saturation
+/// guard). The returned score is identical for every path.
+Score smith_waterman_score(std::span<const Residue> query,
+                           std::span<const Residue> subject,
+                           const ScoreMatrix& matrix, Score gap_open,
+                           Score gap_extend, simd::KernelPath kernel);
 
 /// Score-only ungapped Smith-Waterman (best diagonal run), used to validate
 /// the ungapped extension kernel's scores.

@@ -23,6 +23,16 @@ const SearchParams& checked_params(const SearchParams& p) {
 
 }  // namespace
 
+std::uint64_t MuBlastpEngine::Workspace::footprint_bytes() const {
+  return static_cast<std::uint64_t>(state.footprint_bytes()) +
+         records.capacity() * sizeof(HitRecord) +
+         bases.capacity() * sizeof(std::uint32_t) +
+         profile.footprint_bytes() +
+         pending.capacity() * sizeof(PendingExt) +
+         batch.capacity() * sizeof(simd::BatchHit) +
+         batch_out.capacity() * sizeof(UngappedSeg);
+}
+
 MuBlastpEngine::MuBlastpEngine(DbIndexView index, SearchParams params,
                                MuBlastpOptions options)
     : view_(std::move(index)),
@@ -84,6 +94,9 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   ws.state.resize(ws.bases.back());
   ws.state.new_round(static_cast<std::int32_t>(qlen) + 1);
   ws.records.clear();
+  if (ws.records.capacity() < ws.records_hwm) {
+    ws.records.reserve(ws.records_hwm);
+  }
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = stats;
   stats::LapTimer<Rec::kEnabled> lap;
@@ -137,6 +150,7 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
 
   // ---- Stage 2a: hit reordering. ---------------------------------------
   const double detect_sec = lap.lap();
+  ws.records_hwm = std::max(ws.records_hwm, ws.records.size());
   stats.sorted_records += ws.records.size();
   if constexpr (Mem::kEnabled) {
     // The sort streams the buffer once per digit (read + write); model that
@@ -161,6 +175,43 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   std::uint32_t ext_key = ~std::uint32_t{0};
   std::int32_t ext_reached = DiagState::kNone;
 
+  // With a SIMD kernel selected, eligible extensions are deferred into a
+  // small batch and flushed together. Keys are ascending, so a dependency
+  // (a later record needing the coverage state a pending extension will
+  // write) can only arise on an equal key — the flush below handles it.
+  // Traced runs never batch: the scalar kernel's access stream is the one
+  // the memory model must see.
+  bool use_simd = false;
+  if constexpr (!Mem::kEnabled) {
+    use_simd = options_.kernel != simd::KernelPath::kScalar;
+    if (use_simd) ws.profile.build(query, matrix);
+  }
+  constexpr std::size_t kExtBatch = 16;
+  const auto flush_batch = [&]() {
+    ws.batch_out.resize(ws.batch.size());
+    simd::ungapped_extend_batch(options_.kernel, query, ws.profile, matrix,
+                                params_.ungapped_xdrop, ws.batch,
+                                ws.batch_out.data());
+    // Apply in record order: output order, counters, and the coverage state
+    // end up exactly as the scalar loop leaves them.
+    for (std::size_t i = 0; i < ws.pending.size(); ++i) {
+      const PendingExt& p = ws.pending[i];
+      const UngappedSeg& seg = ws.batch_out[i];
+      ext_key = p.key;
+      if (seg.score >= params_.ungapped_cutoff) {
+        ++stats.ungapped_alignments;
+        const FragmentRef& frag = block.fragments()[p.frag];
+        out.push_back(resolve_fragment_segment(query, db, frag, seg, p.qoff,
+                                               p.soff, matrix, params_));
+        ext_reached = static_cast<std::int32_t>(seg.q_end);
+      } else {
+        ext_reached = static_cast<std::int32_t>(p.qoff);
+      }
+    }
+    ws.pending.clear();
+    ws.batch.clear();
+  };
+
   for (const HitRecord& rec : ws.records) {
     if constexpr (Mem::kEnabled) {
       mem.touch(&rec, sizeof(HitRecord));
@@ -181,6 +232,13 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
       ++stats.hit_pairs;
     }
 
+    // A record on a pending extension's diagonal must observe that
+    // extension's coverage state before its own check runs.
+    if (use_simd && !ws.pending.empty() &&
+        rec.key == ws.pending.back().key) {
+      flush_batch();
+    }
+
     // Coverage check (Algorithm 1 lines 16-17).
     if (rec.key != ext_key) {
       ext_key = rec.key;
@@ -194,11 +252,19 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
     while (rec.key >= ws.bases[frag_cursor + 1]) ++frag_cursor;
     const std::uint32_t diag_idx = rec.key - ws.bases[frag_cursor];
     const std::uint32_t soff = diag_idx + rec.qoff - qlen;
+
+    ++stats.extensions;
     const FragmentRef& frag = block.fragments()[frag_cursor];
     const std::span<const Residue> subject =
         db.sequence(frag.seq).subspan(frag.start, frag.len);
-
-    ++stats.extensions;
+    if (use_simd) {
+      ws.pending.push_back({rec.key, rec.qoff, soff, frag_cursor});
+      ws.batch.push_back({subject.data(),
+                          static_cast<std::uint32_t>(subject.size()),
+                          rec.qoff, soff});
+      if (ws.pending.size() >= kExtBatch) flush_batch();
+      continue;
+    }
     const UngappedSeg seg = ungapped_extend(query, subject, rec.qoff, soff,
                                             matrix, params_.ungapped_xdrop,
                                             mem);
@@ -211,7 +277,9 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
       ext_reached = static_cast<std::int32_t>(rec.qoff);
     }
   }
+  if (use_simd && !ws.pending.empty()) flush_batch();
   if constexpr (Rec::kEnabled) {
+    prec.workspace(ws.footprint_bytes());
     prec.block_round(block_id, stats::counters_between(stats, before),
                      detect_sec, sort_sec, lap.lap());
   }
@@ -265,6 +333,7 @@ QueryResult MuBlastpEngine::search(std::span<const Residue> query) const {
 QueryResult MuBlastpEngine::search(std::span<const Residue> query,
                                    stats::PipelineStats& ps) const {
   ps.begin_run(1, view_.blocks().size(), 1);
+  ps.set_kernel(simd::kernel_name(options_.kernel));
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
@@ -291,6 +360,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   [[maybe_unused]] Timer run_timer;
   if constexpr (PS::kEnabled) {
     ps->begin_run(max_threads, view_.blocks().size(), nq);
+    ps->set_kernel(simd::kernel_name(options_.kernel));
   }
 
   // Algorithm 3, first parallel region: stages 1-2, block loop outermost so

@@ -29,6 +29,9 @@
 #include "index/db_index_view.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/kernels.hpp"
+#include "simd/score_profile.hpp"
 #include "stats/stats.hpp"
 
 namespace mublastp {
@@ -43,6 +46,11 @@ struct MuBlastpOptions {
   /// these; LSD radix is the paper's choice).
   enum class SortAlgo { kRadixLsd, kRadixMsd, kMergeSort, kStdStable };
   SortAlgo sort_algo = SortAlgo::kRadixLsd;
+
+  /// Which ungapped-extension kernel stage 2b runs. Results are bit-identical
+  /// for every path; kScalar executes the pre-SIMD code unchanged. Traced
+  /// (memsim) runs always use the scalar kernel so access streams stay exact.
+  simd::KernelPath kernel = simd::default_kernel();
 };
 
 /// A hit (or hit pair, after pre-filtering) as stored in the reorder
@@ -92,11 +100,31 @@ class MuBlastpEngine {
   const MuBlastpOptions& options() const { return options_; }
 
  private:
-  /// Per-thread scratch reused across (block, query) rounds.
+  /// An extension deferred into the current SIMD batch: enough to rebuild
+  /// the subject span and replay the coverage bookkeeping at flush time.
+  struct PendingExt {
+    std::uint32_t key = 0;
+    std::uint32_t qoff = 0;
+    std::uint32_t soff = 0;
+    std::uint32_t frag = 0;  ///< fragment cursor value at enqueue
+  };
+
+  /// Per-thread scratch reused across (block, query) rounds. Vector
+  /// capacities (and the DiagState backing array) are deliberately carried
+  /// across blocks; records_hwm keeps the hit buffer reservation at its
+  /// high-water mark so later blocks never regrow it incrementally.
   struct Workspace {
     DiagState state;
     std::vector<HitRecord> records;
     std::vector<std::uint32_t> bases;  ///< per-fragment diagonal key bases
+    std::size_t records_hwm = 0;       ///< max records.size() seen so far
+    simd::QueryProfile profile;        ///< per-query score profile (SIMD)
+    std::vector<PendingExt> pending;   ///< extensions awaiting a batch flush
+    std::vector<simd::BatchHit> batch;
+    std::vector<UngappedSeg> batch_out;
+
+    /// Bytes currently retained by this workspace (capacities, not sizes).
+    std::uint64_t footprint_bytes() const;
   };
 
   template <typename Mem, typename Rec>

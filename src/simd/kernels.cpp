@@ -1,0 +1,82 @@
+#include "simd/kernels.hpp"
+
+#include "simd/simd_internal.hpp"
+
+namespace mublastp::simd {
+namespace {
+
+// Profile rows are indexed (qi << 5) | residue with a 32-bit gather index
+// on the AVX2 path; bound qi << 5 well inside int32 (queries this long do
+// not exist, but the guard keeps the kernel total).
+constexpr std::size_t kMaxSimdQueryLen = std::size_t{1} << 25;
+
+bool simd_eligible(KernelPath path, const QueryProfile& profile) {
+#ifdef MUBLASTP_SIMD_X86
+  return path != KernelPath::kScalar &&
+         profile.query_length() <= kMaxSimdQueryLen;
+#else
+  (void)path;
+  (void)profile;
+  return false;
+#endif
+}
+
+}  // namespace
+
+UngappedSeg ungapped_extend_one(KernelPath path,
+                                std::span<const Residue> query,
+                                std::span<const Residue> subject,
+                                std::uint32_t qoff, std::uint32_t soff,
+                                const QueryProfile& profile,
+                                const ScoreMatrix& matrix, Score xdrop) {
+  if (!simd_eligible(path, profile)) {
+    return ungapped_extend(query, subject, qoff, soff, matrix, xdrop);
+  }
+#ifdef MUBLASTP_SIMD_X86
+  if (path == KernelPath::kAvx2) {
+    return detail::ungapped_extend_avx2(subject, qoff, soff, profile, xdrop);
+  }
+  return detail::ungapped_extend_sse42(subject, qoff, soff, profile, xdrop);
+#else
+  return ungapped_extend(query, subject, qoff, soff, matrix, xdrop);
+#endif
+}
+
+void ungapped_extend_batch(KernelPath path, std::span<const Residue> query,
+                           const QueryProfile& profile,
+                           const ScoreMatrix& matrix, Score xdrop,
+                           std::span<const BatchHit> hits, UngappedSeg* out) {
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    const BatchHit& h = hits[i];
+    out[i] = ungapped_extend_one(
+        path, query, std::span<const Residue>(h.subject, h.subject_len),
+        h.qoff, h.soff, profile, matrix, xdrop);
+  }
+}
+
+std::optional<Score> smith_waterman_score_striped(
+    KernelPath path, std::span<const Residue> query,
+    std::span<const Residue> subject, const ScoreMatrix& matrix,
+    Score gap_open, Score gap_extend) {
+#ifdef MUBLASTP_SIMD_X86
+  if (path == KernelPath::kScalar || query.empty() || subject.empty()) {
+    return std::nullopt;
+  }
+  if (path == KernelPath::kAvx2) {
+    return detail::sw_striped_avx2(query, subject, matrix, gap_open,
+                                   gap_extend);
+  }
+  return detail::sw_striped_sse42(query, subject, matrix, gap_open,
+                                  gap_extend);
+#else
+  (void)path;
+  (void)query;
+  (void)subject;
+  (void)matrix;
+  (void)gap_open;
+  (void)gap_extend;
+  return std::nullopt;
+#endif
+}
+
+}  // namespace mublastp::simd

@@ -1,0 +1,59 @@
+// Public SIMD kernel API: dispatched ungapped extension (single hit and
+// batched over the sorted hit buffer) and the striped Smith-Waterman score.
+//
+// Every entry point takes an explicit KernelPath so engines resolve the
+// path once at construction; passing KernelPath::kScalar routes to the
+// unchanged reference kernels, so forced-scalar runs execute exactly the
+// pre-SIMD code. All paths are bit-identical — the repo's verify tool and
+// equivalence tests assert it.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/alphabet.hpp"
+#include "core/ungapped.hpp"
+#include "score/matrix.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/score_profile.hpp"
+
+namespace mublastp::simd {
+
+/// One hit of a batch: the subject span it lives in plus the hit word's
+/// offsets. Hits in a batch are independent (distinct diagonals), which is
+/// what lets them extend back-to-back without interleaving state updates.
+struct BatchHit {
+  const Residue* subject = nullptr;
+  std::uint32_t subject_len = 0;
+  std::uint32_t qoff = 0;
+  std::uint32_t soff = 0;
+};
+
+/// Extends one hit with the selected kernel. `profile` must be built for
+/// the query and matrix the hit refers to; the scalar path ignores it and
+/// runs the core template against `matrix` directly.
+UngappedSeg ungapped_extend_one(KernelPath path,
+                                std::span<const Residue> query,
+                                std::span<const Residue> subject,
+                                std::uint32_t qoff, std::uint32_t soff,
+                                const QueryProfile& profile,
+                                const ScoreMatrix& matrix, Score xdrop);
+
+/// Extends `hits.size()` independent hits, writing out[i] for hits[i] in
+/// order. Per-hit results are identical to ungapped_extend_one.
+void ungapped_extend_batch(KernelPath path, std::span<const Residue> query,
+                           const QueryProfile& profile,
+                           const ScoreMatrix& matrix, Score xdrop,
+                           std::span<const BatchHit> hits, UngappedSeg* out);
+
+/// Smith-Waterman best local score via the Farrar striped int16 kernel.
+/// Returns nullopt when the caller must use its scalar kernel instead:
+/// path == kScalar, an empty input, or the exactness guard tripping (best
+/// score within one matrix entry of int16 saturation). A returned value is
+/// exact — identical to the scalar rolling-row kernel.
+std::optional<Score> smith_waterman_score_striped(
+    KernelPath path, std::span<const Residue> query,
+    std::span<const Residue> subject, const ScoreMatrix& matrix,
+    Score gap_open, Score gap_extend);
+
+}  // namespace mublastp::simd

@@ -1,0 +1,277 @@
+// AVX2 kernels. Compiled with -mavx2 (per-file, see CMakeLists.txt);
+// entered only after __builtin_cpu_supports("avx2").
+//
+// Ungapped x-drop sweep, 8 positions per iteration:
+//   - one contiguous 8-byte subject load covers lanes 0..7 (bounded by the
+//     sweep length, which is the min remaining run of both sequences, so no
+//     over-read — safe even against the last byte of an mmap'd index);
+//   - query residues are never loaded: the score-profile row offsets for 8
+//     consecutive positions are a computable ramp, so a single 32-bit
+//     gather pulls all 8 substitution scores;
+//   - cumulative score = prefix sum, running max = prefix max, x-drop test
+//     = one compare + movemask. A set mask bit replays the spilled
+//     cumulative scores through the scalar recurrence (replay_chunk), which
+//     keeps stop position and best-position bookkeeping bit-identical to
+//     the scalar kernel;
+//   - each sweep opens with a short scalar lead (sweep_scalar over the
+//     first 2 chunks' worth of positions): the x-drop condition terminates
+//     the median sweep within a few residues, and vector chunks only pay
+//     off once a sweep has proven it will run long.
+#include "simd/simd_internal.hpp"
+
+#ifdef MUBLASTP_SIMD_X86
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace mublastp::simd::detail {
+namespace {
+
+constexpr int kLanes = 8;
+
+/// lane i <- (i >= K) ? v[i - K] : fill[i]; a true 256-bit lane shift
+/// (permutevar crosses the 128-bit boundary, unlike _mm256_slli_si256).
+template <int K>
+inline __m256i shiftl_epi32(__m256i v, __m256i fill) {
+  const __m256i idx = _mm256_setr_epi32(
+      (0 - K) & 7, (1 - K) & 7, (2 - K) & 7, (3 - K) & 7, (4 - K) & 7,
+      (5 - K) & 7, (6 - K) & 7, (7 - K) & 7);
+  const __m256i p = _mm256_permutevar8x32_epi32(v, idx);
+  return _mm256_blend_epi32(p, fill, (1 << K) - 1);
+}
+
+inline __m256i prefix_sum_epi32(__m256i v) {
+  const __m256i zero = _mm256_setzero_si256();
+  v = _mm256_add_epi32(v, shiftl_epi32<1>(v, zero));
+  v = _mm256_add_epi32(v, shiftl_epi32<2>(v, zero));
+  v = _mm256_add_epi32(v, shiftl_epi32<4>(v, zero));
+  return v;
+}
+
+inline __m256i prefix_max_epi32(__m256i v) {
+  const __m256i ninf = _mm256_set1_epi32(std::numeric_limits<Score>::min());
+  v = _mm256_max_epi32(v, shiftl_epi32<1>(v, ninf));
+  v = _mm256_max_epi32(v, shiftl_epi32<2>(v, ninf));
+  v = _mm256_max_epi32(v, shiftl_epi32<4>(v, ninf));
+  return v;
+}
+
+void sweep_avx2(const Score* prof, const Residue* sub, std::int64_t q0,
+                std::int64_t s0, std::int64_t dir, std::int64_t len,
+                Score xdrop, Sweep& sw) {
+  // x-drop kills the median sweep within a handful of residues (the p50
+  // ungapped segment is ~4 residues on BLOSUM62 word hits), where a vector
+  // chunk's gather + prefix networks can never amortize — worse, a stop
+  // inside the chunk also pays the scalar replay. Run the exact scalar
+  // recurrence over a short lead and enter vector chunks only for the
+  // minority of sweeps that survive it.
+  constexpr std::int64_t kLead = 2 * kLanes;
+  const std::int64_t lead = std::min(len, kLead);
+  if (sweep_scalar(prof, sub, q0, s0, dir, lead, xdrop, 0, sw)) return;
+  const __m256i rev = _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0);
+  const std::int32_t d32 =
+      static_cast<std::int32_t>(dir) << kResidueShift;  // per-lane row step
+  const __m256i qstep = _mm256_setr_epi32(0, d32, 2 * d32, 3 * d32, 4 * d32,
+                                          5 * d32, 6 * d32, 7 * d32);
+  const __m256i vxdrop = _mm256_set1_epi32(xdrop);
+  const __m256i lane7 = _mm256_set1_epi32(7);
+  // The running score and maximum are carried as splat vectors: the
+  // loop-carried chain is then one permutevar + one add (the scalar
+  // extract/broadcast round trip would put ~8 cycles on the chain per
+  // chunk, slower than the scalar recurrence's one add per position).
+  __m256i vrun = _mm256_set1_epi32(sw.run);
+  __m256i vbest = _mm256_set1_epi32(sw.best);
+  std::int64_t t = lead;
+  for (; t + kLanes <= len; t += kLanes) {
+    const std::int64_t base_s = dir > 0 ? s0 + t : s0 - t - (kLanes - 1);
+    __m256i sres = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(sub + base_s)));
+    if (dir < 0) sres = _mm256_permutevar8x32_epi32(sres, rev);
+    const std::int32_t qbase =
+        static_cast<std::int32_t>((q0 + dir * t) << kResidueShift);
+    const __m256i idx = _mm256_or_si256(
+        _mm256_add_epi32(_mm256_set1_epi32(qbase), qstep), sres);
+    const __m256i raw = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(prof), idx, sizeof(Score));
+    const __m256i vals = _mm256_add_epi32(prefix_sum_epi32(raw), vrun);
+    const __m256i pm = prefix_max_epi32(vals);
+    const __m256i bestv = _mm256_max_epi32(pm, vbest);
+    const __m256i stop =
+        _mm256_cmpgt_epi32(_mm256_sub_epi32(bestv, vals), vxdrop);
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(stop)) != 0) {
+      alignas(32) Score spill[kLanes];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(spill), vals);
+      replay_chunk(spill, kLanes, t, xdrop, sw);
+      return;
+    }
+    const __m256i vmax = _mm256_permutevar8x32_epi32(pm, lane7);
+    if (_mm256_movemask_ps(_mm256_castsi256_ps(
+            _mm256_cmpgt_epi32(vmax, vbest))) != 0) {
+      // First lane reaching the chunk maximum == the position the scalar
+      // loop last improved at (later equal lanes compare run > best false).
+      const int eq = _mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(vals, vmax)));
+      sw.best = _mm256_cvtsi256_si32(vmax);
+      sw.best_t = t + __builtin_ctz(static_cast<unsigned>(eq));
+      vbest = vmax;
+    }
+    vrun = _mm256_permutevar8x32_epi32(vals, lane7);
+  }
+  sw.run = _mm256_cvtsi256_si32(vrun);
+  sweep_scalar(prof, sub, q0, s0, dir, len, xdrop, t, sw);
+}
+
+}  // namespace
+
+UngappedSeg ungapped_extend_avx2(std::span<const Residue> subject,
+                                 std::uint32_t qoff, std::uint32_t soff,
+                                 const QueryProfile& profile, Score xdrop) {
+  const ExtentGeometry g = extent_geometry(profile.query_length(),
+                                           subject.size(), qoff, soff);
+  Sweep left;
+  Sweep right;
+  sweep_avx2(profile.data(), subject.data(), g.lq0, g.ls0, -1, g.llen, xdrop,
+             left);
+  sweep_avx2(profile.data(), subject.data(), g.rq0, g.rs0, +1, g.rlen, xdrop,
+             right);
+  return assemble(qoff, soff, left, right);
+}
+
+// ---------------------------------------------------------------------------
+// Striped Smith-Waterman (Farrar), 16 signed int16 lanes.
+// ---------------------------------------------------------------------------
+namespace {
+
+constexpr int kSwLanes = 16;
+constexpr std::int16_t kSwNegInf = -30000;  // headroom under int16 min
+
+/// 256-bit shift left by one int16 lane, zero fill (crosses the 128-bit
+/// boundary, unlike _mm256_slli_si256).
+inline __m256i shiftl_one_epi16(__m256i v) {
+  const __m256i lo = _mm256_permute2x128_si256(v, v, 0x08);  // [0, v.lo]
+  return _mm256_alignr_epi8(v, lo, 14);
+}
+
+inline std::int16_t hmax_epi16_256(__m256i v) {
+  __m128i x = _mm_max_epi16(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  x = _mm_max_epi16(x, _mm_srli_si128(x, 8));
+  x = _mm_max_epi16(x, _mm_srli_si128(x, 4));
+  x = _mm_max_epi16(x, _mm_srli_si128(x, 2));
+  return static_cast<std::int16_t>(_mm_extract_epi16(x, 0));
+}
+
+}  // namespace
+
+std::optional<Score> sw_striped_avx2(std::span<const Residue> query,
+                                     std::span<const Residue> subject,
+                                     const ScoreMatrix& matrix,
+                                     Score gap_open, Score gap_extend) {
+  const std::size_t n = query.size();
+  const std::size_t m = subject.size();
+  const Score open_cost = gap_open + gap_extend;
+  if (open_cost >= -kSwNegInf) return std::nullopt;  // pathological params
+
+  const std::size_t segs = (n + kSwLanes - 1) / kSwLanes;
+  // Striped profile: lane l of vector j holds matrix(a, query[l*segs + j]).
+  // Padding positions (l*segs + j >= n) score 0; their H values only ever
+  // feed other padding positions, never a real cell (they occupy the tail
+  // lanes, and lane l's carry enters lane l+1 at position (l+1)*segs, which
+  // is itself past the query end whenever lane l held padding).
+  std::vector<std::int16_t> prof(kAlphabetSize * segs * kSwLanes, 0);
+  for (int a = 0; a < kAlphabetSize; ++a) {
+    std::int16_t* row = prof.data() + static_cast<std::size_t>(a) * segs *
+                                          kSwLanes;
+    for (std::size_t l = 0; l < static_cast<std::size_t>(kSwLanes); ++l) {
+      for (std::size_t j = 0; j < segs; ++j) {
+        const std::size_t i = l * segs + j;
+        if (i < n) {
+          row[j * kSwLanes + l] = static_cast<std::int16_t>(
+              matrix(static_cast<Residue>(a), query[i]));
+        }
+      }
+    }
+  }
+
+  std::vector<std::int16_t> h_store(segs * kSwLanes, 0);
+  std::vector<std::int16_t> h_load(segs * kSwLanes, 0);
+  std::vector<std::int16_t> e(segs * kSwLanes, kSwNegInf);
+  const __m256i v_zero = _mm256_setzero_si256();
+  const __m256i v_open = _mm256_set1_epi16(static_cast<std::int16_t>(open_cost));
+  const __m256i v_ext = _mm256_set1_epi16(static_cast<std::int16_t>(gap_extend));
+  __m256i v_max = v_zero;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::int16_t* row =
+        prof.data() + static_cast<std::size_t>(subject[j]) * segs * kSwLanes;
+    __m256i v_f = _mm256_set1_epi16(kSwNegInf);
+    // Diagonal carry: previous column's last vector shifted one lane up;
+    // lane 0 becomes the H[-1] = 0 boundary of local alignment.
+    __m256i v_h = shiftl_one_epi16(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(h_store.data() +
+                                         (segs - 1) * kSwLanes)));
+    std::swap(h_store, h_load);
+    for (std::size_t k = 0; k < segs; ++k) {
+      v_h = _mm256_adds_epi16(v_h, _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(row + k * kSwLanes)));
+      __m256i v_e = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(e.data() + k * kSwLanes));
+      v_h = _mm256_max_epi16(v_h, v_e);
+      v_h = _mm256_max_epi16(v_h, v_f);
+      v_h = _mm256_max_epi16(v_h, v_zero);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(h_store.data() + k * kSwLanes), v_h);
+      v_max = _mm256_max_epi16(v_max, v_h);
+      const __m256i v_hoc = _mm256_subs_epi16(v_h, v_open);
+      v_e = _mm256_subs_epi16(v_e, v_ext);
+      v_e = _mm256_max_epi16(v_e, v_hoc);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(e.data() + k * kSwLanes), v_e);
+      v_f = _mm256_subs_epi16(v_f, v_ext);
+      v_f = _mm256_max_epi16(v_f, v_hoc);
+      v_h = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(h_load.data() + k * kSwLanes));
+    }
+    // Lazy-F correction: keep pushing F down the column until it can no
+    // longer raise any H. E is refreshed from the raised H so the next
+    // column sees the true recurrence value.
+    bool f_active = true;
+    for (int rep = 0; rep < kSwLanes && f_active; ++rep) {
+      v_f = shiftl_one_epi16(v_f);
+      v_f = _mm256_insert_epi16(v_f, kSwNegInf, 0);
+      for (std::size_t k = 0; k < segs; ++k) {
+        __m256i v_h2 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(h_store.data() + k * kSwLanes));
+        v_h2 = _mm256_max_epi16(v_h2, v_f);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(h_store.data() + k * kSwLanes), v_h2);
+        v_max = _mm256_max_epi16(v_max, v_h2);
+        const __m256i v_hoc = _mm256_subs_epi16(v_h2, v_open);
+        __m256i v_e = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(e.data() + k * kSwLanes));
+        v_e = _mm256_max_epi16(v_e, v_hoc);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(e.data() + k * kSwLanes), v_e);
+        v_f = _mm256_subs_epi16(v_f, v_ext);
+        if (_mm256_movemask_epi8(_mm256_cmpgt_epi16(v_f, v_hoc)) == 0) {
+          f_active = false;
+          break;
+        }
+      }
+    }
+  }
+
+  const std::int16_t best = hmax_epi16_256(v_max);
+  if (best >= std::numeric_limits<std::int16_t>::max() - matrix.max_score()) {
+    return std::nullopt;  // would have saturated: caller reruns scalar
+  }
+  return static_cast<Score>(best);
+}
+
+}  // namespace mublastp::simd::detail
+
+#endif  // MUBLASTP_SIMD_X86

@@ -1,0 +1,228 @@
+// SSE4.2 kernels. Compiled with -msse4.2 (per-file, see CMakeLists.txt);
+// entered only after __builtin_cpu_supports("sse4.2").
+//
+// Same structure as the AVX2 kernels at half the width: the ungapped sweep
+// processes 4 positions per iteration (profile scores are gathered with
+// scalar loads — SSE has no gather — but the prefix-sum / prefix-max /
+// stop-mask evaluation is vectorized), and the striped Smith-Waterman runs
+// 8 int16 lanes. See kernels_avx2.cpp for the exactness argument; the
+// recurrences are identical.
+#include "simd/simd_internal.hpp"
+
+#ifdef MUBLASTP_SIMD_X86
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mublastp::simd::detail {
+namespace {
+
+constexpr int kLanes = 4;
+
+inline __m128i prefix_sum_epi32(__m128i v) {
+  v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+  v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+  return v;
+}
+
+/// _mm_slli_si128 zero-fills the vacated lanes; prefix max needs them at
+/// INT32_MIN, so blend the identity back in (blend_ps is a pure bitwise
+/// lane select, no float arithmetic happens).
+inline __m128i prefix_max_epi32(__m128i v) {
+  const __m128i ninf = _mm_set1_epi32(std::numeric_limits<Score>::min());
+  __m128i s = _mm_castps_si128(
+      _mm_blend_ps(_mm_castsi128_ps(_mm_slli_si128(v, 4)),
+                   _mm_castsi128_ps(ninf), 0x1));
+  v = _mm_max_epi32(v, s);
+  s = _mm_castps_si128(
+      _mm_blend_ps(_mm_castsi128_ps(_mm_slli_si128(v, 8)),
+                   _mm_castsi128_ps(ninf), 0x3));
+  return _mm_max_epi32(v, s);
+}
+
+void sweep_sse42(const Score* prof, const Residue* sub, std::int64_t q0,
+                 std::int64_t s0, std::int64_t dir, std::int64_t len,
+                 Score xdrop, Sweep& sw) {
+  // Scalar lead before vector chunks, for the same reason as the AVX2
+  // sweep: the median sweep x-drop-stops within a few residues, where the
+  // chunk setup + replay can never amortize.
+  constexpr std::int64_t kLead = 4 * kLanes;
+  const std::int64_t lead = std::min(len, kLead);
+  if (sweep_scalar(prof, sub, q0, s0, dir, lead, xdrop, 0, sw)) return;
+  const __m128i vxdrop = _mm_set1_epi32(xdrop);
+  // Splat-vector carries keep the loop-carried chain to one shuffle + one
+  // add per chunk (see the AVX2 sweep for the rationale).
+  __m128i vrun = _mm_set1_epi32(sw.run);
+  __m128i vbest = _mm_set1_epi32(sw.best);
+  std::int64_t t = lead;
+  for (; t + kLanes <= len; t += kLanes) {
+    const std::int64_t q = q0 + dir * t;
+    const std::int64_t s = s0 + dir * t;
+    const __m128i raw = _mm_setr_epi32(
+        prof[(q << kResidueShift) | sub[s]],
+        prof[((q + dir) << kResidueShift) | sub[s + dir]],
+        prof[((q + 2 * dir) << kResidueShift) | sub[s + 2 * dir]],
+        prof[((q + 3 * dir) << kResidueShift) | sub[s + 3 * dir]]);
+    const __m128i vals = _mm_add_epi32(prefix_sum_epi32(raw), vrun);
+    const __m128i pm = prefix_max_epi32(vals);
+    const __m128i bestv = _mm_max_epi32(pm, vbest);
+    const __m128i stop = _mm_cmpgt_epi32(_mm_sub_epi32(bestv, vals), vxdrop);
+    if (_mm_movemask_ps(_mm_castsi128_ps(stop)) != 0) {
+      alignas(16) Score spill[kLanes];
+      _mm_store_si128(reinterpret_cast<__m128i*>(spill), vals);
+      replay_chunk(spill, kLanes, t, xdrop, sw);
+      return;
+    }
+    const __m128i vmax = _mm_shuffle_epi32(pm, 0xFF);
+    if (_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(vmax, vbest))) !=
+        0) {
+      // First lane reaching the chunk maximum == the position the scalar
+      // loop last improved at (later equal lanes compare run > best false).
+      const int eq =
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vals, vmax)));
+      sw.best = _mm_cvtsi128_si32(vmax);
+      sw.best_t = t + __builtin_ctz(static_cast<unsigned>(eq));
+      vbest = vmax;
+    }
+    vrun = _mm_shuffle_epi32(vals, 0xFF);
+  }
+  sw.run = _mm_cvtsi128_si32(vrun);
+  sweep_scalar(prof, sub, q0, s0, dir, len, xdrop, t, sw);
+}
+
+}  // namespace
+
+UngappedSeg ungapped_extend_sse42(std::span<const Residue> subject,
+                                  std::uint32_t qoff, std::uint32_t soff,
+                                  const QueryProfile& profile, Score xdrop) {
+  const ExtentGeometry g = extent_geometry(profile.query_length(),
+                                           subject.size(), qoff, soff);
+  Sweep left;
+  Sweep right;
+  sweep_sse42(profile.data(), subject.data(), g.lq0, g.ls0, -1, g.llen, xdrop,
+              left);
+  sweep_sse42(profile.data(), subject.data(), g.rq0, g.rs0, +1, g.rlen, xdrop,
+              right);
+  return assemble(qoff, soff, left, right);
+}
+
+// ---------------------------------------------------------------------------
+// Striped Smith-Waterman (Farrar), 8 signed int16 lanes.
+// ---------------------------------------------------------------------------
+namespace {
+
+constexpr int kSwLanes = 8;
+constexpr std::int16_t kSwNegInf = -30000;
+
+inline std::int16_t hmax_epi16_128(__m128i v) {
+  v = _mm_max_epi16(v, _mm_srli_si128(v, 8));
+  v = _mm_max_epi16(v, _mm_srli_si128(v, 4));
+  v = _mm_max_epi16(v, _mm_srli_si128(v, 2));
+  return static_cast<std::int16_t>(_mm_extract_epi16(v, 0));
+}
+
+}  // namespace
+
+std::optional<Score> sw_striped_sse42(std::span<const Residue> query,
+                                      std::span<const Residue> subject,
+                                      const ScoreMatrix& matrix,
+                                      Score gap_open, Score gap_extend) {
+  const std::size_t n = query.size();
+  const std::size_t m = subject.size();
+  const Score open_cost = gap_open + gap_extend;
+  if (open_cost >= -kSwNegInf) return std::nullopt;  // pathological params
+
+  const std::size_t segs = (n + kSwLanes - 1) / kSwLanes;
+  std::vector<std::int16_t> prof(kAlphabetSize * segs * kSwLanes, 0);
+  for (int a = 0; a < kAlphabetSize; ++a) {
+    std::int16_t* row = prof.data() + static_cast<std::size_t>(a) * segs *
+                                          kSwLanes;
+    for (std::size_t l = 0; l < static_cast<std::size_t>(kSwLanes); ++l) {
+      for (std::size_t j = 0; j < segs; ++j) {
+        const std::size_t i = l * segs + j;
+        if (i < n) {
+          row[j * kSwLanes + l] = static_cast<std::int16_t>(
+              matrix(static_cast<Residue>(a), query[i]));
+        }
+      }
+    }
+  }
+
+  std::vector<std::int16_t> h_store(segs * kSwLanes, 0);
+  std::vector<std::int16_t> h_load(segs * kSwLanes, 0);
+  std::vector<std::int16_t> e(segs * kSwLanes, kSwNegInf);
+  const __m128i v_zero = _mm_setzero_si128();
+  const __m128i v_open = _mm_set1_epi16(static_cast<std::int16_t>(open_cost));
+  const __m128i v_ext = _mm_set1_epi16(static_cast<std::int16_t>(gap_extend));
+  __m128i v_max = v_zero;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::int16_t* row =
+        prof.data() + static_cast<std::size_t>(subject[j]) * segs * kSwLanes;
+    __m128i v_f = _mm_set1_epi16(kSwNegInf);
+    __m128i v_h = _mm_slli_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+            h_store.data() + (segs - 1) * kSwLanes)),
+        2);
+    std::swap(h_store, h_load);
+    for (std::size_t k = 0; k < segs; ++k) {
+      v_h = _mm_adds_epi16(v_h, _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(row + k * kSwLanes)));
+      __m128i v_e = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(e.data() + k * kSwLanes));
+      v_h = _mm_max_epi16(v_h, v_e);
+      v_h = _mm_max_epi16(v_h, v_f);
+      v_h = _mm_max_epi16(v_h, v_zero);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(h_store.data() + k * kSwLanes), v_h);
+      v_max = _mm_max_epi16(v_max, v_h);
+      const __m128i v_hoc = _mm_subs_epi16(v_h, v_open);
+      v_e = _mm_subs_epi16(v_e, v_ext);
+      v_e = _mm_max_epi16(v_e, v_hoc);
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(e.data() + k * kSwLanes), v_e);
+      v_f = _mm_subs_epi16(v_f, v_ext);
+      v_f = _mm_max_epi16(v_f, v_hoc);
+      v_h = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(h_load.data() + k * kSwLanes));
+    }
+    bool f_active = true;
+    for (int rep = 0; rep < kSwLanes && f_active; ++rep) {
+      v_f = _mm_slli_si128(v_f, 2);
+      v_f = _mm_insert_epi16(v_f, kSwNegInf, 0);
+      for (std::size_t k = 0; k < segs; ++k) {
+        __m128i v_h2 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(h_store.data() + k * kSwLanes));
+        v_h2 = _mm_max_epi16(v_h2, v_f);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(h_store.data() + k * kSwLanes), v_h2);
+        v_max = _mm_max_epi16(v_max, v_h2);
+        const __m128i v_hoc = _mm_subs_epi16(v_h2, v_open);
+        __m128i v_e = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(e.data() + k * kSwLanes));
+        v_e = _mm_max_epi16(v_e, v_hoc);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(e.data() + k * kSwLanes), v_e);
+        v_f = _mm_subs_epi16(v_f, v_ext);
+        if (_mm_movemask_epi8(_mm_cmpgt_epi16(v_f, v_hoc)) == 0) {
+          f_active = false;
+          break;
+        }
+      }
+    }
+  }
+
+  const std::int16_t best = hmax_epi16_128(v_max);
+  if (best >= std::numeric_limits<std::int16_t>::max() - matrix.max_score()) {
+    return std::nullopt;
+  }
+  return static_cast<Score>(best);
+}
+
+}  // namespace mublastp::simd::detail
+
+#endif  // MUBLASTP_SIMD_X86

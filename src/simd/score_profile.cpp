@@ -1,0 +1,19 @@
+#include "simd/score_profile.hpp"
+
+namespace mublastp::simd {
+
+void QueryProfile::build(std::span<const Residue> query,
+                         const ScoreMatrix& matrix) {
+  if (built_for(query, matrix)) return;
+  query_data_ = query.data();
+  query_len_ = query.size();
+  matrix_ = &matrix;
+  rows_.assign(query_len_ << kResidueShift, 0);
+  for (std::size_t qi = 0; qi < query_len_; ++qi) {
+    const auto row = matrix.row(query[qi]);
+    Score* dst = rows_.data() + (qi << kResidueShift);
+    for (int s = 0; s < kAlphabetSize; ++s) dst[s] = row[s];
+  }
+}
+
+}  // namespace mublastp::simd

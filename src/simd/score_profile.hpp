@@ -1,0 +1,74 @@
+// Per-query score profile (the "query profile" of striped Smith-Waterman
+// and of vectorized seed extension).
+//
+// A 24x24 ScoreMatrix lookup matrix(query[qi], subject[si]) needs the query
+// residue loaded before the score can be gathered. The profile hoists that
+// load out of every inner loop by materializing, once per query, the table
+//
+//   profile[(qi << kResidueShift) | s]  =  matrix(query[qi], s)
+//
+// i.e. one 32-slot row per query position (24 residues, padded to a
+// power-of-two stride so the index is an OR, not a multiply). Inner loops
+// then index the profile with (qi, subject residue) only: the query residue
+// never needs to be read again, and for a vector of consecutive query
+// positions the row offsets form a computable ramp — which is what lets the
+// AVX2 ungapped kernel score 8 positions with a single gather.
+//
+// The entries are plain Score (int32) — exactly the values ScoreMatrix
+// returns — so kernels using the profile are bit-identical to kernels using
+// the matrix by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/alphabet.hpp"
+#include "score/matrix.hpp"
+
+namespace mublastp::simd {
+
+/// log2 of the per-position row stride (32 >= kAlphabetSize).
+inline constexpr int kResidueShift = 5;
+inline constexpr std::uint32_t kProfileStride = 1u << kResidueShift;
+
+/// Position-major per-query score table. Rebuilt lazily: build() is a no-op
+/// when the profile already describes the same (query, matrix) pair, so
+/// per-block engine loops can call it unconditionally.
+class QueryProfile {
+ public:
+  /// (Re)builds the table for `query` under `matrix`. Cost: qlen * 24
+  /// matrix reads, paid once per (query, matrix) change.
+  void build(std::span<const Residue> query, const ScoreMatrix& matrix);
+
+  bool built_for(std::span<const Residue> query,
+                 const ScoreMatrix& matrix) const {
+    return query_data_ == query.data() && query_len_ == query.size() &&
+           matrix_ == &matrix;
+  }
+
+  /// Score of (query position qi, subject residue s); identical to
+  /// matrix(query[qi], s) for s < kAlphabetSize.
+  Score at(std::uint32_t qi, Residue s) const {
+    return rows_[(static_cast<std::size_t>(qi) << kResidueShift) | s];
+  }
+
+  /// The flat table, size() == query length * kProfileStride. Padding slots
+  /// (residue indices >= kAlphabetSize) are zero and never indexed: encoded
+  /// residues are < kAlphabetSize by construction.
+  const Score* data() const { return rows_.data(); }
+  std::size_t query_length() const { return query_len_; }
+
+  /// Bytes retained by the table (capacity, for workspace accounting).
+  std::uint64_t footprint_bytes() const {
+    return static_cast<std::uint64_t>(rows_.capacity()) * sizeof(Score);
+  }
+
+ private:
+  std::vector<Score> rows_;
+  const Residue* query_data_ = nullptr;
+  std::size_t query_len_ = 0;
+  const ScoreMatrix* matrix_ = nullptr;
+};
+
+}  // namespace mublastp::simd

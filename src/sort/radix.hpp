@@ -12,6 +12,8 @@
 // projection returning an unsigned integer.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <concepts>
 #include <cstdint>
 #include <cstring>
@@ -37,8 +39,12 @@ concept UnsignedKeyFn = std::unsigned_integral<key_t<T, KeyFn>>;
 /// Stable LSD (least-significant-digit-first) radix sort.
 ///
 /// `key_bits` bounds the number of passes: pass only over digits below
-/// key_bits. With block-local sequence ids and bounded diagonals the packed
-/// hit key fits well under 32 bits, so most blocks sort in 3 passes.
+/// key_bits. The first counting pass doubles as a key scan — OR-accumulating
+/// every key gives bit_width(accum) == bit_width(max key), and key_bits is
+/// clamped to it — so callers passing a loose bound (or none at all) still
+/// pay only for the digits the data actually populates. With block-local
+/// sequence ids and bounded diagonals the packed hit key fits well under 32
+/// bits, so most blocks sort in 3 passes.
 template <typename T, typename KeyFn>
   requires detail::UnsignedKeyFn<T, KeyFn>
 void radix_sort_lsd(std::vector<T>& v, KeyFn key,
@@ -51,11 +57,26 @@ void radix_sort_lsd(std::vector<T>& v, KeyFn key,
   const std::size_t n = v.size();
   bool swapped = false;
 
+  // Fused first pass: the shift-0 histogram and the OR-accumulated key.
+  std::size_t count[kRadixBuckets] = {};
+  Key seen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key k = static_cast<Key>(key(src[i]));
+    seen |= k;
+    ++count[k & (kRadixBuckets - 1)];
+  }
+  key_bits = std::min(key_bits,
+                      std::max(1, static_cast<int>(std::bit_width(seen))));
+
+  bool have_count = true;
   for (int shift = 0; shift < key_bits; shift += kRadixBits) {
-    std::size_t count[kRadixBuckets] = {};
-    for (std::size_t i = 0; i < n; ++i) {
-      ++count[(static_cast<Key>(key(src[i])) >> shift) & (kRadixBuckets - 1)];
+    if (!have_count) {
+      std::memset(count, 0, sizeof(count));
+      for (std::size_t i = 0; i < n; ++i) {
+        ++count[(static_cast<Key>(key(src[i])) >> shift) & (kRadixBuckets - 1)];
+      }
     }
+    have_count = false;
     // Skip passes where every record lands in one bucket (common for the
     // high digits of block-local keys).
     bool trivial = false;

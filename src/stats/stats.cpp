@@ -27,7 +27,10 @@ const char* stage_name(Stage s) {
 
 void PipelineSnapshot::merge(const PipelineSnapshot& o) {
   if (engine.empty()) engine = o.engine;
+  if (kernel.empty()) kernel = o.kernel;
   if (!index_load.recorded()) index_load = o.index_load;
+  workspace_peak_bytes = std::max(workspace_peak_bytes,
+                                  o.workspace_peak_bytes);
   threads = std::max(threads, o.threads);
   queries += o.queries;
   totals += o.totals;
@@ -62,6 +65,7 @@ void PipelineStats::begin_run(int threads, std::size_t blocks,
   }
   extra_counters_ = {};
   extra_seconds_ = {};
+  ws_peak_ = 0;
 }
 
 void PipelineStats::merge_block(std::uint32_t block) {
@@ -81,8 +85,10 @@ void PipelineStats::finish_run(double total_seconds) {
   for (detail::ThreadAccum& a : accums_) {
     extra_counters_ += a.extra;
     for (int s = 0; s < kNumStages; ++s) extra_seconds_[s] += a.extra_seconds[s];
+    ws_peak_ = std::max(ws_peak_, a.ws_peak);
     a.extra = {};
     a.extra_seconds = {};
+    a.ws_peak = 0;
   }
   total_seconds_ = total_seconds;
 }
@@ -90,9 +96,11 @@ void PipelineStats::finish_run(double total_seconds) {
 PipelineSnapshot PipelineStats::snapshot() const {
   PipelineSnapshot s;
   s.engine = engine_;
+  s.kernel = kernel_;
   s.threads = threads_;
   s.queries = queries_;
   s.total_seconds = total_seconds_;
+  s.workspace_peak_bytes = ws_peak_;
   s.index_load = index_load_;
   s.per_block = blocks_;
   s.totals = extra_counters_;
@@ -156,6 +164,9 @@ std::string to_json(const PipelineSnapshot& s) {
   out.reserve(1024 + 256 * s.per_block.size());
   out += "{\n  \"schema\": \"mublastp-stats-v1\",\n";
   append_f(out, "  \"engine\": \"%s\",\n", s.engine.c_str());
+  if (!s.kernel.empty()) {
+    append_f(out, "  \"kernel\": \"%s\",\n", s.kernel.c_str());
+  }
   append_f(out, "  \"threads\": %d,\n", s.threads);
   append_f(out, "  \"queries\": %" PRIu64 ",\n", s.queries);
   append_f(out, "  \"blocks\": %zu,\n", s.per_block.size());
@@ -167,6 +178,10 @@ std::string to_json(const PipelineSnapshot& s) {
   append_seconds(out, s.stage_seconds, "  ");
   out += ",\n  \"total_seconds\": ";
   append_double(out, s.total_seconds);
+  if (s.workspace_peak_bytes != 0) {
+    append_f(out, ",\n  \"workspace_peak_bytes\": %" PRIu64,
+             s.workspace_peak_bytes);
+  }
   if (s.index_load.recorded()) {
     append_f(out, ",\n  \"index\": {\"mode\": \"%s\", \"load_seconds\": ",
              s.index_load.mode.c_str());
@@ -334,6 +349,10 @@ PipelineSnapshot from_json(const std::string& json) {
       schema_ok = ps.string() == "mublastp-stats-v1";
     } else if (key == "engine") {
       s.engine = ps.string();
+    } else if (key == "kernel") {
+      s.kernel = ps.string();
+    } else if (key == "workspace_peak_bytes") {
+      s.workspace_peak_bytes = ps.number_u64();
     } else if (key == "threads") {
       s.threads = static_cast<int>(ps.number_u64());
     } else if (key == "queries") {
@@ -380,6 +399,13 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
   std::fprintf(out, "pipeline stats: engine=%s threads=%d queries=%" PRIu64
                     " blocks=%zu\n",
                s.engine.c_str(), s.threads, s.queries, s.per_block.size());
+  if (!s.kernel.empty()) {
+    std::fprintf(out, "  %-22s %15s\n", "kernel", s.kernel.c_str());
+  }
+  if (s.workspace_peak_bytes != 0) {
+    std::fprintf(out, "  %-22s %14" PRIu64 "B\n", "workspace_peak",
+                 s.workspace_peak_bytes);
+  }
   const StageCounters& c = s.totals;
   std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hits", c.hits);
   std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hit_pairs", c.hit_pairs);

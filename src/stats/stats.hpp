@@ -127,11 +127,17 @@ struct IndexLoadStats {
 /// (docs/ALGORITHMS.md "Telemetry") serializes.
 struct PipelineSnapshot {
   std::string engine;          ///< "mublastp", "ncbi-db", "ncbi"
+  std::string kernel;          ///< "" (unset), "scalar", "sse42", "avx2"
   int threads = 0;
   std::uint64_t queries = 0;
   StageCounters totals;
   StageSeconds stage_seconds{};
   double total_seconds = 0.0;  ///< wall time of the whole run
+  /// Peak per-thread workspace footprint (bytes). Informational, not a
+  /// deterministic counter: with dynamic scheduling the peak depends on
+  /// which queries land on which thread. 0 means "not recorded"; omitted
+  /// from the JSON then, like index_load.
+  std::uint64_t workspace_peak_bytes = 0;
   std::vector<BlockStats> per_block;
   IndexLoadStats index_load;   ///< optional; see IndexLoadStats
 
@@ -163,6 +169,7 @@ struct NullStats {
                      double) const {}
     void stage(Stage, double) const {}
     void add(const StageCounters&) const {}
+    void workspace(std::uint64_t) const {}
   };
   void begin_run(int, std::size_t, std::uint64_t) const {}
   Recorder recorder(int) const { return {}; }
@@ -203,6 +210,7 @@ struct ThreadAccum {
   std::vector<BlockStats> blocks;  ///< indexed by block id
   StageCounters extra;
   StageSeconds extra_seconds{};
+  std::uint64_t ws_peak = 0;       ///< workspace-bytes high-water mark
 };
 
 }  // namespace detail
@@ -244,6 +252,10 @@ class PipelineStats {
     }
     /// Books stage-3/4 counter deltas.
     void add(const StageCounters& c) { accum_->extra += c; }
+    /// Books this thread's current workspace footprint (high-water mark).
+    void workspace(std::uint64_t bytes) {
+      if (bytes > accum_->ws_peak) accum_->ws_peak = bytes;
+    }
 
    private:
     friend class PipelineStats;
@@ -270,14 +282,21 @@ class PipelineStats {
   /// once after loading, before or after the searches).
   void set_index_load(IndexLoadStats s) { index_load_ = std::move(s); }
 
+  /// Stamps the kernel path the run executed with ("scalar", "sse42",
+  /// "avx2"). Engines set it right after begin_run; carried into every
+  /// subsequent snapshot(). Empty means "not recorded" (omitted from JSON).
+  void set_kernel(std::string kernel) { kernel_ = std::move(kernel); }
+
   const std::string& engine() const { return engine_; }
 
  private:
   std::string engine_;
+  std::string kernel_;
   IndexLoadStats index_load_;
   int threads_ = 0;
   std::uint64_t queries_ = 0;
   double total_seconds_ = 0.0;
+  std::uint64_t ws_peak_ = 0;
   std::vector<detail::ThreadAccum> accums_;
   std::vector<BlockStats> blocks_;  ///< merged per-block aggregates
   StageCounters extra_counters_;    ///< merged stage-3/4 counters

@@ -165,6 +165,69 @@ TEST(UngappedExtend, LargerXdropNeverLowersScore) {
   }
 }
 
+TEST(UngappedExtend, XdropZeroStopsAtFirstNonImprovingPosition) {
+  // xdrop == 0 is the tightest legal setting: any position that fails to
+  // improve the running maximum ends the sweep. Must still match the
+  // reference at every boundary.
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto q = rand_seq(30 + rng.next_below(100), rng);
+    const auto s = rand_seq(30 + rng.next_below(100), rng);
+    const std::uint32_t qoff =
+        static_cast<std::uint32_t>(rng.next_below(q.size() - kWordLength));
+    const std::uint32_t soff =
+        static_cast<std::uint32_t>(rng.next_below(s.size() - kWordLength));
+    const auto got = ungapped_extend(q, s, qoff, soff, blosum62(), 0);
+    const auto want = reference_extend(q, s, qoff, soff, blosum62(), 0);
+    EXPECT_EQ(got.score, want.score);
+    EXPECT_EQ(got.q_start, want.q_start);
+    EXPECT_EQ(got.q_end, want.q_end);
+  }
+}
+
+TEST(UngappedExtend, WordExactlyFillsSequence) {
+  // Sequences of exactly word length: both sweeps hit their boundaries
+  // immediately (right sweep length zero, left sweep covers the word).
+  const auto q = encode_sequence("MKV");
+  ASSERT_EQ(q.size(), static_cast<std::size_t>(kWordLength));
+  const auto seg = ungapped_extend(q, q, 0, 0, blosum62(), 16);
+  EXPECT_EQ(seg.q_start, 0u);
+  EXPECT_EQ(seg.q_end, q.size());
+  EXPECT_EQ(seg.score, segment_score(q, q, seg));
+}
+
+TEST(UngappedExtend, AsymmetricEndsClampIndependently) {
+  // Subject much shorter than query (and vice versa): each sweep's length
+  // is the min remaining run of BOTH sequences; the segment must stay in
+  // bounds on both.
+  Rng rng(27);
+  const auto q = rand_seq(200, rng);
+  for (const std::size_t slen : {std::size_t{8}, std::size_t{20},
+                                 std::size_t{500}}) {
+    auto s = rand_seq(slen, rng);
+    // Plant a word so the extension is nonempty.
+    for (int i = 0; i < kWordLength; ++i) s[2 + i] = q[90 + i];
+    const auto seg = ungapped_extend(q, s, 90, 2, blosum62(), 16);
+    EXPECT_LE(seg.q_end, q.size());
+    EXPECT_LE(seg.s_end, s.size());
+    EXPECT_EQ(seg.score, segment_score(q, s, seg));
+  }
+}
+
+TEST(UngappedExtend, FullFlushAgainstBothSequenceEnds) {
+  // Identical sequences at every hit offset: sweeps must run to position 0
+  // and to the final residue without over- or under-shooting.
+  Rng rng(29);
+  const auto q = rand_seq(64, rng);
+  for (std::uint32_t off = 0; off + kWordLength <= q.size(); ++off) {
+    const auto seg = ungapped_extend(q, q, off, off, blosum62(), 1000);
+    EXPECT_EQ(seg.q_start, 0u);
+    EXPECT_EQ(seg.q_end, q.size());
+    EXPECT_EQ(seg.s_start, 0u);
+    EXPECT_EQ(seg.s_end, q.size());
+  }
+}
+
 TEST(UngappedExtend, TracedVariantProducesSameResultAndTraffic) {
   Rng rng(19);
   const auto q = rand_seq(300, rng);

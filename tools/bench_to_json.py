@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Run the perf_regress bench and emit a validated benchmark JSON document.
+
+Thin runner around bench/perf_regress: invokes the binary with a --json
+temp file, validates the "mublastp-bench-v1" document it wrote (schema tag,
+one run per kernel, identical counters), annotates it with the invocation
+parameters, and writes it to the requested path (default stdout). Exit code
+is nonzero if the bench failed, the document is malformed, or a
+--min-speedup floor is not met — which is what makes it usable as a CI
+perf-regression gate.
+
+Usage:
+  tools/bench_to_json.py --bench=build/bench/perf_regress \
+      [--out=BENCH.json] [--min-speedup=1.0] [--kernel-key=avx2] \
+      [-- extra perf_regress args...]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="path to the built perf_regress binary")
+    parser.add_argument("--out", default="-",
+                        help="output JSON path ('-' = stdout)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the checked kernel's ungapped-stage "
+                             "speedup over scalar reaches this floor")
+    parser.add_argument("--kernel-key", default="",
+                        help="kernel to apply --min-speedup to "
+                             "(default: the bench's auto-dispatch kernel)")
+    parser.add_argument("rest", nargs="*",
+                        help="extra arguments forwarded to perf_regress")
+    args = parser.parse_args()
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        cmd = [args.bench, f"--json={tmp_path}"] + args.rest
+        proc = subprocess.run(cmd, stdout=sys.stderr)
+        if proc.returncode != 0:
+            print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+                  file=sys.stderr)
+            return proc.returncode
+        doc = json.loads(tmp_path.read_text())
+    finally:
+        tmp_path.unlink(missing_ok=True)
+
+    if doc.get("schema") != "mublastp-bench-v1":
+        print("error: unexpected schema in bench output", file=sys.stderr)
+        return 1
+    if not doc.get("counters_identical", False):
+        print("error: kernels disagreed on pipeline counters", file=sys.stderr)
+        return 1
+    kernels = [r["kernel"] for r in doc.get("runs", [])]
+    if "scalar" not in kernels:
+        print("error: no scalar baseline run in bench output", file=sys.stderr)
+        return 1
+
+    key = args.kernel_key or doc.get("auto_kernel", "")
+    if args.min_speedup > 0.0 and key != "scalar":
+        speedup = doc.get("speedup_vs_scalar", {}).get(key)
+        if speedup is None:
+            print(f"error: no speedup entry for kernel '{key}'",
+                  file=sys.stderr)
+            return 1
+        if speedup["ungapped"] < args.min_speedup:
+            print(f"error: {key} ungapped speedup {speedup['ungapped']:.3f}x "
+                  f"below floor {args.min_speedup:.3f}x", file=sys.stderr)
+            return 1
+        print(f"{key} ungapped speedup {speedup['ungapped']:.3f}x "
+              f"(floor {args.min_speedup:.3f}x)", file=sys.stderr)
+
+    doc["invocation"] = {"bench": args.bench, "args": args.rest}
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

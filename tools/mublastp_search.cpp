@@ -5,6 +5,12 @@
 //   mublastp_search --index=db.mbi --query=q.fasta [--threads=N]
 //                   [--outfmt=pairwise|tabular|none] [--max-alignments=K]
 //                   [--stats[=json]] [--mmap|--no-mmap]
+//                   [--kernel=auto|scalar|sse42|avx2]
+//
+// --threads defaults to the OpenMP thread pool size (omp_get_max_threads);
+// non-positive values are rejected. --kernel selects the ungapped-extension
+// kernel ("auto" = best the CPU supports, the default); results are
+// bit-identical for every kernel.
 //
 // Index loading: v3 index files are memory-mapped by default (zero-copy;
 // pages shared with other processes serving the same database), v2 files
@@ -16,6 +22,8 @@
 // "mublastp-stats-v1", see docs/ALGORITHMS.md) to stdout, including an
 // "index" object recording the load mode/time/residency. Combine
 // --stats=json with --outfmt=none for a stdout that is pure JSON.
+#include <omp.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +33,7 @@
 
 #include "common/timer.hpp"
 #include "core/mublastp_engine.hpp"
+#include "simd/dispatch.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index_io.hpp"
 #include "index/mapped_db_index.hpp"
@@ -73,9 +82,9 @@ int main(int argc, char** argv) {
   if (index_path.empty() || query_path.empty()) {
     std::fprintf(stderr,
                  "usage: mublastp_search --index=db.mbi --query=q.fasta"
-                 " [--threads=1] [--outfmt=pairwise|tabular|none]"
+                 " [--threads=N] [--outfmt=pairwise|tabular|none]"
                  " [--max-alignments=25] [--stats[=json]]"
-                 " [--mmap|--no-mmap]\n");
+                 " [--mmap|--no-mmap] [--kernel=auto|scalar|sse42|avx2]\n");
     return 2;
   }
   if (force_mmap && force_copy) {
@@ -142,8 +151,30 @@ int main(int argc, char** argv) {
 
     SearchParams params;
     params.max_alignments = arg_num(argc, argv, "max-alignments", 25);
-    const MuBlastpEngine engine(view, params);
-    const int threads = static_cast<int>(arg_num(argc, argv, "threads", 1));
+    MuBlastpOptions options;
+    options.kernel = simd::parse_kernel(arg_str(argc, argv, "kernel", "auto"));
+    if (!simd::kernel_supported(options.kernel)) {
+      std::fprintf(stderr, "error: kernel '%s' is not supported on this"
+                   " CPU\n", simd::kernel_name(options.kernel));
+      return 2;
+    }
+    const MuBlastpEngine engine(view, params, options);
+    std::fprintf(stderr, "kernel: %s\n", simd::kernel_name(options.kernel));
+
+    // Default to the OpenMP pool size; reject nonsense explicitly rather
+    // than letting a "-1" silently become a huge unsigned value.
+    const std::string threads_arg = arg_str(argc, argv, "threads", "");
+    long threads_val = omp_get_max_threads();
+    if (!threads_arg.empty()) {
+      char* endp = nullptr;
+      threads_val = std::strtol(threads_arg.c_str(), &endp, 10);
+      if (endp == threads_arg.c_str() || *endp != '\0' || threads_val <= 0) {
+        std::fprintf(stderr, "error: --threads must be a positive integer"
+                     " (got '%s')\n", threads_arg.c_str());
+        return 2;
+      }
+    }
+    const int threads = static_cast<int>(threads_val);
 
     t.reset();
     stats::PipelineStats pipeline_stats;

@@ -2,11 +2,14 @@
 // query-indexed engine (NCBI), the interleaved database-indexed engine
 // (NCBI-db) and muBLASTP (with and without pre-filtering, plus a run over a
 // memory-mapped copy of the index) on the same workload and diff their
-// outputs stage by stage.
+// outputs stage by stage. Two additional runs drive muBLASTP and NCBI-db
+// through the SIMD kernel (--kernel, default the best the CPU supports)
+// against the forced-scalar baselines, asserting the vector kernels are
+// bit-identical down to every counter.
 //
 // Usage:
 //   mublastp_verify [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
-//                   [--stats[=json]]
+//                   [--stats[=json]] [--kernel=auto|scalar|sse42|avx2]
 //   mublastp_verify --db=db.fasta --query=q.fasta
 //
 // Exit code 0 iff every stage of every engine pair matches exactly — both
@@ -15,7 +18,9 @@
 // extension counts additionally match across the database-indexed engines).
 // The mmap run saves the index to a temporary file, reopens it zero-copy
 // through MappedDbIndex and must be indistinguishable from the in-memory
-// engine — the round-trip guarantee of index format v3.
+// engine — the round-trip guarantee of index format v3. The SIMD runs must
+// match their scalar twins on EVERY counter, execution-strategy ones
+// included.
 //
 // --stats prints one telemetry table per engine to stderr; --stats=json
 // emits one "mublastp-stats-v1" JSON snapshot per engine, one per line, to
@@ -35,6 +40,7 @@
 #include "index/db_index.hpp"
 #include "index/db_index_io.hpp"
 #include "index/mapped_db_index.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
 #include "synth/synth.hpp"
 
@@ -126,13 +132,33 @@ int main(int argc, char** argv) {
     std::printf("database: %zu sequences (%zu residues); %zu queries\n",
                 db.size(), db.total_residues(), queries.size());
 
+    const simd::KernelPath kernel =
+        simd::parse_kernel(arg_str(argc, argv, "kernel", "auto"));
+    if (!simd::kernel_supported(kernel)) {
+      std::fprintf(stderr, "error: kernel '%s' is not supported on this"
+                   " CPU\n", simd::kernel_name(kernel));
+      return 2;
+    }
+    std::printf("simd kernel under test: %s\n", simd::kernel_name(kernel));
+
     const DbIndex index = DbIndex::build(db, {});
-    const QueryIndexedEngine ncbi(db);
-    const InterleavedDbEngine ncbi_db(index);
-    const MuBlastpEngine mu(index);
-    MuBlastpOptions nopf;
+    // The five baseline runs are forced scalar; the -simd runs execute the
+    // kernel under test and must match them bit for bit.
+    constexpr simd::KernelPath kScalarPath = simd::KernelPath::kScalar;
+    const QueryIndexedEngine ncbi(db, {}, kDefaultNeighborThreshold,
+                                  QueryIndexedEngine::Detector::kLookupTable,
+                                  kScalarPath);
+    const InterleavedDbEngine ncbi_db(index, {}, kScalarPath);
+    MuBlastpOptions scalar_opts;
+    scalar_opts.kernel = kScalarPath;
+    const MuBlastpEngine mu(index, {}, scalar_opts);
+    MuBlastpOptions nopf = scalar_opts;
     nopf.prefilter = false;
     const MuBlastpEngine mu_nopf(index, {}, nopf);
+    MuBlastpOptions simd_opts;
+    simd_opts.kernel = kernel;
+    const MuBlastpEngine mu_simd(index, {}, simd_opts);
+    const InterleavedDbEngine ncbi_db_simd(index, {}, kernel);
 
     // The owned-vs-mapped equivalence check: round-trip the index through a
     // v3 file and drive the same engine off the read-only mapping.
@@ -144,7 +170,7 @@ int main(int argc, char** argv) {
     // The mapping keeps the pages alive after the unlink (POSIX), so the
     // temp file cannot leak even if a later check throws.
     std::filesystem::remove(tmp_index);
-    const MuBlastpEngine mu_mmap(mapped);
+    const MuBlastpEngine mu_mmap(mapped, {}, scalar_opts);
 
     struct Named {
       const char* name;
@@ -152,7 +178,7 @@ int main(int argc, char** argv) {
       stats::PipelineSnapshot snap;
     };
 
-    constexpr int kRuns = 5;
+    constexpr int kRuns = 7;
     stats::PipelineSnapshot agg[kRuns];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
@@ -168,6 +194,8 @@ int main(int argc, char** argv) {
           run("mublastp", mu),
           run("mublastp-alg1", mu_nopf),
           run("mublastp-mmap", mu_mmap),
+          run("mublastp-simd", mu_simd),
+          run("ncbi-db-simd", ncbi_db_simd),
       };
       bool ok = true;
       for (std::size_t i = 1; i < kRuns; ++i) {
@@ -219,6 +247,18 @@ int main(int argc, char** argv) {
       if (runs[2].snap.totals != runs[4].snap.totals) {
         std::printf("query %u: OWNED/MAPPED COUNTER MISMATCH %s vs %s\n", q,
                     runs[2].name, runs[4].name);
+        ok = false;
+      }
+      // A SIMD run differs from its scalar twin only in which kernel
+      // executes the same extensions — EVERY counter must be identical.
+      if (runs[2].snap.totals != runs[5].snap.totals) {
+        std::printf("query %u: SCALAR/SIMD COUNTER MISMATCH %s vs %s\n", q,
+                    runs[2].name, runs[5].name);
+        ok = false;
+      }
+      if (runs[1].snap.totals != runs[6].snap.totals) {
+        std::printf("query %u: SCALAR/SIMD COUNTER MISMATCH %s vs %s\n", q,
+                    runs[1].name, runs[6].name);
         ok = false;
       }
       for (int i = 0; i < kRuns; ++i) agg[i].merge(runs[i].snap);
