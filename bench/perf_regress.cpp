@@ -17,6 +17,7 @@
 // A second section times the striped Smith-Waterman kernel against the
 // scalar DP on query-vs-sampled-subject pairs — the alignment kernel is
 // where int16-lane SIMD pays off regardless of extension length.
+#include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "baseline/smith_waterman.hpp"
 #include "bench_common.hpp"
+#include "common/faultinject.hpp"
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
 #include "index/db_index.hpp"
@@ -88,6 +90,14 @@ void append_json_run(std::string& out, const KernelRun& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Armed fault injection would turn the recovery paths' overhead into
+  // phantom perf regressions (and can abort a stage mid-timing): refuse.
+  if (fi::any_armed()) {
+    std::fprintf(stderr,
+                 "perf_regress: fault injection is armed (MUBLASTP_FAULTS); "
+                 "refusing to benchmark a degraded pipeline\n");
+    return 2;
+  }
   const std::size_t residues = bench::arg_size(argc, argv, "residues", 1u << 22);
   const std::size_t nq = bench::arg_size(argc, argv, "queries", 8);
   const std::size_t qlen = bench::arg_size(argc, argv, "qlen", 256);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/timer.hpp"
 #include "core/fragment_assembly.hpp"
 #include "core/hit_logic.hpp"
@@ -111,6 +112,14 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
                                              Mem mem, Rec rec) const {
   MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
                  "query shorter than word length");
+  // The baseline engines have no degraded mode: an injected fault here
+  // fails the search with a typed error, exercising the clean-failure path.
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("alloc.workspace"),
+                      ErrorKind::kResource,
+                      "injected workspace allocation failure"
+                      " (alloc.workspace)");
+  MUBLASTP_CHECK(!MUBLASTP_FI_FAIL("stage.ungapped"),
+                 "injected ungapped-stage failure (stage.ungapped)");
   QueryResult result;
   std::vector<UngappedAlignment> ungapped;
   DiagState state;

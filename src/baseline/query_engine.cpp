@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/timer.hpp"
 #include "core/hit_logic.hpp"
 #include "index/dfa_index.hpp"
@@ -45,6 +46,14 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
                                             Mem mem, Rec rec) const {
   MUBLASTP_CHECK(query.size() >= static_cast<std::size_t>(kWordLength),
                  "query shorter than word length");
+  // No degraded mode in the baselines: injected faults fail the search
+  // with a typed error (the clean-failure recovery path).
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("alloc.workspace"),
+                      ErrorKind::kResource,
+                      "injected workspace allocation failure"
+                      " (alloc.workspace)");
+  MUBLASTP_CHECK(!MUBLASTP_FI_FAIL("stage.ungapped"),
+                 "injected ungapped-stage failure (stage.ungapped)");
   [[maybe_unused]] StageStats scan_before;
   stats::LapTimer<Rec::kEnabled> lap;
   QueryResult result;

@@ -1,0 +1,120 @@
+#include "common/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+
+namespace mublastp {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'U', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::size_t kHeaderBytes = 16;
+
+struct RecordImage {
+  std::uint64_t batch;
+  std::uint64_t out_offset;
+  std::uint32_t crc;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(RecordImage) == 24);
+
+std::uint32_t record_crc(const RecordImage& r) {
+  return crc32(&r, 16);  // batch + out_offset only
+}
+
+}  // namespace
+
+CheckpointJournal::CheckpointJournal(const std::string& path,
+                                     std::uint32_t fingerprint)
+    : path_(path) {
+  // Replay phase: read whatever exists, stopping at the first torn or
+  // corrupt record (a kill -9 can leave one), and remember how many bytes
+  // were valid so the tail can be truncated before appending resumes.
+  std::size_t valid_bytes = 0;
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path_, ec) && !ec;
+  if (exists) {
+    MUBLASTP_CHECK_KIND(std::filesystem::is_regular_file(path_, ec) && !ec,
+                        ErrorKind::kIo,
+                        "checkpoint path is not a regular file: " + path_);
+    std::ifstream in(path_, std::ios::binary);
+    MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                        "cannot open checkpoint file: " + path_);
+    char header[kHeaderBytes];
+    in.read(header, kHeaderBytes);
+    if (in.gcount() > 0) {  // an empty file is treated as fresh
+      MUBLASTP_CHECK_KIND(in.gcount() == kHeaderBytes &&
+                              std::memcmp(header, kMagic, sizeof(kMagic)) == 0,
+                          ErrorKind::kCorrupt,
+                          "not a muBLASTP checkpoint file: " + path_);
+      std::uint32_t stored_fp = 0;
+      std::memcpy(&stored_fp, header + sizeof(kMagic), sizeof(stored_fp));
+      MUBLASTP_CHECK(stored_fp == fingerprint,
+                     "checkpoint " + path_ +
+                         " was written by a different run configuration"
+                         " (index/query/batch-size changed); delete it to"
+                         " restart from scratch");
+      valid_bytes = kHeaderBytes;
+      RecordImage rec;
+      while (in.read(reinterpret_cast<char*>(&rec), sizeof(rec)) &&
+             in.gcount() == sizeof(rec)) {
+        if (record_crc(rec) != rec.crc) break;  // torn/garbage tail
+        done_.insert(rec.batch);
+        resume_offset_ = rec.out_offset;
+        valid_bytes += sizeof(rec);
+      }
+    }
+  }
+
+  if (valid_bytes == 0) {
+    // Fresh journal (missing, empty, or header never made it to disk).
+    file_ = std::fopen(path_.c_str(), "wb");
+    MUBLASTP_CHECK_KIND(file_ != nullptr, ErrorKind::kIo,
+                        "cannot create checkpoint file: " + path_);
+    char header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    std::memcpy(header + sizeof(kMagic), &fingerprint, sizeof(fingerprint));
+    const bool ok = std::fwrite(header, 1, kHeaderBytes, file_) ==
+                        kHeaderBytes &&
+                    std::fflush(file_) == 0 && ::fsync(fileno(file_)) == 0;
+    MUBLASTP_CHECK_KIND(ok, ErrorKind::kIo,
+                        "cannot write checkpoint header: " + path_);
+    return;
+  }
+
+  // Drop any torn tail, then append after the last valid record.
+  std::filesystem::resize_file(path_, valid_bytes, ec);
+  MUBLASTP_CHECK_KIND(!ec, ErrorKind::kIo,
+                      "cannot truncate checkpoint tail: " + path_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  MUBLASTP_CHECK_KIND(file_ != nullptr, ErrorKind::kIo,
+                      "cannot reopen checkpoint file: " + path_);
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CheckpointJournal::append(std::uint64_t batch,
+                               std::uint64_t out_offset) {
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("checkpoint.write"), ErrorKind::kIo,
+                      "injected checkpoint write failure (checkpoint.write): " +
+                          path_);
+  RecordImage rec{batch, out_offset, 0, 0};
+  rec.crc = record_crc(rec);
+  const bool ok = std::fwrite(&rec, 1, sizeof(rec), file_) == sizeof(rec) &&
+                  std::fflush(file_) == 0 && ::fsync(fileno(file_)) == 0;
+  MUBLASTP_CHECK_KIND(ok, ErrorKind::kIo,
+                      "checkpoint write failed: " + path_);
+  done_.insert(batch);
+  resume_offset_ = out_offset;
+}
+
+}  // namespace mublastp

@@ -1,0 +1,70 @@
+// Resumable-batch checkpoint journal: a CRC-guarded append-only record of
+// completed query batches, so a killed multi-million-query run resumes
+// without re-searching what it already finished.
+//
+// File layout (little-endian, like the index formats):
+//   8 bytes  magic "MUCKPT01"
+//   4 bytes  run fingerprint (caller-supplied; rejects resume under a
+//            different index/query/batch configuration)
+//   4 bytes  reserved (zero)
+//   N x 24-byte records: { u64 batch_id, u64 out_offset, u32 crc32 of the
+//            first 16 bytes, u32 reserved }
+//
+// Records are appended with write + flush + fsync AFTER the batch's output
+// bytes are themselves durable, so a journaled batch id implies its output
+// prefix survived the crash. A kill -9 can leave a torn or garbage tail;
+// opening the journal replays records until the first short or CRC-invalid
+// one, truncates the tail away, and resumes appending from there — the
+// interrupted batch is simply re-searched, and because rendering is
+// deterministic the resumed output is bit-identical to an uninterrupted
+// run (asserted by the CI kill-and-resume job).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+namespace mublastp {
+
+class CheckpointJournal {
+ public:
+  /// Opens (or creates) the journal at `path` and replays its valid
+  /// records. Throws Error(kIo) if the file cannot be opened or created,
+  /// Error(kCorrupt) if the header is damaged, and Error(kInvalid) if the
+  /// stored fingerprint does not match `fingerprint` (the journal belongs
+  /// to a different run configuration — delete it to restart).
+  CheckpointJournal(const std::string& path, std::uint32_t fingerprint);
+  ~CheckpointJournal();
+
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// True if `batch` was journaled as completed (possibly by a previous,
+  /// killed process).
+  bool completed(std::uint64_t batch) const {
+    return done_.count(batch) != 0;
+  }
+
+  /// Number of completed batches replayed or appended so far.
+  std::size_t num_completed() const { return done_.size(); }
+
+  /// Output-file offset recorded by the latest valid record: everything
+  /// before it is output of completed batches. 0 for a fresh journal.
+  std::uint64_t resume_offset() const { return resume_offset_; }
+
+  /// Journals `batch` as completed with the output file now `out_offset`
+  /// bytes long. Durable (flush + fsync) before returning. Throws
+  /// Error(kIo) on write failure (injection site "checkpoint.write").
+  void append(std::uint64_t batch, std::uint64_t out_offset);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unordered_set<std::uint64_t> done_;
+  std::uint64_t resume_offset_ = 0;
+};
+
+}  // namespace mublastp

@@ -2,14 +2,39 @@
 
 #include <sstream>
 
-namespace mublastp::detail {
+namespace mublastp {
+
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvalid: return "invalid";
+    case ErrorKind::kIo: return "io";
+    case ErrorKind::kCorrupt: return "corrupt";
+    case ErrorKind::kResource: return "resource";
+    case ErrorKind::kCanceled: return "canceled";
+  }
+  return "unknown";
+}
+
+int exit_code_for(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvalid: return 1;
+    case ErrorKind::kIo: return 4;
+    case ErrorKind::kCorrupt: return 5;
+    case ErrorKind::kResource: return 6;
+    case ErrorKind::kCanceled: return 7;
+  }
+  return 1;
+}
+
+namespace detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,
-                         const std::string& msg) {
+                         const std::string& msg, ErrorKind kind) {
   std::ostringstream os;
   os << "MUBLASTP_CHECK failed: " << msg << " [" << expr << "] at " << file
      << ":" << line;
-  throw Error(os.str());
+  throw Error(os.str(), kind);
 }
 
-}  // namespace mublastp::detail
+}  // namespace detail
+}  // namespace mublastp

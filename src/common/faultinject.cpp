@@ -1,0 +1,145 @@
+#include "common/faultinject.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mublastp::fi {
+namespace {
+
+// The registry. Sorted for readability; lookup is a linear strcmp scan
+// (the list is tiny and only walked while faults are armed).
+constexpr const char* kSites[] = {
+    "alloc.workspace",   // engine workspace growth (simulated bad_alloc)
+    "checkpoint.write",  // checkpoint journal append
+    "index.crc",         // v3 section checksum verification
+    "index.mmap",        // mmap(2) of an index file
+    "index.open",        // open(2)/ifstream of an index file
+    "index.prefault",    // SIGBUS during guarded first-touch prefault
+    "io.read",           // bulk input reads (FASTA, index stream slurp)
+    "stage.ungapped",    // ungapped-extension stage of a search round
+};
+constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
+
+struct ArmedEntry {
+  std::uint64_t nth = 0;
+  int err = 0;
+};
+
+struct SiteState {
+  std::atomic<std::uint64_t> calls{0};
+  // Written only while arming (single-threaded, before evaluation starts);
+  // read lock-free during evaluation.
+  std::vector<ArmedEntry> armed;
+};
+
+SiteState g_sites[kNumSites];
+std::atomic<bool> g_any_armed{false};
+
+int site_index(std::string_view site) noexcept {
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    if (site == kSites[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Arms from MUBLASTP_FAULTS once, before main() runs, so every binary in
+// the repo honours the env without per-tool wiring.
+const bool g_env_armed = [] {
+  const char* spec = std::getenv("MUBLASTP_FAULTS");
+  if (spec != nullptr && *spec != '\0') arm_from_spec(spec);
+  return true;
+}();
+
+}  // namespace
+
+bool any_armed() noexcept {
+  return g_any_armed.load(std::memory_order_relaxed);
+}
+
+bool should_fail(const char* site) noexcept {
+  const int idx = site_index(site);
+  if (idx < 0) return false;
+  SiteState& s = g_sites[static_cast<std::size_t>(idx)];
+  const std::uint64_t n =
+      s.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const ArmedEntry& e : s.armed) {
+    if (e.nth == n) {
+      if (e.err != 0) errno = e.err;
+      return true;
+    }
+  }
+  return false;
+}
+
+void arm(std::string_view site, std::uint64_t nth, int err) {
+  const int idx = site_index(site);
+  MUBLASTP_CHECK(idx >= 0, "unknown fault-injection site: '" +
+                               std::string(site) + "'");
+  MUBLASTP_CHECK(nth > 0, "fault-injection Nth must be >= 1");
+  g_sites[static_cast<std::size_t>(idx)].armed.push_back({nth, err});
+  g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_from_spec(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t c1 = entry.find(':');
+    MUBLASTP_CHECK(c1 != std::string_view::npos,
+                   "fault spec entry needs 'site:nth[:errno]': '" +
+                       std::string(entry) + "'");
+    const std::string_view site = entry.substr(0, c1);
+    const std::string_view rest = entry.substr(c1 + 1);
+    const std::size_t c2 = rest.find(':');
+    const std::string nth_str(c2 == std::string_view::npos
+                                  ? rest
+                                  : rest.substr(0, c2));
+    char* endp = nullptr;
+    const std::uint64_t nth = std::strtoull(nth_str.c_str(), &endp, 10);
+    MUBLASTP_CHECK(endp != nth_str.c_str() && *endp == '\0' && nth > 0,
+                   "bad fault-injection Nth in '" + std::string(entry) + "'");
+    int err = 0;
+    if (c2 != std::string_view::npos) {
+      const std::string err_str(rest.substr(c2 + 1));
+      err = static_cast<int>(std::strtol(err_str.c_str(), &endp, 10));
+      MUBLASTP_CHECK(endp != err_str.c_str() && *endp == '\0',
+                     "bad fault-injection errno in '" + std::string(entry) +
+                         "'");
+    }
+    arm(site, nth, err);
+  }
+}
+
+void reset() noexcept {
+  for (SiteState& s : g_sites) {
+    s.armed.clear();
+    s.calls.store(0, std::memory_order_relaxed);
+  }
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t call_count(std::string_view site) noexcept {
+  const int idx = site_index(site);
+  if (idx < 0) return 0;
+  return g_sites[static_cast<std::size_t>(idx)].calls.load(
+      std::memory_order_relaxed);
+}
+
+std::span<const char* const> registered_sites() noexcept {
+  return {kSites, kNumSites};
+}
+
+bool is_registered(std::string_view site) noexcept {
+  return site_index(site) >= 0;
+}
+
+}  // namespace mublastp::fi

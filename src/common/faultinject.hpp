@@ -1,0 +1,74 @@
+// Deterministic fault injection: named sites compiled into the pipeline's
+// error paths, armed on demand so every recovery path (quarantine, retry,
+// fallback, clean typed failure) is exercisable in tests and in the field.
+//
+// Design:
+//  - A *site* is a stable string id ("index.mmap", "stage.ungapped", ...)
+//    from a fixed compile-time registry. Arming an unknown site throws, so
+//    a typo in MUBLASTP_FAULTS fails loudly instead of silently injecting
+//    nothing.
+//  - Each evaluation of a site increments that site's call counter; the
+//    site *fires* (returns true) exactly when the counter equals an armed
+//    Nth value. Firing is single-shot per armed entry — arm the same site
+//    at several Nths ("index.mmap:1,index.mmap:2") to fail consecutive
+//    attempts, which is how retry-then-fallback paths are driven.
+//  - When nothing is armed, MUBLASTP_FI_FAIL is one relaxed atomic load and
+//    a predictable branch — cheap enough for round-granularity sites (it is
+//    deliberately not placed in per-hit inner loops).
+//  - Arming is process-global and NOT thread-safe against concurrent
+//    evaluation: arm in the main thread before starting work (tools arm
+//    from --inject/MUBLASTP_FAULTS before any search runs). Evaluation
+//    itself is thread-safe (atomic counters).
+//
+// Spec grammar (env MUBLASTP_FAULTS or --inject=):
+//   spec    := entry (',' entry)*
+//   entry   := site ':' nth [':' errno]
+// e.g. MUBLASTP_FAULTS=index.crc:1 or --inject=index.mmap:1:12,io.read:2
+// The optional errno is stored into ::errno when the site fires, so
+// syscall-shaped failure paths see a realistic error code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mublastp::fi {
+
+/// True when at least one site is armed. The fast path of MUBLASTP_FI_FAIL.
+bool any_armed() noexcept;
+
+/// Counts one evaluation of `site` and reports whether it fires this call.
+/// Sets ::errno when the fired entry carried one. `site` must be a
+/// registered site (unregistered sites never fire and are not counted).
+bool should_fail(const char* site) noexcept;
+
+/// Arms `site` to fire on its `nth` evaluation (1-based) after this call.
+/// Throws mublastp::Error(kInvalid) for unknown sites or nth == 0.
+void arm(std::string_view site, std::uint64_t nth, int err = 0);
+
+/// Parses and arms a comma-separated spec ("site:nth[:errno],...").
+/// Throws mublastp::Error(kInvalid) on malformed specs or unknown sites.
+void arm_from_spec(std::string_view spec);
+
+/// Disarms everything and zeroes all call counters.
+void reset() noexcept;
+
+/// Evaluations of `site` since the last reset/arm-from-zero (test hook).
+std::uint64_t call_count(std::string_view site) noexcept;
+
+/// The full injection-site registry (sorted, stable names). Tests iterate
+/// this to prove every site has a recovery path; docs/ROBUSTNESS.md lists
+/// the same names with their documented behaviour.
+std::span<const char* const> registered_sites() noexcept;
+
+/// True if `site` names a registered injection site.
+bool is_registered(std::string_view site) noexcept;
+
+}  // namespace mublastp::fi
+
+/// Evaluates (and possibly fires) an injection site. Compiles to a single
+/// relaxed load + never-taken branch while nothing is armed.
+#define MUBLASTP_FI_FAIL(site) \
+  (::mublastp::fi::any_armed() && ::mublastp::fi::should_fail(site))

@@ -3,10 +3,13 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <exception>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/timer.hpp"
 #include "core/fragment_assembly.hpp"
 #include "core/ungapped.hpp"
@@ -31,6 +34,23 @@ std::uint64_t MuBlastpEngine::Workspace::footprint_bytes() const {
          pending.capacity() * sizeof(PendingExt) +
          batch.capacity() * sizeof(simd::BatchHit) +
          batch_out.capacity() * sizeof(UngappedSeg);
+}
+
+bool MuBlastpEngine::Workspace::enforce_budget() {
+  if (mem_budget == 0 || footprint_bytes() <= mem_budget) return false;
+  ++mem_trips;
+  // Drop every retained buffer outright (moving from an empty temporary
+  // releases capacity, unlike clear()). The next round reallocates exactly
+  // what it needs; only cross-round retention is sacrificed.
+  state = DiagState{};
+  records = {};
+  bases = {};
+  records_hwm = 0;
+  profile = simd::QueryProfile{};
+  pending = {};
+  batch = {};
+  batch_out = {};
+  return true;
 }
 
 MuBlastpEngine::MuBlastpEngine(DbIndexView index, SearchParams params,
@@ -82,6 +102,10 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   // sort key — compact keys mean fewer radix passes and a last-hit array of
   // ~2x the block's position bytes, the footprint Section V-B budgets for.
   const std::uint32_t qlen = static_cast<std::uint32_t>(query.size());
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("alloc.workspace"),
+                      ErrorKind::kResource,
+                      "injected workspace allocation failure"
+                      " (alloc.workspace)");
   ws.bases.assign(block.fragments().size() + 1, 0);
   for (std::size_t f = 0; f < block.fragments().size(); ++f) {
     ws.bases[f + 1] = ws.bases[f] + block.fragments()[f].len + qlen + 1;
@@ -164,6 +188,8 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   }
   sort_records(ws.records, key_bits);
   const double sort_sec = lap.lap();
+  MUBLASTP_CHECK(!MUBLASTP_FI_FAIL("stage.ungapped"),
+                 "injected ungapped-stage failure (stage.ungapped)");
 
   // ---- Stage 2b: (post-)filter + ungapped extension in sorted order. ---
   // Without the pre-filter this is Algorithm 1: pair detection runs here,
@@ -349,7 +375,8 @@ QueryResult MuBlastpEngine::search_traced(std::span<const Residue> query,
 
 template <typename PS>
 std::vector<QueryResult> MuBlastpEngine::batch_impl(
-    const SequenceStore& queries, int threads, PS* ps) const {
+    const SequenceStore& queries, int threads, PS* ps,
+    stats::DegradedStats* degraded) const {
   MUBLASTP_CHECK(threads > 0, "thread count must be positive");
   const std::size_t nq = queries.size();
   std::vector<QueryResult> results(nq);
@@ -357,11 +384,27 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
 
   const int max_threads = std::max(threads, 1);
   std::vector<Workspace> workspaces(static_cast<std::size_t>(max_threads));
+  if (options_.mem_budget_bytes != 0) {
+    const std::uint64_t share =
+        std::max<std::uint64_t>(1, options_.mem_budget_bytes /
+                                       workspaces.size());
+    for (Workspace& ws : workspaces) ws.mem_budget = share;
+  }
   [[maybe_unused]] Timer run_timer;
   if constexpr (PS::kEnabled) {
     ps->begin_run(max_threads, view_.blocks().size(), nq);
     ps->set_kernel(simd::kernel_name(options_.kernel));
   }
+
+  // Degraded-mode bookkeeping. `marks[i]` snapshots ungapped[i].size()
+  // before each block so a failing block's partial contributions can be
+  // purged (blocks run serially; appends are contiguous tails). `tripped`
+  // marks queries cut off by the per-query time budget; each slot is only
+  // written by the thread that owns query i for the current block.
+  const double time_budget = options_.time_budget_seconds;
+  std::vector<std::size_t> marks(nq, 0);
+  std::vector<double> elapsed(nq, 0.0);
+  std::vector<char> tripped(nq, 0);
 
   // Algorithm 3, first parallel region: stages 1-2, block loop outermost so
   // the block's index is shared in cache across threads. Each query is one
@@ -369,24 +412,82 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   // that owns it for the current block, and blocks are processed serially,
   // so no synchronization is needed. Telemetry follows the same discipline:
   // threads write private accumulators, merged at each block's end.
+  //
+  // Exceptions must not escape an OpenMP region (that terminates the
+  // process), so the loop body catches everything; the first exception is
+  // kept and the region drains. Afterwards: strict mode rethrows, degraded
+  // mode quarantines the block and keeps going.
   std::uint32_t block_id = 0;
   for (const DbBlockView& block : view_.blocks()) {
+    for (std::size_t i = 0; i < nq; ++i) marks[i] = ungapped[i].size();
+    std::exception_ptr block_error = nullptr;
+    std::atomic<bool> block_failed{false};
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
     for (std::size_t i = 0; i < nq; ++i) {
+      if (tripped[i] || block_failed.load(std::memory_order_relaxed)) {
+        continue;
+      }
       const int tid = omp_get_thread_num();
       Workspace& ws = workspaces[static_cast<std::size_t>(tid)];
-      if constexpr (PS::kEnabled) {
-        search_block(queries.sequence(static_cast<SeqId>(i)), block, block_id,
-                     results[i].stats, ungapped[i], ws,
-                     memsim::NullMemoryModel{}, ps->recorder(tid));
-      } else {
-        search_block(queries.sequence(static_cast<SeqId>(i)), block, block_id,
-                     results[i].stats, ungapped[i], ws,
-                     memsim::NullMemoryModel{}, stats::NullStats::Recorder{});
+      Timer query_timer;
+      try {
+        if constexpr (PS::kEnabled) {
+          search_block(queries.sequence(static_cast<SeqId>(i)), block,
+                       block_id, results[i].stats, ungapped[i], ws,
+                       memsim::NullMemoryModel{}, ps->recorder(tid));
+        } else {
+          search_block(queries.sequence(static_cast<SeqId>(i)), block,
+                       block_id, results[i].stats, ungapped[i], ws,
+                       memsim::NullMemoryModel{},
+                       stats::NullStats::Recorder{});
+        }
+      } catch (...) {
+#pragma omp critical(mublastp_batch_error)
+        {
+          if (block_error == nullptr) block_error = std::current_exception();
+        }
+        block_failed.store(true, std::memory_order_relaxed);
       }
+      ws.enforce_budget();
+      if (time_budget > 0.0) {
+        elapsed[i] += query_timer.seconds();
+        if (elapsed[i] > time_budget) tripped[i] = 1;
+      }
+    }
+    if (block_error != nullptr) {
+      if (degraded == nullptr) std::rethrow_exception(block_error);
+      // Quarantine: purge every query's contribution from this block so the
+      // output is exactly "the surviving blocks' hits", then continue.
+      for (std::size_t i = 0; i < nq; ++i) ungapped[i].resize(marks[i]);
+      std::string reason = "worker failed";
+      try {
+        std::rethrow_exception(block_error);
+      } catch (const std::exception& e) {
+        reason = e.what();
+      } catch (...) {
+      }
+      degraded->quarantined.push_back({block_id, std::move(reason)});
+      degraded->partial = true;
     }
     if constexpr (PS::kEnabled) ps->merge_block(block_id);
     ++block_id;
+  }
+
+  if (time_budget > 0.0) {
+    std::uint64_t trips = 0;
+    for (std::size_t i = 0; i < nq; ++i) trips += tripped[i] != 0;
+    if (trips != 0) {
+      MUBLASTP_CHECK_KIND(degraded != nullptr, ErrorKind::kCanceled,
+                          "query exceeded the time budget of " +
+                              std::to_string(time_budget) + "s");
+      degraded->time_budget_trips += trips;
+      degraded->partial = true;
+    }
+  }
+  if (degraded != nullptr) {
+    for (const Workspace& ws : workspaces) {
+      degraded->mem_budget_trips += ws.mem_trips;
+    }
   }
 
   // Algorithm 3, second parallel region: stages 3-4 per query (gapped
@@ -395,44 +496,59 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   const SubjectLookup lookup = [this](SeqId original) {
     return view_.sequence(view_.sorted_id(original));
   };
+  std::exception_ptr tail_error = nullptr;
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < nq; ++i) {
-    auto& u = ungapped[i];
-    for (UngappedAlignment& seg : u) {
-      seg.subject = view_.original_id(seg.subject);
-    }
-    canonicalize_ungapped(u);
-    results[i].ungapped = u;
-    const std::span<const Residue> query =
-        queries.sequence(static_cast<SeqId>(i));
-    [[maybe_unused]] StageStats before;
-    if constexpr (PS::kEnabled) before = results[i].stats;
-    stats::LapTimer<PS::kEnabled> lap;
-    auto gapped = gapped_stage(query, lookup, std::move(u), matrix, params_,
-                               &results[i].stats);
-    if constexpr (PS::kEnabled) {
-      auto prec = ps->recorder(omp_get_thread_num());
-      prec.add(stats::counters_between(results[i].stats, before));
-      prec.stage(stats::Stage::kGapped, lap.lap());
-    }
-    results[i].alignments =
-        finalize_stage(query, lookup, std::move(gapped), matrix, params_,
-                       karlin_, view_.total_residues());
-    if constexpr (PS::kEnabled) {
-      ps->recorder(omp_get_thread_num())
-          .stage(stats::Stage::kFinalize, lap.lap());
+    try {
+      auto& u = ungapped[i];
+      for (UngappedAlignment& seg : u) {
+        seg.subject = view_.original_id(seg.subject);
+      }
+      canonicalize_ungapped(u);
+      results[i].ungapped = u;
+      // A time-tripped query stops after stages 1-2: its ungapped hits are
+      // reported, the gapped stage is skipped (that is the cut-off).
+      if (tripped[i]) continue;
+      const std::span<const Residue> query =
+          queries.sequence(static_cast<SeqId>(i));
+      [[maybe_unused]] StageStats before;
+      if constexpr (PS::kEnabled) before = results[i].stats;
+      stats::LapTimer<PS::kEnabled> lap;
+      auto gapped = gapped_stage(query, lookup, std::move(u), matrix,
+                                 params_, &results[i].stats);
+      if constexpr (PS::kEnabled) {
+        auto prec = ps->recorder(omp_get_thread_num());
+        prec.add(stats::counters_between(results[i].stats, before));
+        prec.stage(stats::Stage::kGapped, lap.lap());
+      }
+      results[i].alignments =
+          finalize_stage(query, lookup, std::move(gapped), matrix, params_,
+                         karlin_, view_.total_residues());
+      if constexpr (PS::kEnabled) {
+        ps->recorder(omp_get_thread_num())
+            .stage(stats::Stage::kFinalize, lap.lap());
+      }
+    } catch (...) {
+#pragma omp critical(mublastp_batch_error)
+      {
+        if (tail_error == nullptr) tail_error = std::current_exception();
+      }
     }
   }
+  // Stage-3/4 failures have no block to quarantine; fail the batch cleanly
+  // (the catch above only exists so the exception cannot escape the OpenMP
+  // region, which would terminate the process).
+  if (tail_error != nullptr) std::rethrow_exception(tail_error);
   if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
   return results;
 }
 
 std::vector<QueryResult> MuBlastpEngine::search_batch(
-    const SequenceStore& queries, int threads,
-    stats::PipelineStats* ps) const {
-  if (ps != nullptr) return batch_impl(queries, threads, ps);
+    const SequenceStore& queries, int threads, stats::PipelineStats* ps,
+    stats::DegradedStats* degraded) const {
+  if (ps != nullptr) return batch_impl(queries, threads, ps, degraded);
   stats::NullStats* off = nullptr;
-  return batch_impl(queries, threads, off);
+  return batch_impl(queries, threads, off, degraded);
 }
 
 }  // namespace mublastp

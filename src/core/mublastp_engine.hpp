@@ -51,6 +51,21 @@ struct MuBlastpOptions {
   /// for every path; kScalar executes the pre-SIMD code unchanged. Traced
   /// (memsim) runs always use the scalar kernel so access streams stay exact.
   simd::KernelPath kernel = simd::default_kernel();
+
+  /// Per-query wall-clock budget for batch searches (seconds; 0 = none).
+  /// A query whose accumulated stage-1/2 time exceeds it is cut off: it
+  /// skips the remaining blocks and the gapped stage, keeping whatever
+  /// ungapped alignments it already has. With a DegradedStats sink the trip
+  /// is recorded and the run is marked partial; without one (strict mode)
+  /// the batch fails with Error(kCanceled).
+  double time_budget_seconds = 0.0;
+
+  /// Whole-batch workspace budget (bytes; 0 = none), split evenly across
+  /// worker threads. A workspace whose retained footprint exceeds its share
+  /// after a round releases its buffers (capacities regrow on demand), so
+  /// results are unchanged — only the high-water retention is bounded. Each
+  /// release counts one mem_budget_trip in DegradedStats.
+  std::uint64_t mem_budget_bytes = 0;
 };
 
 /// A hit (or hit pair, after pre-filtering) as stored in the reorder
@@ -90,9 +105,20 @@ class MuBlastpEngine {
   /// When `ps` is non-null, telemetry is collected into it: per-thread
   /// accumulators are merged at each block's end, so all counters are
   /// identical for any thread count.
+  ///
+  /// Error containment: a worker exception inside a block's parallel region
+  /// never escapes the region. With `degraded` null (strict mode) it is
+  /// rethrown after the region, failing the batch. With `degraded` set the
+  /// failing block is quarantined — every query's partial contribution from
+  /// that block is purged, the block id + reason land in
+  /// degraded->quarantined, the run is marked partial, and the search
+  /// continues over the remaining blocks. Budget trips
+  /// (options().time_budget_seconds / mem_budget_bytes) are reported the
+  /// same way.
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
                                         int threads,
-                                        stats::PipelineStats* ps
+                                        stats::PipelineStats* ps = nullptr,
+                                        stats::DegradedStats* degraded
                                         = nullptr) const;
 
   const DbIndexView& view() const { return view_; }
@@ -122,9 +148,16 @@ class MuBlastpEngine {
     std::vector<PendingExt> pending;   ///< extensions awaiting a batch flush
     std::vector<simd::BatchHit> batch;
     std::vector<UngappedSeg> batch_out;
+    std::uint64_t mem_budget = 0;  ///< retained-bytes cap (0 = none)
+    std::uint64_t mem_trips = 0;   ///< times enforce_budget() released
 
     /// Bytes currently retained by this workspace (capacities, not sizes).
     std::uint64_t footprint_bytes() const;
+
+    /// Releases every retained buffer if footprint_bytes() exceeds
+    /// mem_budget. Returns true when it released (one budget trip).
+    /// Capacities regrow on demand, so results are unaffected.
+    bool enforce_budget();
   };
 
   template <typename Mem, typename Rec>
@@ -139,7 +172,8 @@ class MuBlastpEngine {
 
   template <typename PS>
   std::vector<QueryResult> batch_impl(const SequenceStore& queries,
-                                      int threads, PS* ps) const;
+                                      int threads, PS* ps,
+                                      stats::DegradedStats* degraded) const;
 
   void sort_records(std::vector<HitRecord>& records, int key_bits) const;
 

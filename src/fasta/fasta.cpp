@@ -1,10 +1,12 @@
 #include "fasta/fasta.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 
 namespace mublastp {
 namespace {
@@ -18,42 +20,77 @@ std::string_view trimmed(std::string_view s) {
   return s;
 }
 
+std::string at(std::size_t record, std::size_t line) {
+  return " (record " + std::to_string(record) + ", line " +
+         std::to_string(line) + ")";
+}
+
 }  // namespace
 
 std::size_t read_fasta(std::istream& in, SequenceStore& store) {
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("io.read"), ErrorKind::kIo,
+                      "injected read failure on FASTA input (io.read)");
   std::string line;
   std::string name;
   std::string seq;
   bool in_record = false;
   std::size_t count = 0;
+  std::size_t lineno = 0;        // 1-based line of the last getline
+  std::size_t header_line = 0;   // line the open record's header is on
 
   const auto flush = [&] {
     if (!in_record) return;
-    MUBLASTP_CHECK(!seq.empty(), "FASTA record '" + name + "' has no sequence");
+    MUBLASTP_CHECK_KIND(!seq.empty(), ErrorKind::kCorrupt,
+                        "FASTA record '" + name + "' has no sequence" +
+                            at(count + 1, header_line));
     store.add_ascii(seq, name);
     ++count;
     seq.clear();
   };
 
   while (std::getline(in, line)) {
+    ++lineno;
+    // A NUL anywhere means the input is not text (truncated write, binary
+    // file fed by mistake); fail loudly instead of silently dropping data.
+    MUBLASTP_CHECK_KIND(
+        std::memchr(line.data(), '\0', line.size()) == nullptr,
+        ErrorKind::kCorrupt,
+        "FASTA input contains a NUL byte" + at(count + 1, lineno) +
+            "; not a text file?");
     const std::string_view t = trimmed(line);
     if (t.empty()) continue;
     if (t.front() == '>') {
       flush();
       name = std::string(t.substr(1));
       in_record = true;
+      header_line = lineno;
     } else {
-      MUBLASTP_CHECK(in_record, "sequence data before first FASTA header");
+      MUBLASTP_CHECK_KIND(in_record, ErrorKind::kCorrupt,
+                          "sequence data before first FASTA header" +
+                              at(1, lineno));
+      MUBLASTP_CHECK_KIND(
+          seq.size() + t.size() <= kMaxFastaRecordBytes, ErrorKind::kCorrupt,
+          "FASTA record '" + name + "' exceeds " +
+              std::to_string(kMaxFastaRecordBytes >> 30) +
+              " GiB" + at(count + 1, lineno) +
+              "; refusing unbounded allocation");
       seq.append(t);
     }
   }
+  // getline stops on EOF (fine) or a hard stream error (not fine): badbit
+  // means residues may have been lost mid-file, so it must not look like a
+  // short-but-valid input.
+  MUBLASTP_CHECK_KIND(!in.bad(), ErrorKind::kIo,
+                      "I/O error reading FASTA input near line " +
+                          std::to_string(lineno + 1));
   flush();
   return count;
 }
 
 std::size_t read_fasta_file(const std::string& path, SequenceStore& store) {
   std::ifstream in(path);
-  MUBLASTP_CHECK(in.good(), "cannot open FASTA file: " + path);
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                      "cannot open FASTA file: " + path);
   return read_fasta(in, store);
 }
 

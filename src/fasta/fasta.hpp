@@ -1,11 +1,14 @@
 // FASTA input/output.
 //
 // Minimal, strict FASTA support: '>' header lines followed by sequence lines;
-// blank lines are allowed between records; sequence characters outside the
-// protein alphabet are encoded as X (see common/alphabet.hpp). Reading
-// streams the file once; there is no record-size limit beyond memory.
+// blank lines are allowed between records; CR-LF line endings are accepted;
+// sequence characters outside the protein alphabet are encoded as X (see
+// common/alphabet.hpp). Reading streams the file once. Malformed input never
+// truncates silently: every rejection is a typed mublastp::Error naming the
+// record and line.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -13,9 +16,16 @@
 
 namespace mublastp {
 
+/// Hard cap on a single record's sequence length. A record this large is a
+/// corrupt or mis-concatenated input, not a protein; the cap bounds the
+/// allocation a hostile file can force.
+inline constexpr std::size_t kMaxFastaRecordBytes = std::size_t{1} << 30;
+
 /// Parses FASTA text from a stream into `store` (appending). Returns the
-/// number of records read. Throws mublastp::Error on malformed input
-/// (sequence data before the first header, or an empty record).
+/// number of records read. Throws mublastp::Error with a typed kind on bad
+/// input: kCorrupt for malformed content (sequence data before the first
+/// header, a header with no sequence, NUL bytes, a record over
+/// kMaxFastaRecordBytes), kIo when the stream itself fails mid-read.
 std::size_t read_fasta(std::istream& in, SequenceStore& store);
 
 /// Parses a FASTA file by path.

@@ -58,6 +58,7 @@ struct FragmentRef {
 };
 
 class DbIndex;
+struct IndexLoadOptions;  // db_index_io.hpp
 
 /// One index block: CSR word -> packed (local fragment id, offset) entries.
 class DbIndexBlock {
@@ -105,7 +106,8 @@ class DbIndexBlock {
   friend class DbIndexView;
   friend void save_db_index(std::ostream& out, const DbIndex& index);
   friend void save_db_index_v2(std::ostream& out, const DbIndex& index);
-  friend DbIndex load_db_index(std::istream& in);
+  friend DbIndex load_db_index(std::istream& in,
+                               const IndexLoadOptions& options);
   std::vector<std::uint32_t> offsets_;  // kNumWords + 1
   std::vector<std::uint32_t> entries_;
   std::vector<FragmentRef> fragments_;
@@ -149,7 +151,8 @@ class DbIndex {
   friend class DbIndexView;
   friend void save_db_index(std::ostream& out, const DbIndex& index);
   friend void save_db_index_v2(std::ostream& out, const DbIndex& index);
-  friend DbIndex load_db_index(std::istream& in);
+  friend DbIndex load_db_index(std::istream& in,
+                               const IndexLoadOptions& options);
 
   DbIndex(SequenceStore db, std::vector<SeqId> order, DbIndexConfig config,
           NeighborTable neighbors)

@@ -24,7 +24,9 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/sequence.hpp"
 #include "index/db_index.hpp"
@@ -86,7 +88,14 @@ struct BlockMetaRecord {
   std::uint64_t max_fragment_len;
   std::uint64_t total_chars;
   std::int32_t offset_bits;
-  std::uint32_t reserved;  ///< zero
+  /// CRC32 over this block's slice of kFragments + kCsrOffsets + kEntries
+  /// (in that order). Lets a degraded loader localize a failed section
+  /// checksum to the block(s) that actually rotted and quarantine only
+  /// those. Files written before this field existed carry 0 here ("no
+  /// per-block checksum"; still loadable, but not block-quarantinable).
+  /// Occupies what used to be a zero `reserved` field, so the layout and
+  /// version are unchanged and old readers ignore it.
+  std::uint32_t block_crc32;
 };
 static_assert(sizeof(BlockMetaRecord) == 40);
 static_assert(sizeof(FragmentRef) == 12,
@@ -111,13 +120,53 @@ struct ParsedIndexFile {
   std::span<const std::uint32_t> entries;       ///< all blocks, concatenated
 };
 
+/// One block set aside by a degraded-mode load: its data failed validation
+/// but the rest of the index is intact and searchable.
+struct BlockQuarantine {
+  std::uint32_t block = 0;
+  std::string reason;
+
+  friend bool operator==(const BlockQuarantine&,
+                         const BlockQuarantine&) = default;
+};
+
+/// Controls how strictly parse_db_index_v3 treats damage.
+struct IndexParseOptions {
+  /// Verify section CRCs + deep structural invariants (reads every page).
+  bool verify_checksums = true;
+
+  /// Degraded mode: damage confined to ONE block's slice of the per-block
+  /// sections (kFragments / kCsrOffsets / kEntries) quarantines that block
+  /// instead of failing the load. Requires `quarantined` to be set. Damage
+  /// anywhere else (header, table, config, arena, offsets, block meta) is
+  /// always fatal — it cannot be attributed to a single block — as is a
+  /// file whose every block is bad, or a pre-block-CRC file (block_crc32
+  /// == 0) whose section checksum fails.
+  bool tolerate_block_corruption = false;
+
+  /// Out-parameter receiving the quarantined blocks (id + reason). Must be
+  /// non-null when tolerate_block_corruption is set.
+  std::vector<BlockQuarantine>* quarantined = nullptr;
+};
+
 /// Parses and validates a v3 file image. Checks, in order: header magic /
 /// version / size, section-table CRC, per-section bounds + alignment +
-/// CRC32 (when `verify_checksums`), then cross-section structural
-/// invariants (counts consistent, CSR offsets monotone, fragments and
-/// entries in range). Throws mublastp::Error naming the offending section;
-/// never returns a partially-valid view.
+/// CRC32 (when verifying), then cross-section structural invariants
+/// (counts consistent, CSR offsets monotone, fragments and entries in
+/// range). Throws mublastp::Error naming the offending section; never
+/// returns a partially-valid view — except under
+/// IndexParseOptions::tolerate_block_corruption, where block-local damage
+/// is reported through `quarantined` and the affected blocks' spans must
+/// not be used (loaders replace them with empty blocks).
 ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
-                                  bool verify_checksums = true);
+                                  const IndexParseOptions& options);
+
+/// Back-compat overload: strict parse with checksums on/off.
+inline ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
+                                         bool verify_checksums = true) {
+  IndexParseOptions options;
+  options.verify_checksums = verify_checksums;
+  return parse_db_index_v3(image, options);
+}
 
 }  // namespace mublastp

@@ -10,6 +10,7 @@
 
 #include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "index/db_index_format.hpp"
 #include "score/matrix.hpp"
 
@@ -31,7 +32,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  MUBLASTP_CHECK(in.good(), "truncated index file");
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kCorrupt, "truncated index file");
   return value;
 }
 
@@ -47,11 +48,12 @@ template <typename T>
 std::vector<T> read_vector(std::istream& in) {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto n = read_pod<std::uint64_t>(in);
-  MUBLASTP_CHECK(n < (std::uint64_t{1} << 40), "implausible vector size");
+  MUBLASTP_CHECK_KIND(n < (std::uint64_t{1} << 40), ErrorKind::kCorrupt,
+                      "implausible vector size");
   std::vector<T> v(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
-  MUBLASTP_CHECK(in.good(), "truncated index file");
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kCorrupt, "truncated index file");
   return v;
 }
 
@@ -62,10 +64,11 @@ void write_string(std::ostream& out, const std::string& s) {
 
 std::string read_string(std::istream& in) {
   const auto n = read_pod<std::uint32_t>(in);
-  MUBLASTP_CHECK(n < (1u << 20), "implausible string size");
+  MUBLASTP_CHECK_KIND(n < (1u << 20), ErrorKind::kCorrupt,
+                      "implausible string size");
   std::string s(n, '\0');
   in.read(s.data(), n);
-  MUBLASTP_CHECK(in.good(), "truncated index file");
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kCorrupt, "truncated index file");
   return s;
 }
 
@@ -103,7 +106,8 @@ std::size_t align_up(std::size_t n) {
 
 [[noreturn]] void fail_section(SectionId id, const std::string& what) {
   throw Error("index section '" + std::string(section_name(id)) + "' " +
-              what);
+                  what,
+              ErrorKind::kCorrupt);
 }
 
 // Reads scalars sequentially out of one section's payload with bounds
@@ -228,9 +232,18 @@ void save_db_index(std::ostream& out, const DbIndex& index) {
     PendingSection csr{SectionId::kCsrOffsets, {}};
     PendingSection entries{SectionId::kEntries, {}};
     for (const DbIndexBlock& b : index.blocks_) {
+      // Per-block CRC over the block's slice of the three per-block
+      // sections, in section order; a degraded loader uses it to pin a
+      // failed section checksum on the block(s) that actually rotted.
+      std::uint32_t bcrc =
+          crc32(b.fragments_.data(), b.fragments_.size() * sizeof(FragmentRef));
+      bcrc = crc32(b.offsets_.data(),
+                   b.offsets_.size() * sizeof(std::uint32_t), bcrc);
+      bcrc = crc32(b.entries_.data(),
+                   b.entries_.size() * sizeof(std::uint32_t), bcrc);
       const BlockMetaRecord m{b.fragments_.size(), b.entries_.size(),
                               b.max_fragment_len_, b.total_chars_,
-                              b.offset_bits_, 0};
+                              b.offset_bits_, bcrc};
       append_pod(meta.payload, m);
       append_span<FragmentRef>(frags.payload, b.fragments_);
       append_span<std::uint32_t>(csr.payload, b.offsets_);
@@ -334,33 +347,47 @@ void save_db_index_v2(std::ostream& out, const DbIndex& index) {
 // ---------------------------------------------------------------------------
 
 ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
-                                  bool verify_checksums) {
-  MUBLASTP_CHECK(image.size() >= sizeof(FileHeaderV3),
-                 "truncated index file: missing header");
+                                  const IndexParseOptions& options) {
+  const bool verify_checksums = options.verify_checksums;
+  const bool tolerant = options.tolerate_block_corruption;
+  MUBLASTP_CHECK(!tolerant || options.quarantined != nullptr,
+                 "tolerate_block_corruption requires a quarantine list");
+  MUBLASTP_CHECK_KIND(image.size() >= sizeof(FileHeaderV3),
+                      ErrorKind::kCorrupt,
+                      "truncated index file: missing header");
   FileHeaderV3 header;
   std::memcpy(&header, image.data(), sizeof(header));
-  MUBLASTP_CHECK(std::equal(header.magic, header.magic + 4, kMagic),
-                 "not a muBLASTP index file (bad magic)");
-  MUBLASTP_CHECK(header.version == kDbIndexFormatV3,
-                 "unsupported index format version " +
-                     std::to_string(header.version));
-  MUBLASTP_CHECK(header.file_bytes == image.size(),
-                 "truncated index file: header declares " +
-                     std::to_string(header.file_bytes) + " bytes, file has " +
-                     std::to_string(image.size()));
-  MUBLASTP_CHECK(header.section_count >= 1 && header.section_count <= 64,
-                 "index header: implausible section count");
+  MUBLASTP_CHECK_KIND(std::equal(header.magic, header.magic + 4, kMagic),
+                      ErrorKind::kCorrupt,
+                      "not a muBLASTP index file (bad magic)");
+  MUBLASTP_CHECK_KIND(header.version == kDbIndexFormatV3, ErrorKind::kCorrupt,
+                      "unsupported index format version " +
+                          std::to_string(header.version));
+  MUBLASTP_CHECK_KIND(header.file_bytes == image.size(), ErrorKind::kCorrupt,
+                      "truncated index file: header declares " +
+                          std::to_string(header.file_bytes) +
+                          " bytes, file has " + std::to_string(image.size()));
+  MUBLASTP_CHECK_KIND(header.section_count >= 1 && header.section_count <= 64,
+                      ErrorKind::kCorrupt,
+                      "index header: implausible section count");
   const std::size_t table_bytes =
       header.section_count * sizeof(SectionRecord);
-  MUBLASTP_CHECK(sizeof(FileHeaderV3) + table_bytes <= image.size(),
-                 "truncated index file: section table out of bounds");
+  MUBLASTP_CHECK_KIND(sizeof(FileHeaderV3) + table_bytes <= image.size(),
+                      ErrorKind::kCorrupt,
+                      "truncated index file: section table out of bounds");
   std::vector<SectionRecord> table(header.section_count);
   std::memcpy(table.data(), image.data() + sizeof(FileHeaderV3), table_bytes);
-  MUBLASTP_CHECK(crc32(table.data(), table_bytes) == header.table_crc32,
-                 "index header: section table checksum mismatch");
+  MUBLASTP_CHECK_KIND(crc32(table.data(), table_bytes) == header.table_crc32,
+                      ErrorKind::kCorrupt,
+                      "index header: section table checksum mismatch");
 
   // Locate every required section, once each, in bounds and aligned. The
-  // checksum is verified before any payload byte is interpreted.
+  // checksum is verified before any payload byte is interpreted. In
+  // tolerant mode a CRC mismatch in a *per-block* section is deferred
+  // (recorded in `crc_failed`) so it can be localized to a block below;
+  // every other section stays fail-closed.
+  SectionId crc_failed_id = SectionId::kConfig;  // valid iff crc_failed
+  bool crc_failed = false;
   const auto section = [&](SectionId id) -> std::span<const std::byte> {
     const SectionRecord* found = nullptr;
     for (const SectionRecord& r : table) {
@@ -379,8 +406,16 @@ ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
     }
     const auto payload = image.subspan(found->offset, found->length);
     if (verify_checksums &&
-        crc32(payload) != static_cast<std::uint32_t>(found->crc32)) {
-      fail_section(id, "checksum mismatch (corrupt file)");
+        (MUBLASTP_FI_FAIL("index.crc") ||
+         crc32(payload) != static_cast<std::uint32_t>(found->crc32))) {
+      const bool per_block = id == SectionId::kFragments ||
+                             id == SectionId::kCsrOffsets ||
+                             id == SectionId::kEntries;
+      if (!(tolerant && per_block)) {
+        fail_section(id, "checksum mismatch (corrupt file)");
+      }
+      if (!crc_failed) crc_failed_id = id;
+      crc_failed = true;
     }
     return payload;
   };
@@ -478,6 +513,55 @@ ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
     fail_section(SectionId::kEntries, "has the wrong element count");
   }
 
+  // A deferred per-block section CRC failure (tolerant mode only) is
+  // localized here: each block's slice of the three per-block sections is
+  // re-checksummed against BlockMetaRecord::block_crc32 (the block-meta
+  // section already passed its own CRC, so the stored values are trusted),
+  // and only mismatching blocks are quarantined. Anything that prevents
+  // localization is fatal — better to refuse the file than to silently
+  // serve rotten data.
+  constexpr std::size_t kCsrLen = static_cast<std::size_t>(kNumWords) + 1;
+  std::vector<char> block_bad(p.block_meta.size(), 0);
+  if (crc_failed) {
+    const std::string failed_name(section_name(crc_failed_id));
+    std::size_t frag_cursor = 0;
+    std::size_t entry_cursor = 0;
+    std::size_t num_bad = 0;
+    for (std::size_t b = 0; b < p.block_meta.size(); ++b) {
+      const BlockMetaRecord& m = p.block_meta[b];
+      if (m.block_crc32 == 0) {
+        fail_section(crc_failed_id,
+                     "checksum mismatch (file predates per-block checksums;"
+                     " cannot localize the damage — rebuild the index)");
+      }
+      const auto frags = p.fragments.subspan(frag_cursor, m.num_fragments);
+      const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
+      const auto entries = p.entries.subspan(entry_cursor, m.num_entries);
+      std::uint32_t bcrc = crc32(frags.data(), frags.size_bytes());
+      bcrc = crc32(csr.data(), csr.size_bytes(), bcrc);
+      bcrc = crc32(entries.data(), entries.size_bytes(), bcrc);
+      if (bcrc != m.block_crc32) {
+        block_bad[b] = 1;
+        ++num_bad;
+        options.quarantined->push_back(
+            {static_cast<std::uint32_t>(b),
+             "section '" + failed_name + "' checksum mismatch localized"
+             " to this block"});
+      }
+      frag_cursor += m.num_fragments;
+      entry_cursor += m.num_entries;
+    }
+    if (num_bad == 0) {
+      fail_section(crc_failed_id,
+                   "checksum mismatch that no per-block checksum explains"
+                   " (section metadata itself is suspect)");
+    }
+    if (num_bad == p.block_meta.size()) {
+      fail_section(crc_failed_id,
+                   "checksum mismatch in every block (whole file corrupt)");
+    }
+  }
+
   // ...then the deep per-element invariants, which read every payload page
   // (skipped together with the checksums when the caller opted out of
   // verification to keep the load strictly lazy).
@@ -500,51 +584,74 @@ ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
         fail_section(SectionId::kInverse, "is not the inverse of 'order'");
       }
     }
-    constexpr std::size_t kCsrLen = static_cast<std::size_t>(kNumWords) + 1;
     std::size_t frag_cursor = 0;
     std::size_t entry_cursor = 0;
     for (std::size_t b = 0; b < p.block_meta.size(); ++b) {
       const BlockMetaRecord& m = p.block_meta[b];
-      const auto frags = p.fragments.subspan(frag_cursor, m.num_fragments);
-      const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
-      const auto entries = p.entries.subspan(entry_cursor, m.num_entries);
-      std::uint64_t max_len = 0;
-      std::uint64_t chars = 0;
-      for (const FragmentRef& f : frags) {
-        const bool in_range =
-            f.seq < p.num_seqs &&
-            p.seq_offsets[f.seq] + f.start + f.len <=
-                p.seq_offsets[f.seq + 1];
-        if (!in_range) {
-          fail_section(SectionId::kFragments, "references out-of-range data");
-        }
-        max_len = std::max<std::uint64_t>(max_len, f.len);
-        chars += f.len;
-      }
-      if (m.max_fragment_len != max_len || m.total_chars != chars) {
-        fail_section(SectionId::kBlockMeta,
-                     "disagrees with the fragment data");
-      }
-      for (std::size_t w = 0; w + 1 < csr.size(); ++w) {
-        if (csr[w] > csr[w + 1]) {
-          fail_section(SectionId::kCsrOffsets, "is not monotone");
-        }
-      }
-      if (csr.front() != 0 || csr.back() != entries.size()) {
-        fail_section(SectionId::kCsrOffsets,
-                     "does not bracket the block's entries");
-      }
-      const std::uint32_t offset_mask =
-          (std::uint32_t{1} << m.offset_bits) - 1;
-      for (const std::uint32_t e : entries) {
-        const std::uint32_t frag = e >> m.offset_bits;
-        if (frag >= frags.size() ||
-            (e & offset_mask) + kWordLength > frags[frag].len) {
-          fail_section(SectionId::kEntries, "decodes out of range");
-        }
-      }
+      const std::size_t frag_base = frag_cursor;
+      const std::size_t entry_base = entry_cursor;
       frag_cursor += m.num_fragments;
       entry_cursor += m.num_entries;
+      if (block_bad[b]) continue;  // already quarantined above
+      try {
+        const auto frags = p.fragments.subspan(frag_base, m.num_fragments);
+        const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
+        const auto entries = p.entries.subspan(entry_base, m.num_entries);
+        std::uint64_t max_len = 0;
+        std::uint64_t chars = 0;
+        for (const FragmentRef& f : frags) {
+          const bool in_range =
+              f.seq < p.num_seqs &&
+              p.seq_offsets[f.seq] + f.start + f.len <=
+                  p.seq_offsets[f.seq + 1];
+          if (!in_range) {
+            fail_section(SectionId::kFragments,
+                         "references out-of-range data");
+          }
+          max_len = std::max<std::uint64_t>(max_len, f.len);
+          chars += f.len;
+        }
+        if (m.max_fragment_len != max_len || m.total_chars != chars) {
+          fail_section(SectionId::kBlockMeta,
+                       "disagrees with the fragment data");
+        }
+        for (std::size_t w = 0; w + 1 < csr.size(); ++w) {
+          if (csr[w] > csr[w + 1]) {
+            fail_section(SectionId::kCsrOffsets, "is not monotone");
+          }
+        }
+        if (csr.front() != 0 || csr.back() != entries.size()) {
+          fail_section(SectionId::kCsrOffsets,
+                       "does not bracket the block's entries");
+        }
+        const std::uint32_t offset_mask =
+            (std::uint32_t{1} << m.offset_bits) - 1;
+        for (const std::uint32_t e : entries) {
+          const std::uint32_t frag = e >> m.offset_bits;
+          if (frag >= frags.size() ||
+              (e & offset_mask) + kWordLength > frags[frag].len) {
+            fail_section(SectionId::kEntries, "decodes out of range");
+          }
+        }
+      } catch (const Error& e) {
+        // Structural damage confined to one block: the section checksum
+        // may have passed (e.g. the section was rewritten consistently
+        // wrong) but this block's data is unusable. Quarantine it in
+        // tolerant mode; strict mode keeps the fail-closed contract.
+        if (!tolerant) throw;
+        block_bad[b] = 1;
+        options.quarantined->push_back(
+            {static_cast<std::uint32_t>(b), e.what()});
+      }
+    }
+    if (tolerant) {
+      const std::size_t num_bad = static_cast<std::size_t>(
+          std::count(block_bad.begin(), block_bad.end(), 1));
+      if (num_bad == p.block_meta.size()) {
+        throw Error("every index block failed validation (whole file"
+                    " corrupt)",
+                    ErrorKind::kCorrupt);
+      }
     }
   }
   return p;
@@ -554,15 +661,19 @@ ParsedIndexFile parse_db_index_v3(std::span<const std::byte> image,
 // copy loader (v2 + v3)
 // ---------------------------------------------------------------------------
 
-DbIndex load_db_index(std::istream& in) {
+DbIndex load_db_index(std::istream& in, const IndexLoadOptions& options) {
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("io.read"), ErrorKind::kIo,
+                      "injected read failure (io.read) while loading index");
   char magic[4];
   in.read(magic, sizeof(magic));
-  MUBLASTP_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
-                 "not a muBLASTP index file (bad magic)");
+  MUBLASTP_CHECK_KIND(in.good() && std::equal(magic, magic + 4, kMagic),
+                      ErrorKind::kCorrupt,
+                      "not a muBLASTP index file (bad magic)");
   const auto version = read_pod<std::uint32_t>(in);
-  MUBLASTP_CHECK(version == kDbIndexFormatV2 || version == kDbIndexFormatV3,
-                 "unsupported index format version " +
-                     std::to_string(version));
+  MUBLASTP_CHECK_KIND(
+      version == kDbIndexFormatV2 || version == kDbIndexFormatV3,
+      ErrorKind::kCorrupt,
+      "unsupported index format version " + std::to_string(version));
 
   if (version == kDbIndexFormatV3) {
     // Slurp the remaining stream and reuse the section parser, then copy
@@ -574,8 +685,21 @@ DbIndex load_db_index(std::istream& in) {
     image.append(reinterpret_cast<const char*>(&version), sizeof(version));
     image.append(std::istreambuf_iterator<char>(in),
                  std::istreambuf_iterator<char>());
+    MUBLASTP_CHECK_KIND(!in.bad(), ErrorKind::kIo,
+                        "read failure while loading index");
+    IndexParseOptions parse_options;
+    parse_options.tolerate_block_corruption =
+        options.tolerate_block_corruption;
+    parse_options.quarantined = options.quarantined;
     const ParsedIndexFile p = parse_db_index_v3(
-        {reinterpret_cast<const std::byte*>(image.data()), image.size()});
+        {reinterpret_cast<const std::byte*>(image.data()), image.size()},
+        parse_options);
+    std::vector<char> block_bad(p.num_blocks, 0);
+    if (options.quarantined != nullptr) {
+      for (const BlockQuarantine& q : *options.quarantined) {
+        if (q.block < block_bad.size()) block_bad[q.block] = 1;
+      }
+    }
 
     SequenceStore db;
     for (std::uint64_t i = 0; i < p.num_seqs; ++i) {
@@ -599,15 +723,26 @@ DbIndex load_db_index(std::istream& in) {
     for (std::size_t b = 0; b < p.num_blocks; ++b) {
       const BlockMetaRecord& m = p.block_meta[b];
       DbIndexBlock& block = index.blocks_[b];
-      const auto frags = p.fragments.subspan(frag_cursor, m.num_fragments);
-      const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
-      const auto entries = p.entries.subspan(entry_cursor, m.num_entries);
-      block.fragments_.assign(frags.begin(), frags.end());
-      block.offsets_.assign(csr.begin(), csr.end());
-      block.entries_.assign(entries.begin(), entries.end());
-      block.max_fragment_len_ = m.max_fragment_len;
-      block.total_chars_ = m.total_chars;
-      block.offset_bits_ = m.offset_bits;
+      if (block_bad[b]) {
+        // Quarantined: an empty block (all-zero CSR, no fragments or
+        // entries) contributes no hits, so the engine skips it naturally.
+        block.fragments_.clear();
+        block.offsets_.assign(kCsrLen, 0);
+        block.entries_.clear();
+        block.max_fragment_len_ = 0;
+        block.total_chars_ = 0;
+        block.offset_bits_ = 1;
+      } else {
+        const auto frags = p.fragments.subspan(frag_cursor, m.num_fragments);
+        const auto csr = p.csr_offsets.subspan(b * kCsrLen, kCsrLen);
+        const auto entries = p.entries.subspan(entry_cursor, m.num_entries);
+        block.fragments_.assign(frags.begin(), frags.end());
+        block.offsets_.assign(csr.begin(), csr.end());
+        block.entries_.assign(entries.begin(), entries.end());
+        block.max_fragment_len_ = m.max_fragment_len;
+        block.total_chars_ = m.total_chars;
+        block.offset_bits_ = m.offset_bits;
+      }
       frag_cursor += m.num_fragments;
       entry_cursor += m.num_entries;
     }
@@ -703,32 +838,47 @@ namespace {
 // stream API cannot distinguish "directory" from "garbage", so check the
 // filesystem first and fail with a message that names the actual problem.
 void check_index_path(const std::string& path) {
+  MUBLASTP_CHECK_KIND(!MUBLASTP_FI_FAIL("index.open"), ErrorKind::kIo,
+                      "injected open failure (index.open): " + path);
   std::error_code ec;
   const auto status = std::filesystem::status(path, ec);
-  MUBLASTP_CHECK(!ec && std::filesystem::exists(status),
-                 "cannot open index file: " + path);
-  MUBLASTP_CHECK(!std::filesystem::is_directory(status),
-                 "index path is a directory, not a file: " + path);
-  MUBLASTP_CHECK(std::filesystem::is_regular_file(status),
-                 "index path is not a regular file: " + path);
+  MUBLASTP_CHECK_KIND(!ec && std::filesystem::exists(status), ErrorKind::kIo,
+                      "cannot open index file: " + path);
+  MUBLASTP_CHECK_KIND(!std::filesystem::is_directory(status), ErrorKind::kIo,
+                      "index path is a directory, not a file: " + path);
+  MUBLASTP_CHECK_KIND(std::filesystem::is_regular_file(status),
+                      ErrorKind::kIo,
+                      "index path is not a regular file: " + path);
   const auto size = std::filesystem::file_size(path, ec);
-  MUBLASTP_CHECK(!ec, "cannot stat index file: " + path);
-  MUBLASTP_CHECK(size > 0, "empty index file: " + path);
+  MUBLASTP_CHECK_KIND(!ec, ErrorKind::kIo, "cannot stat index file: " + path);
+  MUBLASTP_CHECK_KIND(size > 0, ErrorKind::kCorrupt,
+                      "empty index file: " + path);
 }
 
 }  // namespace
 
-DbIndex load_db_index_file(const std::string& path) {
+DbIndex load_db_index(std::istream& in) {
+  return load_db_index(in, IndexLoadOptions{});
+}
+
+DbIndex load_db_index_file(const std::string& path,
+                           const IndexLoadOptions& options) {
   check_index_path(path);
   std::ifstream in(path, std::ios::binary);
-  MUBLASTP_CHECK(in.good(), "cannot open index file: " + path);
-  return load_db_index(in);
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                      "cannot open index file: " + path);
+  return load_db_index(in, options);
+}
+
+DbIndex load_db_index_file(const std::string& path) {
+  return load_db_index_file(path, IndexLoadOptions{});
 }
 
 DbIndexFileInfo describe_db_index_file(const std::string& path) {
   check_index_path(path);
   std::ifstream in(path, std::ios::binary);
-  MUBLASTP_CHECK(in.good(), "cannot open index file: " + path);
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                      "cannot open index file: " + path);
 
   DbIndexFileInfo info;
   std::error_code ec;
@@ -736,33 +886,37 @@ DbIndexFileInfo describe_db_index_file(const std::string& path) {
 
   char magic[4];
   in.read(magic, sizeof(magic));
-  MUBLASTP_CHECK(in.good() && std::equal(magic, magic + 4, kMagic),
-                 "not a muBLASTP index file (bad magic): " + path);
+  MUBLASTP_CHECK_KIND(in.good() && std::equal(magic, magic + 4, kMagic),
+                      ErrorKind::kCorrupt,
+                      "not a muBLASTP index file (bad magic): " + path);
   info.version = read_pod<std::uint32_t>(in);
-  MUBLASTP_CHECK(
+  MUBLASTP_CHECK_KIND(
       info.version == kDbIndexFormatV2 || info.version == kDbIndexFormatV3,
+      ErrorKind::kCorrupt,
       "unsupported index format version " + std::to_string(info.version));
   if (info.version == kDbIndexFormatV2) return info;  // v2 has no table
 
   const auto section_count = read_pod<std::uint32_t>(in);
   const auto table_crc = read_pod<std::uint32_t>(in);
   const auto file_bytes = read_pod<std::uint64_t>(in);
-  MUBLASTP_CHECK(file_bytes == info.file_bytes,
-                 "truncated index file: header declares " +
-                     std::to_string(file_bytes) + " bytes, file has " +
-                     std::to_string(info.file_bytes));
-  MUBLASTP_CHECK(section_count >= 1 && section_count <= 64,
-                 "index header: implausible section count");
+  MUBLASTP_CHECK_KIND(file_bytes == info.file_bytes, ErrorKind::kCorrupt,
+                      "truncated index file: header declares " +
+                          std::to_string(file_bytes) + " bytes, file has " +
+                          std::to_string(info.file_bytes));
+  MUBLASTP_CHECK_KIND(section_count >= 1 && section_count <= 64,
+                      ErrorKind::kCorrupt,
+                      "index header: implausible section count");
   in.seekg(sizeof(FileHeaderV3));
   std::vector<SectionRecord> table(section_count);
   in.read(reinterpret_cast<char*>(table.data()),
           static_cast<std::streamsize>(section_count *
                                        sizeof(SectionRecord)));
-  MUBLASTP_CHECK(in.good(), "truncated index file: section table missing");
-  MUBLASTP_CHECK(
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kCorrupt,
+                      "truncated index file: section table missing");
+  MUBLASTP_CHECK_KIND(
       crc32(table.data(), section_count * sizeof(SectionRecord)) ==
           table_crc,
-      "index header: section table checksum mismatch");
+      ErrorKind::kCorrupt, "index header: section table checksum mismatch");
   for (const SectionRecord& r : table) {
     info.sections.push_back(
         {std::string(section_name(static_cast<SectionId>(r.id))), r.id,

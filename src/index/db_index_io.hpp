@@ -28,6 +28,19 @@
 
 namespace mublastp {
 
+struct BlockQuarantine;  // db_index_format.hpp
+
+/// Controls degraded-mode loading (see IndexParseOptions for the parse-level
+/// semantics). With tolerate_block_corruption set, a v3 file whose damage is
+/// confined to individual blocks loads with those blocks replaced by EMPTY
+/// blocks (zero fragments/entries, so they contribute no hits) and their ids
+/// + reasons appended to `quarantined`. v2 files have no per-block checksums
+/// and always load strictly.
+struct IndexLoadOptions {
+  bool tolerate_block_corruption = false;
+  std::vector<BlockQuarantine>* quarantined = nullptr;
+};
+
 /// Current file-format version (the sectioned, mmap-able v3).
 inline constexpr std::uint32_t kDbIndexFormatVersion = 3;
 
@@ -43,13 +56,23 @@ void save_db_index_file(const std::string& path, const DbIndex& index);
 void save_db_index_v2(std::ostream& out, const DbIndex& index);
 
 /// Reads an index back (v2 or v3, dispatched on the version field). Throws
-/// mublastp::Error on malformed or truncated input, bad magic, checksum
-/// mismatches, or unsupported versions — never returns a partial index.
+/// mublastp::Error with a typed kind (kCorrupt for malformed or truncated
+/// input, bad magic, checksum mismatches, unsupported versions) — never
+/// returns a partial index except as allowed by `options` (quarantined
+/// blocks come back empty).
+DbIndex load_db_index(std::istream& in, const IndexLoadOptions& options);
+
+/// Strict-load convenience overload.
 DbIndex load_db_index(std::istream& in);
 
 /// Reads an index from a file. Rejects non-regular files (directories,
-/// sockets) and zero-byte files with a clear Error before touching the
-/// stream.
+/// sockets) and zero-byte files with a clear Error (kIo for path problems,
+/// kCorrupt for an empty file) before touching the stream. Injection sites:
+/// "index.open" (open fails), "io.read" (read fails mid-stream).
+DbIndex load_db_index_file(const std::string& path,
+                           const IndexLoadOptions& options);
+
+/// Strict-load convenience overload.
 DbIndex load_db_index_file(const std::string& path);
 
 /// One section-table row as reported by describe_db_index_file.

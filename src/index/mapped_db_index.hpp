@@ -41,6 +41,22 @@ struct MappedDbIndexOptions {
   /// whole file once; disable only for trusted local files where lazy
   /// faulting matters more than corruption detection.
   bool verify_checksums = true;
+
+  /// Touch every page of the mapping under a SIGBUS guard before parsing.
+  /// A file truncated (or hitting media errors) after the mmap raises
+  /// SIGBUS on first touch, which would otherwise kill the process mid-
+  /// verification; with prefault on, that becomes a typed Error(kIo) the
+  /// caller can catch and retry or fall back to the copy loader (injection
+  /// site "index.prefault"). Costs the same page reads verification does
+  /// anyway; leave off for trusted files opened lazily.
+  bool prefault = false;
+
+  /// Degraded mode: block-local damage quarantines the affected blocks
+  /// (served as empty DbBlockViews contributing no hits) instead of
+  /// failing the open; see IndexParseOptions::tolerate_block_corruption
+  /// for what still fails closed. Quarantined ids are reported via
+  /// MappedDbIndex::quarantined().
+  bool tolerate_block_corruption = false;
 };
 
 /// A read-only, memory-mapped database index (format v3 only).
@@ -76,6 +92,13 @@ class MappedDbIndex {
   std::size_t num_sequences() const { return parsed_.num_seqs; }
   std::size_t total_residues() const { return parsed_.arena.size(); }
 
+  /// Blocks set aside by a degraded open (Options::tolerate_block_
+  /// corruption); empty for a clean file or a strict open. The matching
+  /// entries of blocks() are empty views that contribute no hits.
+  const std::vector<BlockQuarantine>& quarantined() const {
+    return quarantined_;
+  }
+
   // --- serving metrics ---------------------------------------------------
   /// Path the index was mapped from.
   const std::string& path() const { return path_; }
@@ -105,10 +128,21 @@ class MappedDbIndex {
     std::span<const std::byte> bytes() const { return {data, size}; }
   };
 
+  /// Prefaults (optional) then parses; kept static so the member-init list
+  /// can produce parsed_ after map_ but before the derived members.
+  static ParsedIndexFile open_image(std::span<const std::byte> bytes,
+                                    const Options& options,
+                                    const std::string& path,
+                                    std::vector<BlockQuarantine>* quarantined);
+
   Mapping map_;
+  std::vector<BlockQuarantine> quarantined_;  // before parsed_: init order
   ParsedIndexFile parsed_;
   NeighborTable neighbors_;
   std::vector<DbBlockView> blocks_;
+  /// Backing storage for the empty CSR of quarantined blocks' views
+  /// (kNumWords + 1 zeros). Heap-allocated, so the spans survive moves.
+  std::vector<std::uint32_t> empty_csr_;
   std::string path_;
 };
 

@@ -29,6 +29,23 @@ void PipelineSnapshot::merge(const PipelineSnapshot& o) {
   if (engine.empty()) engine = o.engine;
   if (kernel.empty()) kernel = o.kernel;
   if (!index_load.recorded()) index_load = o.index_load;
+  // Degraded state accumulates: the run is partial if any piece was, and a
+  // block quarantined in one piece is quarantined for the whole run
+  // (deduplicated by id — every batch reports the same load-time list).
+  degraded.partial = degraded.partial || o.degraded.partial;
+  degraded.load_retries += o.degraded.load_retries;
+  degraded.time_budget_trips += o.degraded.time_budget_trips;
+  degraded.mem_budget_trips += o.degraded.mem_budget_trips;
+  for (const QuarantinedBlock& q : o.degraded.quarantined) {
+    bool seen = false;
+    for (const QuarantinedBlock& mine : degraded.quarantined) {
+      if (mine.block == q.block) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) degraded.quarantined.push_back(q);
+  }
   workspace_peak_bytes = std::max(workspace_peak_bytes,
                                   o.workspace_peak_bytes);
   threads = std::max(threads, o.threads);
@@ -102,6 +119,7 @@ PipelineSnapshot PipelineStats::snapshot() const {
   s.total_seconds = total_seconds_;
   s.workspace_peak_bytes = ws_peak_;
   s.index_load = index_load_;
+  s.degraded = degraded_;
   s.per_block = blocks_;
   s.totals = extra_counters_;
   s.stage_seconds = extra_seconds_;
@@ -131,6 +149,24 @@ void append_f(std::string& out, const char* fmt, ...) {
 // %.17g prints doubles with round-trip precision (shortest is nicer, but
 // 17 significant digits guarantee strtod gives back the exact bits).
 void append_double(std::string& out, double v) { append_f(out, "%.17g", v); }
+
+// Quarantine reasons are produced from our own error messages, but they
+// flow into a JSON string and our minimal reader supports no escapes, so
+// scrub anything that would break the framing.
+std::string json_safe(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\'';
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 void append_counters(std::string& out, const StageCounters& c,
                      const char* indent) {
@@ -189,6 +225,22 @@ std::string to_json(const PipelineSnapshot& s) {
     append_f(out, ", \"file_bytes\": %" PRIu64
                   ", \"resident_bytes\": %" PRIu64 "}",
              s.index_load.file_bytes, s.index_load.resident_bytes);
+  }
+  if (s.degraded.any()) {
+    append_f(out,
+             ",\n  \"degraded\": {\"partial\": %s, \"load_retries\": %" PRIu64
+             ", \"time_budget_trips\": %" PRIu64
+             ", \"mem_budget_trips\": %" PRIu64 ", \"quarantined\": [",
+             s.degraded.partial ? "true" : "false", s.degraded.load_retries,
+             s.degraded.time_budget_trips, s.degraded.mem_budget_trips);
+    for (std::size_t i = 0; i < s.degraded.quarantined.size(); ++i) {
+      const QuarantinedBlock& q = s.degraded.quarantined[i];
+      if (i != 0) out += ", ";
+      append_f(out, "{\"block\": %u, \"reason\": \"", q.block);
+      out += json_safe(q.reason);
+      out += "\"}";
+    }
+    out += "]}";
   }
   out += ",\n  \"per_block\": [";
   for (std::size_t i = 0; i < s.per_block.size(); ++i) {
@@ -268,6 +320,18 @@ struct Parser {
   std::uint64_t number_u64() {
     return std::strtoull(number().c_str(), nullptr, 10);
   }
+  bool boolean() {
+    skip_ws();
+    if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+      p += 4;
+      return true;
+    }
+    if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+      p += 5;
+      return false;
+    }
+    fail("expected a boolean");
+  }
   void skip_value();
   /// Walks an object, invoking fn(key) positioned at each value. fn must
   /// consume the value (or call skip_value()).
@@ -303,6 +367,10 @@ void Parser::skip_value() {
       break;
     case '"':
       string();
+      break;
+    case 't':
+    case 'f':
+      boolean();
       break;
     default:
       number();
@@ -371,6 +439,34 @@ PipelineSnapshot from_json(const std::string& json) {
         else if (ikey == "resident_bytes") s.index_load.resident_bytes = ps.number_u64();
         else ps.skip_value();
       });
+    } else if (key == "degraded") {
+      ps.object([&](const std::string& dkey) {
+        if (dkey == "partial") {
+          s.degraded.partial = ps.boolean();
+        } else if (dkey == "load_retries") {
+          s.degraded.load_retries = ps.number_u64();
+        } else if (dkey == "time_budget_trips") {
+          s.degraded.time_budget_trips = ps.number_u64();
+        } else if (dkey == "mem_budget_trips") {
+          s.degraded.mem_budget_trips = ps.number_u64();
+        } else if (dkey == "quarantined") {
+          ps.array([&] {
+            QuarantinedBlock q;
+            ps.object([&](const std::string& qkey) {
+              if (qkey == "block") {
+                q.block = static_cast<std::uint32_t>(ps.number_u64());
+              } else if (qkey == "reason") {
+                q.reason = ps.string();
+              } else {
+                ps.skip_value();
+              }
+            });
+            s.degraded.quarantined.push_back(std::move(q));
+          });
+        } else {
+          ps.skip_value();
+        }
+      });
     } else if (key == "per_block") {
       ps.array([&] {
         BlockStats b;
@@ -428,6 +524,18 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                       "B resident=%" PRIu64 "B\n",
                  s.index_load.mode.c_str(), s.index_load.load_seconds,
                  s.index_load.file_bytes, s.index_load.resident_bytes);
+  }
+  if (s.degraded.any()) {
+    std::fprintf(out,
+                 "  DEGRADED: partial=%s load_retries=%" PRIu64
+                 " time_budget_trips=%" PRIu64 " mem_budget_trips=%" PRIu64
+                 "\n",
+                 s.degraded.partial ? "yes" : "no", s.degraded.load_retries,
+                 s.degraded.time_budget_trips, s.degraded.mem_budget_trips);
+    for (const QuarantinedBlock& q : s.degraded.quarantined) {
+      std::fprintf(out, "    quarantined block %u: %s\n", q.block,
+                   q.reason.c_str());
+    }
   }
 }
 

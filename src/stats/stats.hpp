@@ -123,6 +123,36 @@ struct IndexLoadStats {
                          const IndexLoadStats&) = default;
 };
 
+/// One index block excluded from a degraded-mode run (mirror of the index
+/// layer's BlockQuarantine; duplicated here so the stats library keeps its
+/// no-dependency footprint — tools convert between the two).
+struct QuarantinedBlock {
+  std::uint32_t block = 0;
+  std::string reason;
+
+  friend bool operator==(const QuarantinedBlock&,
+                         const QuarantinedBlock&) = default;
+};
+
+/// Everything a degraded-mode run wants the caller (and the JSON consumer)
+/// to know about how it deviated from a clean run. Default-constructed ==
+/// "nothing degraded", and the whole object is omitted from the JSON then,
+/// so clean runs are byte-identical to pre-degraded output.
+struct DegradedStats {
+  std::vector<QuarantinedBlock> quarantined;  ///< blocks excluded + why
+  std::uint64_t load_retries = 0;       ///< index load retry attempts
+  std::uint64_t time_budget_trips = 0;  ///< queries cut off by --time-budget
+  std::uint64_t mem_budget_trips = 0;   ///< workspace shrinks by --mem-budget
+  bool partial = false;                 ///< results incomplete (exit code 3)
+
+  bool any() const {
+    return partial || load_retries != 0 || time_budget_trips != 0 ||
+           mem_budget_trips != 0 || !quarantined.empty();
+  }
+  friend bool operator==(const DegradedStats&,
+                         const DegradedStats&) = default;
+};
+
 /// Immutable result of one collection run — exactly what the JSON schema
 /// (docs/ALGORITHMS.md "Telemetry") serializes.
 struct PipelineSnapshot {
@@ -140,6 +170,7 @@ struct PipelineSnapshot {
   std::uint64_t workspace_peak_bytes = 0;
   std::vector<BlockStats> per_block;
   IndexLoadStats index_load;   ///< optional; see IndexLoadStats
+  DegradedStats degraded;      ///< optional; omitted from JSON when !any()
 
   double survival_ratio() const { return totals.survival_ratio(); }
 
@@ -287,12 +318,17 @@ class PipelineStats {
   /// subsequent snapshot(). Empty means "not recorded" (omitted from JSON).
   void set_kernel(std::string kernel) { kernel_ = std::move(kernel); }
 
+  /// Stamps how a degraded-mode run deviated (quarantined blocks, budget
+  /// trips, partial flag); carried into every subsequent snapshot().
+  void set_degraded(DegradedStats d) { degraded_ = std::move(d); }
+
   const std::string& engine() const { return engine_; }
 
  private:
   std::string engine_;
   std::string kernel_;
   IndexLoadStats index_load_;
+  DegradedStats degraded_;
   int threads_ = 0;
   std::uint64_t queries_ = 0;
   double total_seconds_ = 0.0;

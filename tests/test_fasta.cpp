@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/rng.hpp"
 
 namespace mublastp {
@@ -15,6 +17,19 @@ SequenceStore parse(const std::string& text) {
   SequenceStore store;
   read_fasta(in, store);
   return store;
+}
+
+// Parses expecting failure; returns the Error for kind/message assertions.
+Error parse_error(const std::string& text) {
+  std::istringstream in(text);
+  SequenceStore store;
+  try {
+    read_fasta(in, store);
+  } catch (const Error& e) {
+    return e;
+  }
+  ADD_FAILURE() << "input was accepted: " << text;
+  return Error("unreached");
 }
 
 TEST(Fasta, ParsesSingleRecord) {
@@ -157,6 +172,63 @@ TEST(Fasta, HeaderOnlyGarbageWithNewlinesParses) {
   const auto store = parse(">\x01\x02garbage\xff\nARND\n");
   ASSERT_EQ(store.size(), 1u);
   EXPECT_EQ(store.length(0), 4u);
+}
+
+TEST(Fasta, EmptyRecordErrorNamesRecordAndLine) {
+  const Error e = parse_error(">first\nAAA\n>empty one\n>c\nRR\n");
+  EXPECT_EQ(e.kind(), ErrorKind::kCorrupt);
+  EXPECT_NE(std::string(e.what()).find("empty one"), std::string::npos)
+      << e.what();
+  EXPECT_NE(std::string(e.what()).find("record 2"), std::string::npos)
+      << e.what();
+  EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+      << e.what();
+}
+
+TEST(Fasta, TrailingHeaderWithNoSequenceIsRejected) {
+  const Error e = parse_error(">a\nAAA\n>tail\n");
+  EXPECT_EQ(e.kind(), ErrorKind::kCorrupt);
+  EXPECT_NE(std::string(e.what()).find("tail"), std::string::npos);
+}
+
+TEST(Fasta, SequenceBeforeHeaderIsCorrupt) {
+  const Error e = parse_error("ARND\n>a\nAAA\n");
+  EXPECT_EQ(e.kind(), ErrorKind::kCorrupt);
+  EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+      << e.what();
+}
+
+TEST(Fasta, NulByteIsRejectedWithLocation) {
+  std::string text = ">a\nAR_D\n";
+  text[4] = '\0';  // NUL inside the sequence line
+  const Error e = parse_error(text);
+  EXPECT_EQ(e.kind(), ErrorKind::kCorrupt);
+  EXPECT_NE(std::string(e.what()).find("NUL"), std::string::npos) << e.what();
+  EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+      << e.what();
+}
+
+TEST(Fasta, NulByteInHeaderIsRejected) {
+  std::string text = ">a_b\nARND\n";
+  text[2] = '\0';
+  EXPECT_EQ(parse_error(text).kind(), ErrorKind::kCorrupt);
+}
+
+TEST(Fasta, InjectedReadFailureIsTypedIo) {
+  fi::reset();
+  fi::arm("io.read", 1);
+  std::istringstream in(">a\nARND\n");
+  SequenceStore store;
+  try {
+    read_fasta(in, store);
+    ADD_FAILURE() << "armed io.read did not fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+  }
+  fi::reset();
+  // Disarmed, the same stream parses fine (site is a no-op).
+  std::istringstream again(">a\nARND\n");
+  EXPECT_EQ(read_fasta(again, store), 1u);
 }
 
 }  // namespace

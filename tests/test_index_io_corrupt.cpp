@@ -13,11 +13,15 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "core/mublastp_engine.hpp"
 #include "index/db_index_format.hpp"
 #include "index/mapped_db_index.hpp"
 #include "synth/synth.hpp"
@@ -264,6 +268,223 @@ TEST_F(IndexIoCorrupt, DescribeRejectsCorruptHeaders) {
   check_throws([&] { (void)describe_db_index_file(path); },
                "section table checksum mismatch", "describe: table crc");
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode: block-local damage quarantines that block; the rest of the
+// index stays searchable and produces exactly the surviving blocks' hits.
+
+class IndexIoDegraded : public IndexIoCorrupt {
+ protected:
+  static const SectionRecord& section(SectionId id) {
+    for (const SectionRecord& r : table()) {
+      if (r.id == static_cast<std::uint32_t>(id)) return r;
+    }
+    throw std::runtime_error("section not in table");
+  }
+
+  static std::vector<BlockMetaRecord> block_meta() {
+    const SectionRecord& r = section(SectionId::kBlockMeta);
+    std::vector<BlockMetaRecord> meta(r.length / sizeof(BlockMetaRecord));
+    std::memcpy(meta.data(), bytes().data() + r.offset, r.length);
+    return meta;
+  }
+
+  // File offset of a byte in the middle of block `b`'s slice of kEntries.
+  static std::size_t entries_byte_of_block(std::size_t b) {
+    const std::vector<BlockMetaRecord> meta = block_meta();
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < b; ++i) before += meta[i].num_entries;
+    EXPECT_GT(meta[b].num_entries, 0u);
+    return section(SectionId::kEntries).offset +
+           (before + meta[b].num_entries / 2) * sizeof(std::uint32_t);
+  }
+
+  // Loads `data` tolerantly through the copy loader; fills `quarantined`.
+  static DbIndex load_degraded(const std::string& data,
+                               std::vector<BlockQuarantine>& quarantined) {
+    std::stringstream in(data);
+    IndexLoadOptions options;
+    options.tolerate_block_corruption = true;
+    options.quarantined = &quarantined;
+    return load_db_index(in, options);
+  }
+};
+
+TEST_F(IndexIoDegraded, SingleBlockCorruptionIsQuarantined) {
+  ASSERT_GE(index_->blocks().size(), 3u) << "fixture must be multi-block";
+  const std::size_t bad = 1;
+  std::string mutated = bytes();
+  const std::size_t at = entries_byte_of_block(bad);
+  mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+
+  std::vector<BlockQuarantine> quarantined;
+  const DbIndex degraded = load_degraded(mutated, quarantined);
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].block, bad);
+  EXPECT_NE(quarantined[0].reason.find("entries"), std::string::npos)
+      << quarantined[0].reason;
+  // Same block count; the quarantined one serves as an empty block.
+  EXPECT_EQ(degraded.blocks().size(), index_->blocks().size());
+  EXPECT_TRUE(degraded.blocks()[bad].fragments().empty());
+  EXPECT_FALSE(degraded.blocks()[bad + 1].fragments().empty());
+
+  // The mmap loader must agree byte-for-byte on the quarantine decision.
+  const std::string path = ::testing::TempDir() + "/mublastp_degraded.mbi";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+  }
+  MappedDbIndexOptions mopts;
+  mopts.tolerate_block_corruption = true;
+  const MappedDbIndex mapped(path, mopts);
+  ASSERT_EQ(mapped.quarantined().size(), 1u);
+  EXPECT_EQ(mapped.quarantined()[0].block, bad);
+  EXPECT_TRUE(DbIndexView(mapped).blocks()[bad].fragments().empty());
+  std::remove(path.c_str());
+}
+
+// The acceptance scenario: a multi-block index with one corrupted block
+// still returns exactly the hits of the surviving blocks.
+TEST_F(IndexIoDegraded, SurvivingBlocksProduceExactlyTheirHits) {
+  ASSERT_GE(index_->blocks().size(), 3u);
+  const std::size_t bad = 1;
+
+  // Subjects (original ids) with any fragment in the corrupted block. With
+  // short synthetic sequences every subject lives in exactly one block, so
+  // "drop these subjects from the full results" is the exact ground truth;
+  // the assertion below pins that assumption.
+  std::set<SeqId> bad_subjects;
+  std::map<SeqId, std::set<std::size_t>> blocks_of;
+  for (std::size_t b = 0; b < index_->blocks().size(); ++b) {
+    for (const FragmentRef& f : index_->blocks()[b].fragments()) {
+      const SeqId orig = index_->original_id(f.seq);
+      blocks_of[orig].insert(b);
+      if (b == bad) bad_subjects.insert(orig);
+    }
+  }
+  for (const auto& [seq, bs] : blocks_of) {
+    ASSERT_EQ(bs.size(), 1u) << "subject " << seq << " spans blocks";
+  }
+
+  // Queries are actual database subjects — one living in the block about to
+  // be corrupted, one from a surviving block — so the corrupted block is
+  // guaranteed to contribute hits that degradation must then drop.
+  SequenceStore queries;
+  const FragmentRef& in_bad = index_->blocks()[bad].fragments().front();
+  const FragmentRef& in_good = index_->blocks()[0].fragments().front();
+  queries.add(index_->db().sequence(in_bad.seq), "from-corrupted-block");
+  queries.add(index_->db().sequence(in_good.seq), "from-surviving-block");
+  SearchParams params;
+  params.max_alignments = 1000;  // keep culling out of the comparison
+
+  const MuBlastpEngine full_engine(DbIndexView(*index_), params);
+  const std::vector<QueryResult> full = full_engine.search_batch(queries, 2);
+
+  std::string mutated = bytes();
+  const std::size_t at = entries_byte_of_block(bad);
+  mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+  std::vector<BlockQuarantine> quarantined;
+  const DbIndex degraded_index = load_degraded(mutated, quarantined);
+  ASSERT_EQ(quarantined.size(), 1u);
+  const MuBlastpEngine degraded_engine(DbIndexView(degraded_index), params);
+  const std::vector<QueryResult> degraded =
+      degraded_engine.search_batch(queries, 2);
+
+  bool any_dropped = false;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::vector<UngappedAlignment> expect;
+    for (const UngappedAlignment& u : full[q].ungapped) {
+      if (bad_subjects.count(u.subject) == 0) expect.push_back(u);
+      else any_dropped = true;
+    }
+    EXPECT_EQ(degraded[q].ungapped, expect) << "query " << q;
+
+    // Final alignments: same filter; per-subject stage-3/4 processing means
+    // surviving subjects' alignments (scores, E-values) are unchanged.
+    std::vector<const GappedAlignment*> expect_al;
+    for (const GappedAlignment& a : full[q].alignments) {
+      if (bad_subjects.count(a.subject) == 0) expect_al.push_back(&a);
+    }
+    ASSERT_EQ(degraded[q].alignments.size(), expect_al.size())
+        << "query " << q;
+    for (std::size_t i = 0; i < expect_al.size(); ++i) {
+      const GappedAlignment& got = degraded[q].alignments[i];
+      const GappedAlignment& want = *expect_al[i];
+      EXPECT_EQ(got.subject, want.subject);
+      EXPECT_EQ(got.score, want.score);
+      EXPECT_EQ(got.q_start, want.q_start);
+      EXPECT_EQ(got.s_start, want.s_start);
+      EXPECT_EQ(got.evalue, want.evalue);
+      EXPECT_EQ(got.ops, want.ops);
+    }
+  }
+  // The battery is vacuous if no query ever hit the corrupted block.
+  EXPECT_TRUE(any_dropped) << "no hits in the corrupted block; fixture too"
+                              " small to exercise degradation";
+}
+
+TEST_F(IndexIoDegraded, EveryBlockCorruptIsFatalEvenWhenTolerant) {
+  std::string mutated = bytes();
+  for (std::size_t b = 0; b < index_->blocks().size(); ++b) {
+    const std::size_t at = entries_byte_of_block(b);
+    mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+  }
+  std::vector<BlockQuarantine> quarantined;
+  check_throws([&] { (void)load_degraded(mutated, quarantined); },
+               "every block", "all blocks corrupt [tolerant]");
+}
+
+TEST_F(IndexIoDegraded, NonBlockSectionDamageIsFatalEvenWhenTolerant) {
+  // Arena damage cannot be attributed to one block: fail closed.
+  const SectionRecord& arena = section(SectionId::kArena);
+  std::string mutated = bytes();
+  const std::size_t at = arena.offset + arena.length / 2;
+  mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+  std::vector<BlockQuarantine> quarantined;
+  check_throws([&] { (void)load_degraded(mutated, quarantined); }, "arena",
+               "arena corrupt [tolerant]");
+  EXPECT_TRUE(quarantined.empty());
+}
+
+TEST_F(IndexIoDegraded, PreBlockCrcFilesAreNotQuarantinable) {
+  // Rewrite the file as an old writer would have: zero every block_crc32,
+  // refresh the blockmeta section CRC and the table CRC so the file is
+  // valid, then rot one entries byte. Tolerant load must fail closed: the
+  // damage is real but cannot be localized to a block.
+  std::string mutated = bytes();
+  const SectionRecord meta_sec = section(SectionId::kBlockMeta);
+  std::vector<BlockMetaRecord> meta = block_meta();
+  for (BlockMetaRecord& m : meta) m.block_crc32 = 0;
+  std::memcpy(mutated.data() + meta_sec.offset, meta.data(),
+              meta.size() * sizeof(BlockMetaRecord));
+
+  FileHeaderV3 header;
+  std::memcpy(&header, mutated.data(), sizeof(header));
+  std::vector<SectionRecord> tab(header.section_count);
+  std::memcpy(tab.data(), mutated.data() + sizeof(header),
+              tab.size() * sizeof(SectionRecord));
+  for (SectionRecord& r : tab) {
+    if (r.id == static_cast<std::uint32_t>(SectionId::kBlockMeta)) {
+      r.crc32 = crc32(mutated.data() + r.offset, r.length);
+    }
+  }
+  std::memcpy(mutated.data() + sizeof(header), tab.data(),
+              tab.size() * sizeof(SectionRecord));
+  header.table_crc32 = crc32(mutated.data() + sizeof(header),
+                             tab.size() * sizeof(SectionRecord));
+  std::memcpy(mutated.data(), &header, sizeof(header));
+
+  // Sanity: the rewrite itself still loads strictly.
+  {
+    std::stringstream in(mutated);
+    EXPECT_NO_THROW((void)load_db_index(in));
+  }
+  const std::size_t at = entries_byte_of_block(1);
+  mutated[at] = static_cast<char>(mutated[at] ^ 0x40);
+  std::vector<BlockQuarantine> quarantined;
+  check_throws([&] { (void)load_degraded(mutated, quarantined); },
+               "per-block checksums", "pre-block-CRC file [tolerant]");
 }
 
 }  // namespace

@@ -6,10 +6,16 @@
 //   mublastp_makedb --in=db.fasta --out=db.mbi [--block-kb=512]
 //                   [--threshold=11] [--long-limit=8192]
 //   mublastp_makedb --synth=sprot|envnr --residues=N --seed=S --out=db.mbi
+//
+// --inject=site:Nth[:errno] arms a fault-injection site (see
+// docs/ROBUSTNESS.md); exit codes map the typed error taxonomy:
+// 0 ok, 1 generic, 2 usage, 4 I/O, 5 corrupt input, 6 resources.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/timer.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index.hpp"
@@ -46,8 +52,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mublastp_makedb (--in=db.fasta | --synth=sprot|envnr"
                  " --residues=N) --out=db.mbi [--block-kb=512]"
-                 " [--threshold=11] [--long-limit=8192] [--seed=42]\n");
+                 " [--threshold=11] [--long-limit=8192] [--seed=42]"
+                 " [--inject=site:Nth]\n");
     return 2;
+  }
+  const std::string inject = arg_str(argc, argv, "inject", "");
+  if (!inject.empty()) {
+    try {
+      fi::arm_from_spec(inject);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: bad --inject spec '%s': %s\n",
+                   inject.c_str(), e.what());
+      return 2;
+    }
   }
 
   try {
@@ -85,6 +102,9 @@ int main(int argc, char** argv) {
     save_db_index_file(out_path, index);
     std::printf("wrote %s in %.2fs\n", out_path.c_str(), t.seconds());
     return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.kind());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

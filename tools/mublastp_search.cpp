@@ -6,6 +6,9 @@
 //                   [--outfmt=pairwise|tabular|none] [--max-alignments=K]
 //                   [--stats[=json]] [--mmap|--no-mmap]
 //                   [--kernel=auto|scalar|sse42|avx2]
+//                   [--strict] [--inject=site:Nth[:errno]]
+//                   [--time-budget=SEC] [--mem-budget-mb=N]
+//                   [--out=FILE] [--checkpoint=FILE] [--batch-size=16]
 //
 // --threads defaults to the OpenMP thread pool size (omp_get_max_threads);
 // non-positive values are rejected. --kernel selects the ungapped-extension
@@ -17,30 +20,61 @@
 // are copy-loaded. --mmap forces the mapped path (errors on v2 files);
 // --no-mmap forces the copy loader for either version.
 //
+// Degraded mode (the default; see docs/ROBUSTNESS.md): an index block whose
+// checksum fails is quarantined and the search continues over the surviving
+// blocks; a failed mmap load is retried once after a short backoff and then
+// falls back to the copy loader; worker failures inside one block quarantine
+// that block. Any degradation marks the run partial (exit code 3) and is
+// reported in the stats-v1 "degraded" object. --strict turns all of this
+// off: the first failure aborts the run with a typed exit code.
+//
+// --time-budget cuts off any query whose stage-1/2 time exceeds SEC seconds;
+// --mem-budget-mb bounds the total retained workspace bytes across threads.
+//
+// --checkpoint journals completed query batches (of --batch-size queries)
+// into FILE so a killed run resumes without re-searching; it requires --out
+// because resuming truncates the output file back to the last durable batch
+// boundary. Resumed output is bit-identical to an uninterrupted run.
+//
 // --stats prints a human-readable pipeline-telemetry table to stderr;
 // --stats=json emits the machine-readable snapshot (schema
 // "mublastp-stats-v1", see docs/ALGORITHMS.md) to stdout, including an
-// "index" object recording the load mode/time/residency. Combine
-// --stats=json with --outfmt=none for a stdout that is pure JSON.
+// "index" object recording the load mode/time/residency and, on degraded
+// runs, the "degraded" object. Combine --stats=json with --outfmt=none (or
+// --out) for a stdout that is pure JSON.
+//
+// Exit codes: 0 complete, 1 generic failure, 2 usage error, 3 partial
+// results (degraded), 4 I/O error, 5 corrupt input, 6 resource exhaustion,
+// 7 canceled (budget exceeded in --strict mode).
+#include <fcntl.h>
 #include <omp.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "common/checkpoint.hpp"
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/timer.hpp"
 #include "core/mublastp_engine.hpp"
-#include "simd/dispatch.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index_io.hpp"
 #include "index/mapped_db_index.hpp"
 #include "report/report.hpp"
+#include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
 
 namespace {
+
+using namespace mublastp;
 
 std::string arg_str(int argc, char** argv, const std::string& key,
                     const std::string& fallback) {
@@ -67,16 +101,128 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
   return false;
 }
 
+/// Everything the tool knows about how this run deviated; folded into the
+/// stats snapshot and the exit code at the end.
+struct RunDegradation {
+  stats::DegradedStats stats;
+
+  void absorb_quarantines(const std::vector<BlockQuarantine>& qs) {
+    for (const BlockQuarantine& q : qs) {
+      stats.quarantined.push_back({q.block, q.reason});
+      stats.partial = true;
+    }
+  }
+};
+
+/// Either loader's result behind one view; keeps the storage alive.
+struct LoadedIndex {
+  std::optional<MappedDbIndex> mapped;
+  std::optional<DbIndex> owned;
+  std::string mode;  // "mmap" or "copy"
+
+  DbIndexView view() const {
+    return mapped ? DbIndexView(*mapped) : DbIndexView(*owned);
+  }
+};
+
+void sleep_ms(long ms) {
+  timespec ts{ms / 1000, (ms % 1000) * 1000000L};
+  nanosleep(&ts, nullptr);
+}
+
+/// Loads the index with the degradation policy: mmap loads retry once after
+/// a short backoff, then fall back to the copy loader; block corruption is
+/// tolerated (quarantined) unless `strict`.
+LoadedIndex load_index(const std::string& path, bool use_mmap, bool strict,
+                       RunDegradation& deg) {
+  LoadedIndex out;
+  std::vector<BlockQuarantine> quarantined;
+  const auto load_mapped = [&] {
+    MappedDbIndexOptions opts;
+    opts.tolerate_block_corruption = !strict;
+    // Prefault under the SIGBUS guard so truncated-after-mmap files become
+    // a catchable Error(kIo) feeding the retry/fallback below, instead of
+    // killing the process mid-verification.
+    opts.prefault = !strict;
+    out.mapped.emplace(path, opts);
+    quarantined = out.mapped->quarantined();
+    out.mode = "mmap";
+  };
+  const auto load_copy = [&] {
+    IndexLoadOptions opts;
+    opts.tolerate_block_corruption = !strict;
+    opts.quarantined = &quarantined;
+    out.owned.emplace(load_db_index_file(path, opts));
+    out.mode = "copy";
+  };
+
+  if (!use_mmap) {
+    load_copy();
+  } else if (strict) {
+    load_mapped();
+  } else {
+    try {
+      load_mapped();
+    } catch (const Error& first) {
+      // Transient mmap failures (ENOMEM under pressure, a racing writer)
+      // deserve one more try; persistent ones get the copy loader, which
+      // has no address-space or SIGBUS exposure.
+      std::fprintf(stderr, "warning: mmap load failed (%s); retrying\n",
+                   first.what());
+      ++deg.stats.load_retries;
+      sleep_ms(50);
+      try {
+        load_mapped();
+      } catch (const Error& second) {
+        std::fprintf(stderr,
+                     "warning: mmap load failed again (%s);"
+                     " falling back to copy load\n",
+                     second.what());
+        ++deg.stats.load_retries;
+        load_copy();
+      }
+    }
+  }
+  deg.absorb_quarantines(quarantined);
+  return out;
+}
+
+/// Renders one query's report in the chosen format.
+void render(std::ostream& os, const std::string& outfmt,
+            const SequenceStore& queries, SeqId q, const DbIndexView& view,
+            const QueryResult& result) {
+  if (outfmt == "tabular") {
+    write_tabular(os, queries.name(q), queries.sequence(q), view, result,
+                  blosum62());
+  } else if (outfmt == "pairwise") {
+    write_pairwise(os, queries.name(q), queries.sequence(q), view, result,
+                   blosum62());
+  }  // outfmt == "none": suppress the report (e.g. for --stats=json)
+}
+
+/// RAII for the POSIX output fd used by the checkpointed path (the report
+/// stream must be durable before its batch is journaled, which needs
+/// fsync — hence a raw fd instead of an ofstream).
+struct OutFile {
+  int fd = -1;
+  ~OutFile() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace mublastp;
   const std::string index_path = arg_str(argc, argv, "index", "");
   const std::string query_path = arg_str(argc, argv, "query", "");
   const std::string outfmt = arg_str(argc, argv, "outfmt", "pairwise");
   const std::string stats_mode =
       arg_flag(argc, argv, "stats") ? "table"
                                     : arg_str(argc, argv, "stats", "");
+  const std::string inject = arg_str(argc, argv, "inject", "");
+  const std::string out_path = arg_str(argc, argv, "out", "");
+  const std::string checkpoint_path = arg_str(argc, argv, "checkpoint", "");
+  const bool strict = arg_flag(argc, argv, "strict");
   const bool force_mmap = arg_flag(argc, argv, "mmap");
   const bool force_copy = arg_flag(argc, argv, "no-mmap");
   if (index_path.empty() || query_path.empty()) {
@@ -84,7 +230,10 @@ int main(int argc, char** argv) {
                  "usage: mublastp_search --index=db.mbi --query=q.fasta"
                  " [--threads=N] [--outfmt=pairwise|tabular|none]"
                  " [--max-alignments=25] [--stats[=json]]"
-                 " [--mmap|--no-mmap] [--kernel=auto|scalar|sse42|avx2]\n");
+                 " [--mmap|--no-mmap] [--kernel=auto|scalar|sse42|avx2]"
+                 " [--strict] [--inject=site:Nth]"
+                 " [--time-budget=SEC] [--mem-budget-mb=N]"
+                 " [--out=FILE] [--checkpoint=FILE] [--batch-size=16]\n");
     return 2;
   }
   if (force_mmap && force_copy) {
@@ -101,6 +250,32 @@ int main(int argc, char** argv) {
                  " (expected pairwise, tabular or none)\n", outfmt.c_str());
     return 2;
   }
+  if (!checkpoint_path.empty() && out_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint requires --out=FILE (resume truncates"
+                 " the output back to the last durable batch)\n");
+    return 2;
+  }
+  const std::size_t batch_size = arg_num(argc, argv, "batch-size", 16);
+  if (batch_size == 0) {
+    std::fprintf(stderr, "error: --batch-size must be positive\n");
+    return 2;
+  }
+  if (!inject.empty()) {
+    try {
+      fi::arm_from_spec(inject);
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "error: bad --inject spec '%s': %s"
+                   " (see docs/ROBUSTNESS.md for the site registry)\n",
+                   inject.c_str(), e.what());
+      return 2;
+    }
+  }
+  const double time_budget =
+      std::strtod(arg_str(argc, argv, "time-budget", "0").c_str(), nullptr);
+  const std::size_t mem_budget_mb = arg_num(argc, argv, "mem-budget-mb", 0);
+
   // Fail fast with a precise message on an unreadable index path; the binary
   // loader's own errors are kept for files that exist but are corrupt.
   if (!std::ifstream(index_path, std::ios::binary).good()) {
@@ -110,6 +285,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  RunDegradation deg;
   try {
     // Pick the load path: v3 files are mapped unless --no-mmap; v2 files
     // only have the copy loader. The probe reads just header + table.
@@ -125,25 +301,24 @@ int main(int argc, char** argv) {
     }
 
     Timer t;
-    std::optional<MappedDbIndex> mapped;
-    std::optional<DbIndex> owned;
-    if (use_mmap) {
-      mapped.emplace(index_path);
-    } else {
-      owned.emplace(load_db_index_file(index_path));
-    }
-    const DbIndexView view = mapped ? DbIndexView(*mapped)
-                                    : DbIndexView(*owned);
+    const LoadedIndex loaded =
+        load_index(index_path, use_mmap, strict, deg);
+    const DbIndexView view = loaded.view();
     stats::IndexLoadStats load_stats;
-    load_stats.mode = use_mmap ? "mmap" : "copy";
+    load_stats.mode = loaded.mode;
     load_stats.load_seconds = t.seconds();
     load_stats.file_bytes = info.file_bytes;
-    load_stats.resident_bytes = mapped ? mapped->resident_bytes() : 0;
+    load_stats.resident_bytes =
+        loaded.mapped ? loaded.mapped->resident_bytes() : 0;
     std::fprintf(stderr,
                  "loaded index (%s, v%u): %zu sequences, %zu blocks"
                  " (%.2fs)\n",
                  load_stats.mode.c_str(), info.version, view.num_sequences(),
                  view.blocks().size(), load_stats.load_seconds);
+    for (const stats::QuarantinedBlock& q : deg.stats.quarantined) {
+      std::fprintf(stderr, "warning: quarantined block %u: %s\n", q.block,
+                   q.reason.c_str());
+    }
 
     SequenceStore queries;
     read_fasta_file(query_path, queries);
@@ -153,6 +328,9 @@ int main(int argc, char** argv) {
     params.max_alignments = arg_num(argc, argv, "max-alignments", 25);
     MuBlastpOptions options;
     options.kernel = simd::parse_kernel(arg_str(argc, argv, "kernel", "auto"));
+    options.time_budget_seconds = time_budget;
+    options.mem_budget_bytes =
+        static_cast<std::uint64_t>(mem_budget_mb) << 20;
     if (!simd::kernel_supported(options.kernel)) {
       std::fprintf(stderr, "error: kernel '%s' is not supported on this"
                    " CPU\n", simd::kernel_name(options.kernel));
@@ -175,39 +353,133 @@ int main(int argc, char** argv) {
       }
     }
     const int threads = static_cast<int>(threads_val);
+    const bool want_stats = !stats_mode.empty();
+    stats::DegradedStats* deg_sink = strict ? nullptr : &deg.stats;
 
     t.reset();
-    stats::PipelineStats pipeline_stats;
-    pipeline_stats.set_index_load(load_stats);
-    const std::vector<QueryResult> results = engine.search_batch(
-        queries, threads, stats_mode.empty() ? nullptr : &pipeline_stats);
-    std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
-                 threads);
+    stats::PipelineSnapshot merged_snap;
+    if (checkpoint_path.empty()) {
+      // Plain path: one batch over all queries, reports to --out or stdout.
+      stats::PipelineStats pipeline_stats;
+      const std::vector<QueryResult> results = engine.search_batch(
+          queries, threads, want_stats ? &pipeline_stats : nullptr, deg_sink);
+      std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
+                   threads);
 
-    // Results carry ORIGINAL database ids; the view overloads of the report
-    // writers resolve residues/names through the index's id maps, so both
-    // the owned and the mapped form report identically.
-    for (SeqId q = 0; q < queries.size(); ++q) {
-      if (outfmt == "tabular") {
-        write_tabular(std::cout, queries.name(q), queries.sequence(q), view,
-                      results[q], blosum62());
-      } else if (outfmt == "pairwise") {
-        write_pairwise(std::cout, queries.name(q), queries.sequence(q), view,
-                       results[q], blosum62());
-      }  // outfmt == "none": suppress the report (e.g. for --stats=json)
+      std::ofstream out_file;
+      if (!out_path.empty()) {
+        out_file.open(out_path, std::ios::binary | std::ios::trunc);
+        MUBLASTP_CHECK_KIND(out_file.good(), ErrorKind::kIo,
+                            "cannot open output file: " + out_path);
+      }
+      std::ostream& os = out_path.empty() ? std::cout : out_file;
+      // Results carry ORIGINAL database ids; the view overloads of the
+      // report writers resolve residues/names through the index's id maps,
+      // so both the owned and the mapped form report identically.
+      for (SeqId q = 0; q < queries.size(); ++q) {
+        render(os, outfmt, queries, q, view, results[q]);
+      }
+      os.flush();
+      MUBLASTP_CHECK_KIND(!os.bad(), ErrorKind::kIo,
+                          "write failure on search output");
+      if (want_stats) merged_snap = pipeline_stats.snapshot();
+    } else {
+      // Checkpointed batch runner: queries are processed in fixed batches;
+      // each batch's report bytes are made durable (write + fsync) BEFORE
+      // the batch id is journaled, so every journaled batch's output
+      // survived any crash and resuming is bit-identical to a clean run.
+      const std::uint64_t nq = queries.size();
+      const std::uint64_t nbatches = (nq + batch_size - 1) / batch_size;
+      // Fingerprint ties the journal to this (index, query-set, batching)
+      // configuration; resuming under any other combination is an error.
+      std::uint32_t fp = crc32(&batch_size, sizeof(batch_size));
+      fp = crc32(&nq, sizeof(nq), fp);
+      fp = crc32(&info.file_bytes, sizeof(info.file_bytes), fp);
+      CheckpointJournal journal(checkpoint_path, fp);
+
+      OutFile out;
+      out.fd = ::open(out_path.c_str(), O_RDWR | O_CREAT, 0644);
+      MUBLASTP_CHECK_KIND(out.fd >= 0, ErrorKind::kIo,
+                          "cannot open output file: " + out_path);
+      // Drop any bytes from a batch that was mid-write when a previous run
+      // died; everything before resume_offset is journaled-durable output.
+      std::uint64_t offset = journal.resume_offset();
+      MUBLASTP_CHECK_KIND(
+          ::ftruncate(out.fd, static_cast<off_t>(offset)) == 0,
+          ErrorKind::kIo, "cannot truncate output file: " + out_path);
+      MUBLASTP_CHECK_KIND(
+          ::lseek(out.fd, static_cast<off_t>(offset), SEEK_SET) >= 0,
+          ErrorKind::kIo, "cannot seek output file: " + out_path);
+      if (journal.num_completed() != 0) {
+        std::fprintf(stderr,
+                     "resuming: %zu of %llu batches already complete"
+                     " (output offset %llu)\n",
+                     journal.num_completed(),
+                     static_cast<unsigned long long>(nbatches),
+                     static_cast<unsigned long long>(offset));
+      }
+
+      for (std::uint64_t b = 0; b < nbatches; ++b) {
+        if (journal.completed(b)) continue;
+        const SeqId begin = static_cast<SeqId>(b * batch_size);
+        const SeqId end =
+            static_cast<SeqId>(std::min<std::uint64_t>(nq,
+                                                       (b + 1) * batch_size));
+        SequenceStore batch;
+        for (SeqId q = begin; q < end; ++q) {
+          batch.add(queries.sequence(q), queries.name(q));
+        }
+        stats::PipelineStats pipeline_stats;
+        const std::vector<QueryResult> results = engine.search_batch(
+            batch, threads, want_stats ? &pipeline_stats : nullptr, deg_sink);
+
+        std::ostringstream os;
+        for (SeqId q = begin; q < end; ++q) {
+          render(os, outfmt, queries, q, view, results[q - begin]);
+        }
+        const std::string bytes = os.str();
+        std::size_t written = 0;
+        while (written < bytes.size()) {
+          const ssize_t n = ::write(out.fd, bytes.data() + written,
+                                    bytes.size() - written);
+          MUBLASTP_CHECK_KIND(n >= 0, ErrorKind::kIo,
+                              "write failure on output file: " + out_path);
+          written += static_cast<std::size_t>(n);
+        }
+        MUBLASTP_CHECK_KIND(::fsync(out.fd) == 0, ErrorKind::kIo,
+                            "fsync failure on output file: " + out_path);
+        offset += bytes.size();
+        journal.append(b, offset);
+        if (want_stats) merged_snap.merge(pipeline_stats.snapshot());
+      }
+      std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
+                   threads);
     }
 
-    if (!stats_mode.empty()) {
-      const stats::PipelineSnapshot snap = pipeline_stats.snapshot();
+    if (want_stats) {
+      merged_snap.index_load = load_stats;
+      merged_snap.degraded = deg.stats;
       if (stats_mode == "json") {
-        const std::string json = stats::to_json(snap);
+        const std::string json = stats::to_json(merged_snap);
         std::fwrite(json.data(), 1, json.size(), stdout);
         std::fputc('\n', stdout);
       } else {
-        stats::print_table(stderr, snap);
+        stats::print_table(stderr, merged_snap);
       }
     }
+    if (deg.stats.partial) {
+      std::fprintf(stderr,
+                   "warning: results are PARTIAL (%zu block(s) quarantined,"
+                   " %llu time-budget trip(s))\n",
+                   deg.stats.quarantined.size(),
+                   static_cast<unsigned long long>(
+                       deg.stats.time_budget_trips));
+      return 3;
+    }
     return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.kind());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
