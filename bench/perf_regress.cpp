@@ -1,11 +1,13 @@
 // perf_regress: the SIMD-kernel perf-regression harness.
 //
 // Runs the same synthetic workload through the muBLASTP pipeline once per
-// kernel path the CPU supports (scalar always; SSE4.2/AVX2 when available)
-// and reports per-stage timings, throughput, and each kernel's speedup over
-// scalar — the ungapped-extension stage is the one the SIMD kernels target.
-// Counters are asserted identical across kernels (exit 1 on any mismatch),
-// so a run doubles as an equivalence check on a perf-sized workload.
+// kernel configuration the CPU supports (scalar always; SSE4.2/AVX2 when
+// available, each with and without the opt-in "+ungapped" vector kernel)
+// and reports per-stage timings, throughput, and each configuration's
+// speedup over scalar — the banded gapped DP is the stage the SIMD kernels
+// target by default. Counters are asserted identical across kernels (exit 1
+// on any mismatch), so a run doubles as an equivalence check on a
+// perf-sized workload.
 //
 //   perf_regress [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
 //                [--threads=T] [--reps=R] [--json=out.json]
@@ -49,7 +51,9 @@ std::string arg_str(int argc, char** argv, const std::string& key,
 
 struct KernelRun {
   simd::KernelPath path;
-  stats::PipelineSnapshot best;  ///< rep with the fastest ungapped stage
+  bool vector_ungapped;          ///< "+ungapped" variant
+  std::string name;              ///< "scalar", "avx2", "avx2+ungapped", ...
+  stats::PipelineSnapshot best;  ///< rep with the fastest total
 };
 
 double stage_sec(const stats::PipelineSnapshot& s, stats::Stage st) {
@@ -59,7 +63,7 @@ double stage_sec(const stats::PipelineSnapshot& s, stats::Stage st) {
 void append_json_run(std::string& out, const KernelRun& r) {
   char buf[256];
   out += "    {\"kernel\": \"";
-  out += simd::kernel_name(r.path);
+  out += r.name;
   out += "\", \"stage_seconds\": {";
   for (int s = 0; s < stats::kNumStages; ++s) {
     std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6f", s == 0 ? "" : ", ",
@@ -78,12 +82,20 @@ void append_json_run(std::string& out, const KernelRun& r) {
   std::snprintf(buf, sizeof(buf),
                 " \"counters\": {\"hits\": %llu, \"hit_pairs\": %llu,"
                 " \"extensions\": %llu, \"ungapped_alignments\": %llu,"
-                " \"gapped_extensions\": %llu}}",
+                " \"gapped_extensions\": %llu},",
                 static_cast<unsigned long long>(c.hits),
                 static_cast<unsigned long long>(c.hit_pairs),
                 static_cast<unsigned long long>(c.extensions),
                 static_cast<unsigned long long>(c.ungapped_alignments),
                 static_cast<unsigned long long>(c.gapped_extensions));
+  out += buf;
+  const stats::GappedKernelStats& gk = r.best.gapped_kernel;
+  std::snprintf(buf, sizeof(buf),
+                " \"gapped_kernel\": {\"int8_runs\": %llu,"
+                " \"int16_reruns\": %llu, \"scalar_fallbacks\": %llu}}",
+                static_cast<unsigned long long>(gk.int8_runs),
+                static_cast<unsigned long long>(gk.int16_reruns),
+                static_cast<unsigned long long>(gk.scalar_fallbacks));
   out += buf;
 }
 
@@ -128,25 +140,41 @@ int main(int argc, char** argv) {
     paths.push_back(simd::KernelPath::kAvx2);
   }
 
-  std::vector<KernelRun> runs;
+  // One configuration per supported path, plus the opt-in "+ungapped"
+  // variant for the vector paths (measured so its regression stays
+  // visible even though production runs default it off).
+  struct Config {
+    simd::KernelPath path;
+    bool vector_ungapped;
+  };
+  std::vector<Config> configs;
+  for (const simd::KernelPath path : paths) configs.push_back({path, false});
   for (const simd::KernelPath path : paths) {
+    if (path != simd::KernelPath::kScalar) configs.push_back({path, true});
+  }
+
+  std::vector<KernelRun> runs;
+  for (const Config& cfg : configs) {
     MuBlastpOptions options;
-    options.kernel = path;
+    options.kernel = cfg.path;
+    options.vector_ungapped = cfg.vector_ungapped;
     const MuBlastpEngine engine(index, {}, options);
     std::optional<stats::PipelineSnapshot> best;
     for (std::size_t rep = 0; rep < reps; ++rep) {
       stats::PipelineStats ps;
       (void)engine.search_batch(queries, threads, &ps);
       stats::PipelineSnapshot snap = ps.snapshot();
-      if (!best || stage_sec(snap, stats::Stage::kUngapped) <
-                       stage_sec(*best, stats::Stage::kUngapped)) {
+      if (!best || snap.total_seconds < best->total_seconds) {
         best = std::move(snap);
       }
     }
-    runs.push_back({path, std::move(*best)});
-    std::printf("[run] %-6s ungapped %.4fs total %.4fs\n",
-                simd::kernel_name(path),
+    std::string name = simd::kernel_name(cfg.path);
+    if (cfg.vector_ungapped) name += "+ungapped";
+    runs.push_back({cfg.path, cfg.vector_ungapped, name, std::move(*best)});
+    std::printf("[run] %-14s ungapped %.4fs gapped %.4fs total %.4fs\n",
+                runs.back().name.c_str(),
                 stage_sec(runs.back().best, stats::Stage::kUngapped),
+                stage_sec(runs.back().best, stats::Stage::kGapped),
                 runs.back().best.total_seconds);
   }
 
@@ -155,30 +183,44 @@ int main(int argc, char** argv) {
   for (const KernelRun& r : runs) {
     if (r.best.totals != runs.front().best.totals) {
       std::printf("COUNTER MISMATCH: %s differs from scalar\n",
-                  simd::kernel_name(r.path));
+                  r.name.c_str());
+      counters_ok = false;
+    }
+  }
+  // The banded-kernel tier tallies are value-driven, so every vector
+  // configuration must book identical tallies (and scalar none at all).
+  for (const KernelRun& r : runs) {
+    const bool vector = r.path != simd::KernelPath::kScalar;
+    if (!vector && r.best.gapped_kernel.any()) {
+      std::printf("TIER MISMATCH: scalar run booked gapped-kernel tiers\n");
+      counters_ok = false;
+    }
+    if (vector && r.best.gapped_kernel != runs.back().best.gapped_kernel) {
+      std::printf("TIER MISMATCH: %s tallies differ across vector paths\n",
+                  r.name.c_str());
       counters_ok = false;
     }
   }
 
-  std::printf("\n%-8s %10s %10s %10s %10s %10s %10s %12s %9s %9s\n", "kernel",
+  std::printf("\n%-14s %10s %10s %10s %10s %10s %10s %9s %9s\n", "kernel",
               "detect", "sort", "ungapped", "gapped", "finalize", "total",
-              "hits/s", "x ungap", "x total");
+              "x gapped", "x total");
   const double base_ungap =
       stage_sec(runs.front().best, stats::Stage::kUngapped);
+  const double base_gapped =
+      stage_sec(runs.front().best, stats::Stage::kGapped);
   const double base_total = runs.front().best.total_seconds;
   for (const KernelRun& r : runs) {
-    const double ungap = stage_sec(r.best, stats::Stage::kUngapped);
+    const double gapped = stage_sec(r.best, stats::Stage::kGapped);
     const double total = r.best.total_seconds;
     std::printf(
-        "%-8s %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %12.0f %8.2fx"
-        " %8.2fx\n",
-        simd::kernel_name(r.path),
+        "%-14s %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %8.2fx %8.2fx\n",
+        r.name.c_str(),
         stage_sec(r.best, stats::Stage::kHitDetect),
-        stage_sec(r.best, stats::Stage::kSort), ungap,
-        stage_sec(r.best, stats::Stage::kGapped),
+        stage_sec(r.best, stats::Stage::kSort),
+        stage_sec(r.best, stats::Stage::kUngapped), gapped,
         stage_sec(r.best, stats::Stage::kFinalize), total,
-        total > 0 ? static_cast<double>(r.best.totals.hits) / total : 0.0,
-        ungap > 0 ? base_ungap / ungap : 0.0,
+        gapped > 0 ? base_gapped / gapped : 0.0,
         total > 0 ? base_total / total : 0.0);
   }
   std::printf("counters: %s\n",
@@ -252,10 +294,13 @@ int main(int argc, char** argv) {
     for (const KernelRun& r : runs) {
       if (r.path == simd::KernelPath::kScalar) continue;
       const double ungap = stage_sec(r.best, stats::Stage::kUngapped);
+      const double gapped = stage_sec(r.best, stats::Stage::kGapped);
       std::snprintf(buf, sizeof(buf),
-                    "%s\"%s\": {\"ungapped\": %.3f, \"total\": %.3f}",
-                    first ? "" : ", ", simd::kernel_name(r.path),
+                    "%s\"%s\": {\"ungapped\": %.3f, \"gapped\": %.3f,"
+                    " \"total\": %.3f}",
+                    first ? "" : ", ", r.name.c_str(),
                     ungap > 0 ? base_ungap / ungap : 0.0,
+                    gapped > 0 ? base_gapped / gapped : 0.0,
                     r.best.total_seconds > 0
                         ? base_total / r.best.total_seconds
                         : 0.0);
@@ -279,9 +324,10 @@ int main(int argc, char** argv) {
                   sw_ok ? "true" : "false");
     out += buf;
     out += "  \"analysis\": \"docs/ALGORITHMS.md section 'SIMD kernels and"
-           " dispatch' discusses these numbers: x-drop early exit bounds the"
-           " data-parallelism of ungapped extension; striped SW is where the"
-           " int16 lanes pay\",\n";
+           " dispatch' discusses these numbers: the banded tiered int8/int16"
+           " gapped DP is the production vector path; the batched vector"
+           " ungapped kernel is the opt-in '+ungapped' variant (slower than"
+           " scalar); striped SW is where the int16 lanes pay\",\n";
     std::snprintf(buf, sizeof(buf), "  \"counters_identical\": %s\n}\n",
                   counters_ok ? "true" : "false");
     out += buf;

@@ -24,10 +24,12 @@ const SearchParams& checked_params(const SearchParams& p) {
 
 InterleavedDbEngine::InterleavedDbEngine(DbIndexView index,
                                          SearchParams params,
-                                         simd::KernelPath kernel)
+                                         simd::KernelPath kernel,
+                                         bool vector_ungapped)
     : view_(std::move(index)),
       params_(checked_params(params)),
       kernel_(kernel),
+      vector_ungapped_(vector_ungapped),
       karlin_(gapped_params(*params.matrix, params.gap_open,
                             params.gap_extend)) {
   MUBLASTP_CHECK(params_.matrix == view_.config().matrix,
@@ -123,13 +125,14 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   QueryResult result;
   std::vector<UngappedAlignment> ungapped;
   DiagState state;
-  // One profile per query, shared by every block's extensions. Traced runs
-  // must replay the scalar kernel's access stream, so they never batch.
+  // One profile per query, shared by every block's extensions. The vector
+  // ungapped kernel is opt-in (slower than scalar; see dispatch.hpp).
+  // Traced runs must replay the scalar access stream, so they never batch.
   simd::QueryProfile profile;
   SimdExtendContext ctx{kernel_, &profile};
   const SimdExtendContext* simd_ctx = nullptr;
   if constexpr (!Mem::kEnabled) {
-    if (kernel_ != simd::KernelPath::kScalar) {
+    if (vector_ungapped_ && kernel_ != simd::KernelPath::kScalar) {
       profile.build(query, *params_.matrix);
       simd_ctx = &ctx;
     }
@@ -154,8 +157,11 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
   stats::LapTimer<Rec::kEnabled> lap;
+  // Traced runs keep the scalar gapped DP (exact access streams).
+  const simd::KernelPath gapped_kernel =
+      Mem::kEnabled ? simd::KernelPath::kScalar : kernel_;
   auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
-                             params_, &result.stats);
+                             params_, &result.stats, gapped_kernel);
   if constexpr (Rec::kEnabled) {
     rec.add(stats::counters_between(result.stats, before));
     rec.stage(stats::Stage::kGapped, lap.lap());
@@ -179,6 +185,9 @@ QueryResult InterleavedDbEngine::search(std::span<const Residue> query,
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
+  ps.set_gapped_kernel({result.stats.gapped_int8_runs,
+                        result.stats.gapped_int16_reruns,
+                        result.stats.gapped_scalar_fallbacks});
   ps.finish_run(total.seconds());
   return result;
 }
@@ -210,7 +219,16 @@ std::vector<QueryResult> InterleavedDbEngine::batch_impl(
       results[i] = search(queries.sequence(static_cast<SeqId>(i)));
     }
   }
-  if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
+  if constexpr (PS::kEnabled) {
+    stats::GappedKernelStats gk;
+    for (const QueryResult& r : results) {
+      gk.int8_runs += r.stats.gapped_int8_runs;
+      gk.int16_reruns += r.stats.gapped_int16_reruns;
+      gk.scalar_fallbacks += r.stats.gapped_scalar_fallbacks;
+    }
+    ps->set_gapped_kernel(gk);
+    ps->finish_run(run_timer.seconds());
+  }
   return results;
 }
 

@@ -26,11 +26,14 @@ class InterleavedDbEngine {
  public:
   /// The index behind `index` (owned DbIndex or MappedDbIndex — both
   /// convert implicitly) must outlive the engine. `kernel` selects the
-  /// ungapped-extension kernel; results are bit-identical for every path,
-  /// and traced runs always use the scalar kernel.
+  /// alignment-DP kernel (banded gapped extension; plus the batched
+  /// ungapped kernel when `vector_ungapped` opts in — see
+  /// simd::KernelSpec). Results are bit-identical for every path, and
+  /// traced runs always use the scalar kernel.
   explicit InterleavedDbEngine(DbIndexView index, SearchParams params = {},
                                simd::KernelPath kernel
-                               = simd::default_kernel());
+                               = simd::default_kernel(),
+                               bool vector_ungapped = false);
 
   /// Searches one query (all blocks, all four stages).
   QueryResult search(std::span<const Residue> query) const;
@@ -77,6 +80,7 @@ class InterleavedDbEngine {
   DbIndexView view_;
   SearchParams params_;
   simd::KernelPath kernel_;
+  bool vector_ungapped_;
   KarlinParams karlin_;
 };
 

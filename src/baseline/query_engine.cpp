@@ -27,14 +27,16 @@ QueryIndexedEngine::QueryIndexedEngine(const SequenceStore& db,
                                        SearchParams params,
                                        Score neighbor_threshold,
                                        Detector detector,
-                                       simd::KernelPath kernel)
+                                       simd::KernelPath kernel,
+                                       bool vector_ungapped)
     : db_(&db),
       params_(checked_params(params)),
       neighbors_(*params.matrix, neighbor_threshold),
       karlin_(gapped_params(*params.matrix, params.gap_open,
                             params.gap_extend)),
       detector_(detector),
-      kernel_(kernel) {
+      kernel_(kernel),
+      vector_ungapped_(vector_ungapped) {
   MUBLASTP_CHECK(!db.empty(), "database is empty");
   for (SeqId id = 0; id < db.size(); ++id) {
     max_subject_len_ = std::max(max_subject_len_, db.length(id));
@@ -74,13 +76,14 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
   const std::size_t diag_range = query.size() + max_subject_len_;
   state.resize(diag_range);
 
-  // One profile per query, shared across all subjects. Traced runs must
-  // replay the scalar kernel's access stream, so they stay scalar.
+  // One profile per query, shared across all subjects. The vector ungapped
+  // kernel is opt-in (slower than scalar; see dispatch.hpp). Traced runs
+  // must replay the scalar kernel's access stream, so they stay scalar.
   simd::QueryProfile profile;
   SimdExtendContext ctx{kernel_, &profile};
   const SimdExtendContext* simd_ctx = nullptr;
   if constexpr (!Mem::kEnabled) {
-    if (kernel_ != simd::KernelPath::kScalar) {
+    if (vector_ungapped_ && kernel_ != simd::KernelPath::kScalar) {
       profile.build(query, matrix);
       simd_ctx = &ctx;
     }
@@ -146,8 +149,11 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
   const SubjectLookup lookup = [this](SeqId id) { return db_->sequence(id); };
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
+  // Traced runs keep the scalar gapped DP (exact access streams).
+  const simd::KernelPath gapped_kernel =
+      Mem::kEnabled ? simd::KernelPath::kScalar : kernel_;
   auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
-                             params_, &result.stats);
+                             params_, &result.stats, gapped_kernel);
   if constexpr (Rec::kEnabled) {
     rec.add(stats::counters_between(result.stats, before));
     rec.stage(stats::Stage::kGapped, lap.lap());
@@ -171,6 +177,9 @@ QueryResult QueryIndexedEngine::search(std::span<const Residue> query,
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
+  ps.set_gapped_kernel({result.stats.gapped_int8_runs,
+                        result.stats.gapped_int16_reruns,
+                        result.stats.gapped_scalar_fallbacks});
   ps.finish_run(total.seconds());
   return result;
 }
@@ -201,7 +210,16 @@ std::vector<QueryResult> QueryIndexedEngine::batch_impl(
       results[i] = search(queries.sequence(static_cast<SeqId>(i)));
     }
   }
-  if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
+  if constexpr (PS::kEnabled) {
+    stats::GappedKernelStats gk;
+    for (const QueryResult& r : results) {
+      gk.int8_runs += r.stats.gapped_int8_runs;
+      gk.int16_reruns += r.stats.gapped_int16_reruns;
+      gk.scalar_fallbacks += r.stats.gapped_scalar_fallbacks;
+    }
+    ps->set_gapped_kernel(gk);
+    ps->finish_run(run_timer.seconds());
+  }
   return results;
 }
 

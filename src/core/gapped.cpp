@@ -247,11 +247,42 @@ GappedHalf xdrop_extend(std::span<const Residue> a, std::span<const Residue> b,
   return out;
 }
 
+GappedHalf xdrop_extend(std::span<const Residue> a, std::span<const Residue> b,
+                        const ScoreMatrix& matrix, Score gap_open,
+                        Score gap_extend, Score xdrop, bool traceback,
+                        simd::KernelPath kernel,
+                        simd::GappedKernelCounters* counters) {
+  // Traceback needs the direction matrix only the scalar DP records, so
+  // stage 4 always runs scalar — kernel choice cannot touch transcripts.
+  if (!traceback && kernel != simd::KernelPath::kScalar) {
+    if (const auto ext = simd::xdrop_extend_banded(
+            kernel, a, b, matrix, gap_open, gap_extend, xdrop, counters)) {
+      GappedHalf out;
+      out.score = ext->score;
+      out.q_len = ext->a_len;
+      out.s_len = ext->b_len;
+      return out;
+    }
+  }
+  return xdrop_extend(a, b, matrix, gap_open, gap_extend, xdrop, traceback);
+}
+
 GappedAlignment gapped_align(std::span<const Residue> query,
                              std::span<const Residue> subject,
                              const UngappedAlignment& ungapped,
                              const ScoreMatrix& matrix,
                              const SearchParams& params, bool traceback) {
+  return gapped_align(query, subject, ungapped, matrix, params, traceback,
+                      simd::KernelPath::kScalar, nullptr);
+}
+
+GappedAlignment gapped_align(std::span<const Residue> query,
+                             std::span<const Residue> subject,
+                             const UngappedAlignment& ungapped,
+                             const ScoreMatrix& matrix,
+                             const SearchParams& params, bool traceback,
+                             simd::KernelPath kernel,
+                             simd::GappedKernelCounters* counters) {
   MUBLASTP_CHECK(ungapped.q_end > ungapped.q_start,
                  "cannot seed from an empty ungapped segment");
   // Anchor at the midpoint of the ungapped segment. All engines share this
@@ -259,8 +290,8 @@ GappedAlignment gapped_align(std::span<const Residue> query,
   const std::uint32_t mid = (ungapped.q_end - ungapped.q_start - 1) / 2;
   const std::uint32_t qm = ungapped.q_start + mid;
   const std::uint32_t sm = ungapped.s_start + mid;
-  GappedAlignment aln =
-      gapped_align_at_anchor(query, subject, qm, sm, matrix, params, traceback);
+  GappedAlignment aln = gapped_align_at_anchor(
+      query, subject, qm, sm, matrix, params, traceback, kernel, counters);
   aln.subject = ungapped.subject;
   return aln;
 }
@@ -271,6 +302,17 @@ GappedAlignment gapped_align_at_anchor(std::span<const Residue> query,
                                        const ScoreMatrix& matrix,
                                        const SearchParams& params,
                                        bool traceback) {
+  return gapped_align_at_anchor(query, subject, qm, sm, matrix, params,
+                                traceback, simd::KernelPath::kScalar, nullptr);
+}
+
+GappedAlignment gapped_align_at_anchor(std::span<const Residue> query,
+                                       std::span<const Residue> subject,
+                                       std::uint32_t qm, std::uint32_t sm,
+                                       const ScoreMatrix& matrix,
+                                       const SearchParams& params,
+                                       bool traceback, simd::KernelPath kernel,
+                                       simd::GappedKernelCounters* counters) {
   MUBLASTP_CHECK(qm < query.size() && sm < subject.size(),
                  "anchor outside the sequences");
   // Left half runs on reversed prefixes; lengths are protein-scale so the
@@ -282,10 +324,10 @@ GappedAlignment gapped_align_at_anchor(std::span<const Residue> query,
 
   const GappedHalf left =
       xdrop_extend(qrev, srev, matrix, params.gap_open, params.gap_extend,
-                   params.gapped_xdrop, traceback);
+                   params.gapped_xdrop, traceback, kernel, counters);
   const GappedHalf right = xdrop_extend(
       query.subspan(qm + 1), subject.subspan(sm + 1), matrix, params.gap_open,
-      params.gap_extend, params.gapped_xdrop, traceback);
+      params.gap_extend, params.gapped_xdrop, traceback, kernel, counters);
 
   GappedAlignment aln;
   aln.score = left.score + matrix(query[qm], subject[sm]) + right.score;

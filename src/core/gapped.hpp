@@ -19,6 +19,7 @@
 #include "common/alphabet.hpp"
 #include "core/params.hpp"
 #include "score/matrix.hpp"
+#include "simd/kernels.hpp"
 
 namespace mublastp {
 
@@ -37,6 +38,18 @@ GappedHalf xdrop_extend(std::span<const Residue> a, std::span<const Residue> b,
                         const ScoreMatrix& matrix, Score gap_open,
                         Score gap_extend, Score xdrop, bool traceback);
 
+/// Kernel-dispatched variant: score-only extensions route through the
+/// tiered banded SIMD kernel (simd::xdrop_extend_banded) when `kernel` is
+/// a vector path, falling back to the scalar DP when the kernel declines.
+/// Traceback runs always use the scalar DP — transcripts are untouched by
+/// kernel choice. Results are bit-identical to the scalar overload; tier
+/// decisions are tallied into `counters` when non-null.
+GappedHalf xdrop_extend(std::span<const Residue> a, std::span<const Residue> b,
+                        const ScoreMatrix& matrix, Score gap_open,
+                        Score gap_extend, Score xdrop, bool traceback,
+                        simd::KernelPath kernel,
+                        simd::GappedKernelCounters* counters = nullptr);
+
 /// Seeds a full gapped alignment from an ungapped segment: anchors at the
 /// segment midpoint and extends both ways. Returns coordinates in the same
 /// frame as `ungapped`. `ops` is filled only when `traceback` is true.
@@ -45,6 +58,16 @@ GappedAlignment gapped_align(std::span<const Residue> query,
                              const UngappedAlignment& ungapped,
                              const ScoreMatrix& matrix,
                              const SearchParams& params, bool traceback);
+
+/// Kernel-dispatched variant of gapped_align; see the xdrop_extend
+/// overload for the dispatch rules.
+GappedAlignment gapped_align(std::span<const Residue> query,
+                             std::span<const Residue> subject,
+                             const UngappedAlignment& ungapped,
+                             const ScoreMatrix& matrix,
+                             const SearchParams& params, bool traceback,
+                             simd::KernelPath kernel,
+                             simd::GappedKernelCounters* counters = nullptr);
 
 /// Runs the two-way X-drop extension from an explicit anchor pair (qm, sm).
 /// Stage 4 uses this with the anchor recorded by gapped_align so traceback
@@ -55,6 +78,17 @@ GappedAlignment gapped_align_at_anchor(std::span<const Residue> query,
                                        const ScoreMatrix& matrix,
                                        const SearchParams& params,
                                        bool traceback);
+
+/// Kernel-dispatched variant of gapped_align_at_anchor; see the
+/// xdrop_extend overload for the dispatch rules.
+GappedAlignment gapped_align_at_anchor(std::span<const Residue> query,
+                                       std::span<const Residue> subject,
+                                       std::uint32_t qm, std::uint32_t sm,
+                                       const ScoreMatrix& matrix,
+                                       const SearchParams& params,
+                                       bool traceback, simd::KernelPath kernel,
+                                       simd::GappedKernelCounters* counters
+                                       = nullptr);
 
 /// Recomputes the raw score of a traceback transcript against the sequences
 /// (verification helper used by tests and the output formatter).

@@ -209,7 +209,8 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   // the memory model must see.
   bool use_simd = false;
   if constexpr (!Mem::kEnabled) {
-    use_simd = options_.kernel != simd::KernelPath::kScalar;
+    use_simd = options_.vector_ungapped &&
+               options_.kernel != simd::KernelPath::kScalar;
     if (use_simd) ws.profile.build(query, matrix);
   }
   constexpr std::size_t kExtBatch = 16;
@@ -338,8 +339,12 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
   stats::LapTimer<Rec::kEnabled> lap;
+  // Traced runs keep the scalar gapped DP (same reasoning as stage 2b:
+  // the modeled access stream must be the reference one).
+  const simd::KernelPath gapped_kernel =
+      Mem::kEnabled ? simd::KernelPath::kScalar : options_.kernel;
   auto gapped = gapped_stage(query, lookup, std::move(ungapped), matrix,
-                             params_, &result.stats);
+                             params_, &result.stats, gapped_kernel);
   if constexpr (Rec::kEnabled) {
     prec.add(stats::counters_between(result.stats, before));
     prec.stage(stats::Stage::kGapped, lap.lap());
@@ -363,6 +368,9 @@ QueryResult MuBlastpEngine::search(std::span<const Residue> query,
   Timer total;
   QueryResult result =
       search_impl(query, memsim::NullMemoryModel{}, ps.recorder(0));
+  ps.set_gapped_kernel({result.stats.gapped_int8_runs,
+                        result.stats.gapped_int16_reruns,
+                        result.stats.gapped_scalar_fallbacks});
   ps.finish_run(total.seconds());
   return result;
 }
@@ -515,7 +523,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
       if constexpr (PS::kEnabled) before = results[i].stats;
       stats::LapTimer<PS::kEnabled> lap;
       auto gapped = gapped_stage(query, lookup, std::move(u), matrix,
-                                 params_, &results[i].stats);
+                                 params_, &results[i].stats, options_.kernel);
       if constexpr (PS::kEnabled) {
         auto prec = ps->recorder(omp_get_thread_num());
         prec.add(stats::counters_between(results[i].stats, before));
@@ -539,7 +547,16 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   // (the catch above only exists so the exception cannot escape the OpenMP
   // region, which would terminate the process).
   if (tail_error != nullptr) std::rethrow_exception(tail_error);
-  if constexpr (PS::kEnabled) ps->finish_run(run_timer.seconds());
+  if constexpr (PS::kEnabled) {
+    stats::GappedKernelStats gk;
+    for (const QueryResult& r : results) {
+      gk.int8_runs += r.stats.gapped_int8_runs;
+      gk.int16_reruns += r.stats.gapped_int16_reruns;
+      gk.scalar_fallbacks += r.stats.gapped_scalar_fallbacks;
+    }
+    ps->set_gapped_kernel(gk);
+    ps->finish_run(run_timer.seconds());
+  }
   return results;
 }
 

@@ -47,10 +47,19 @@ struct MuBlastpOptions {
   enum class SortAlgo { kRadixLsd, kRadixMsd, kMergeSort, kStdStable };
   SortAlgo sort_algo = SortAlgo::kRadixLsd;
 
-  /// Which ungapped-extension kernel stage 2b runs. Results are bit-identical
-  /// for every path; kScalar executes the pre-SIMD code unchanged. Traced
-  /// (memsim) runs always use the scalar kernel so access streams stay exact.
+  /// Which kernel the alignment DPs run on (banded gapped extension in
+  /// stage 3, plus the batched ungapped kernel when vector_ungapped opts
+  /// in). Results are bit-identical for every path; kScalar executes the
+  /// pre-SIMD code unchanged. Traced (memsim) runs always use the scalar
+  /// kernels so access streams stay exact.
   simd::KernelPath kernel = simd::default_kernel();
+
+  /// Opt-in for the batched vector ungapped-extension kernel (the
+  /// "+ungapped" suffix of --kernel=). Off by default: that kernel is
+  /// bit-identical but measured slower than scalar (docs/ALGORITHMS.md),
+  /// so production runs keep ungapped extension scalar and spend the
+  /// vector path on the gapped DP.
+  bool vector_ungapped = false;
 
   /// Per-query wall-clock budget for batch searches (seconds; 0 = none).
   /// A query whose accumulated stage-1/2 time exceeds it is cut off: it

@@ -100,6 +100,14 @@ struct StageStats {
   std::uint64_t ungapped_alignments = 0;
   std::uint64_t gapped_extensions = 0;
   std::uint64_t sorted_records = 0;  ///< records that went through reorder
+  /// Banded gapped-kernel tier tallies (one extension = two extension
+  /// halves, each counted once). Zero on scalar runs; identical between
+  /// SSE4.2 and AVX2 because the tier choice is value-driven. These are
+  /// execution-strategy telemetry, not part of the deterministic
+  /// stats::StageCounters set that forced-scalar/vector twins must match.
+  std::uint64_t gapped_int8_runs = 0;
+  std::uint64_t gapped_int16_reruns = 0;
+  std::uint64_t gapped_scalar_fallbacks = 0;
 
   friend bool operator==(const StageStats&, const StageStats&) = default;
 
@@ -110,6 +118,9 @@ struct StageStats {
     ungapped_alignments += o.ungapped_alignments;
     gapped_extensions += o.gapped_extensions;
     sorted_records += o.sorted_records;
+    gapped_int8_runs += o.gapped_int8_runs;
+    gapped_int16_reruns += o.gapped_int16_reruns;
+    gapped_scalar_fallbacks += o.gapped_scalar_fallbacks;
     return *this;
   }
 };

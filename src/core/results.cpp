@@ -38,7 +38,8 @@ std::vector<GappedAlignment> gapped_stage(std::span<const Residue> query,
                                           std::vector<UngappedAlignment> ungapped,
                                           const ScoreMatrix& matrix,
                                           const SearchParams& params,
-                                          StageStats* stats) {
+                                          StageStats* stats,
+                                          simd::KernelPath kernel) {
   // Deterministic processing order: best segments first, canonical
   // tie-breaks so every engine walks the same order.
   std::sort(ungapped.begin(), ungapped.end(),
@@ -48,6 +49,7 @@ std::vector<GappedAlignment> gapped_stage(std::span<const Residue> query,
             });
 
   std::vector<GappedAlignment> out;
+  simd::GappedKernelCounters kc;
   for (const UngappedAlignment& seg : ungapped) {
     // Redundancy skip: a segment inside an already-found gapped alignment
     // (same subject) would re-derive the same alignment.
@@ -62,12 +64,17 @@ std::vector<GappedAlignment> gapped_stage(std::span<const Residue> query,
     if (covered) continue;
 
     const std::span<const Residue> subject = subjects(seg.subject);
-    GappedAlignment aln =
-        gapped_align(query, subject, seg, matrix, params, /*traceback=*/false);
+    GappedAlignment aln = gapped_align(query, subject, seg, matrix, params,
+                                       /*traceback=*/false, kernel, &kc);
     if (stats != nullptr) ++stats->gapped_extensions;
     if (aln.score >= params.gapped_cutoff) {
       out.push_back(aln);
     }
+  }
+  if (stats != nullptr) {
+    stats->gapped_int8_runs += kc.int8_runs;
+    stats->gapped_int16_reruns += kc.int16_reruns;
+    stats->gapped_scalar_fallbacks += kc.scalar_fallbacks;
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include "core/params.hpp"
 #include "score/karlin.hpp"
 #include "score/matrix.hpp"
+#include "simd/dispatch.hpp"
 
 namespace mublastp {
 
@@ -27,11 +28,14 @@ void canonicalize_ungapped(std::vector<UngappedAlignment>& segs);
 /// Stage 3: seeds gapped extensions from ungapped segments in descending
 /// score order, skipping segments already contained in an accepted gapped
 /// alignment's envelope (NCBI's redundancy heuristic). Returns score-only
-/// gapped alignments with score >= params.gapped_cutoff.
+/// gapped alignments with score >= params.gapped_cutoff. Score-only
+/// extensions run on the tiered banded SIMD kernel when `kernel` names a
+/// vector path (bit-identical to scalar; tier tallies land in `stats`).
 std::vector<GappedAlignment> gapped_stage(
     std::span<const Residue> query, const SubjectLookup& subjects,
     std::vector<UngappedAlignment> ungapped, const ScoreMatrix& matrix,
-    const SearchParams& params, StageStats* stats = nullptr);
+    const SearchParams& params, StageStats* stats = nullptr,
+    simd::KernelPath kernel = simd::KernelPath::kScalar);
 
 /// Stage 4: merges gapped alignments (possibly from several index blocks),
 /// culls envelope-contained ones, keeps the top params.max_alignments by

@@ -47,4 +47,20 @@ const char* kernel_name(KernelPath path);
 /// (detect_kernel()). Throws mublastp::Error on anything else.
 KernelPath parse_kernel(const std::string& name);
 
+/// A fully parsed --kernel= specification. `path` selects the kernel for
+/// the alignment DP (banded gapped extension, striped Smith-Waterman);
+/// `vector_ungapped` additionally opts the ungapped extension stage into
+/// its batched vector kernel. That kernel is bit-identical but measured
+/// slower than scalar (0.85x/0.75x, docs/ALGORITHMS.md), so ungapped
+/// extension defaults to scalar on every path and the vector variant stays
+/// reachable for benchmarking via the "+ungapped" suffix.
+struct KernelSpec {
+  KernelPath path = KernelPath::kScalar;
+  bool vector_ungapped = false;
+};
+
+/// Parses "--kernel=<path>[+ungapped]", e.g. "avx2", "auto+ungapped".
+/// The path component accepts exactly what parse_kernel accepts.
+KernelSpec parse_kernel_spec(const std::string& spec);
+
 }  // namespace mublastp::simd

@@ -54,6 +54,41 @@ void ungapped_extend_batch(KernelPath path, std::span<const Residue> query,
   }
 }
 
+std::optional<GappedExtent> xdrop_extend_banded(
+    KernelPath path, std::span<const Residue> a, std::span<const Residue> b,
+    const ScoreMatrix& matrix, Score gap_open, Score gap_extend, Score xdrop,
+    GappedKernelCounters* counters) {
+#ifdef MUBLASTP_SIMD_X86
+  if (path == KernelPath::kScalar) return std::nullopt;
+  const detail::BandedOutcome out =
+      path == KernelPath::kAvx2
+          ? detail::xdrop_banded_avx2(a, b, matrix, gap_open, gap_extend,
+                                      xdrop)
+          : detail::xdrop_banded_sse42(a, b, matrix, gap_open, gap_extend,
+                                       xdrop);
+  if (counters) {
+    if (out.tier == 1) {
+      ++counters->int8_runs;
+    } else if (out.tier == 2) {
+      ++counters->int16_reruns;
+    } else {
+      ++counters->scalar_fallbacks;
+    }
+  }
+  return out.ext;
+#else
+  (void)path;
+  (void)a;
+  (void)b;
+  (void)matrix;
+  (void)gap_open;
+  (void)gap_extend;
+  (void)xdrop;
+  (void)counters;
+  return std::nullopt;
+#endif
+}
+
 std::optional<Score> smith_waterman_score_striped(
     KernelPath path, std::span<const Residue> query,
     std::span<const Residue> subject, const ScoreMatrix& matrix,

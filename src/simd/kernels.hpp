@@ -46,6 +46,39 @@ void ungapped_extend_batch(KernelPath path, std::span<const Residue> query,
                            const ScoreMatrix& matrix, Score xdrop,
                            std::span<const BatchHit> hits, UngappedSeg* out);
 
+/// Result of one banded gapped x-drop extension half: the best score and
+/// how many residues of each sequence the best path consumed — the
+/// (score, q_len, s_len) triple of core/gapped.hpp's GappedHalf.
+struct GappedExtent {
+  Score score = 0;
+  std::uint32_t a_len = 0;
+  std::uint32_t b_len = 0;
+};
+
+/// Which tier of the banded gapped kernel produced each extension. The
+/// tier choice is value-driven (saturation of the running best), so these
+/// are identical across SSE4.2 and AVX2 — and all zero on scalar runs.
+struct GappedKernelCounters {
+  std::uint64_t int8_runs = 0;        ///< int8 first pass sufficed
+  std::uint64_t int16_reruns = 0;     ///< int8 saturated; int16 re-ran it
+  std::uint64_t scalar_fallbacks = 0; ///< both tiers declined; scalar ran
+
+  friend bool operator==(const GappedKernelCounters&,
+                         const GappedKernelCounters&) = default;
+};
+
+/// Banded gapped x-drop extension (score-only) via the tiered saturating
+/// int8/int16 kernel: an int8 pass over the adaptive band first, an int16
+/// re-run only when the running best saturated. Returns nullopt when the
+/// caller must use the scalar xdrop_extend instead: path == kScalar, a
+/// non-x86 build, or even the int16 tier saturating. A returned value is
+/// bit-identical to the scalar kernel's (score, q_len, s_len). Counter
+/// increments (when `counters` is non-null) record which tier answered.
+std::optional<GappedExtent> xdrop_extend_banded(
+    KernelPath path, std::span<const Residue> a, std::span<const Residue> b,
+    const ScoreMatrix& matrix, Score gap_open, Score gap_extend, Score xdrop,
+    GappedKernelCounters* counters = nullptr);
+
 /// Smith-Waterman best local score via the Farrar striped int16 kernel.
 /// Returns nullopt when the caller must use its scalar kernel instead:
 /// path == kScalar, an empty input, or the exactness guard tripping (best

@@ -28,6 +28,8 @@
 #include <limits>
 #include <vector>
 
+#include "simd/gapped_banded_impl.hpp"
+
 namespace mublastp::simd::detail {
 namespace {
 
@@ -270,6 +272,52 @@ std::optional<Score> sw_striped_avx2(std::span<const Residue> query,
     return std::nullopt;  // would have saturated: caller reruns scalar
   }
   return static_cast<Score>(best);
+}
+
+// ---- Banded gapped x-drop extension ---------------------------------------
+
+namespace {
+
+struct Avx2I8Ops {
+  using Cell = std::int8_t;
+  static constexpr int kLanes = 32;
+  static __m256i loadu(const Cell* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void storeu(Cell* p, __m256i v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static __m256i splat(Cell v) {
+    return _mm256_set1_epi8(static_cast<char>(v));
+  }
+  static __m256i adds(__m256i a, __m256i b) { return _mm256_adds_epi8(a, b); }
+  static __m256i subs(__m256i a, __m256i b) { return _mm256_subs_epi8(a, b); }
+  static __m256i max(__m256i a, __m256i b) { return _mm256_max_epi8(a, b); }
+};
+
+struct Avx2I16Ops {
+  using Cell = std::int16_t;
+  static constexpr int kLanes = 16;
+  static __m256i loadu(const Cell* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void storeu(Cell* p, __m256i v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static __m256i splat(Cell v) { return _mm256_set1_epi16(v); }
+  static __m256i adds(__m256i a, __m256i b) { return _mm256_adds_epi16(a, b); }
+  static __m256i subs(__m256i a, __m256i b) { return _mm256_subs_epi16(a, b); }
+  static __m256i max(__m256i a, __m256i b) { return _mm256_max_epi16(a, b); }
+};
+
+}  // namespace
+
+BandedOutcome xdrop_banded_avx2(std::span<const Residue> a,
+                                std::span<const Residue> b,
+                                const ScoreMatrix& matrix, Score gap_open,
+                                Score gap_extend, Score xdrop) {
+  return banded_xdrop_tiered<Avx2I8Ops, Avx2I16Ops>(a, b, matrix, gap_open,
+                                                    gap_extend, xdrop);
 }
 
 }  // namespace mublastp::simd::detail

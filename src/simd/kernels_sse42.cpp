@@ -18,6 +18,8 @@
 #include <limits>
 #include <vector>
 
+#include "simd/gapped_banded_impl.hpp"
+
 namespace mublastp::simd::detail {
 namespace {
 
@@ -221,6 +223,50 @@ std::optional<Score> sw_striped_sse42(std::span<const Residue> query,
     return std::nullopt;
   }
   return static_cast<Score>(best);
+}
+
+// ---- Banded gapped x-drop extension ---------------------------------------
+
+namespace {
+
+struct Sse42I8Ops {
+  using Cell = std::int8_t;
+  static constexpr int kLanes = 16;
+  static __m128i loadu(const Cell* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void storeu(Cell* p, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static __m128i splat(Cell v) { return _mm_set1_epi8(static_cast<char>(v)); }
+  static __m128i adds(__m128i a, __m128i b) { return _mm_adds_epi8(a, b); }
+  static __m128i subs(__m128i a, __m128i b) { return _mm_subs_epi8(a, b); }
+  static __m128i max(__m128i a, __m128i b) { return _mm_max_epi8(a, b); }
+};
+
+struct Sse42I16Ops {
+  using Cell = std::int16_t;
+  static constexpr int kLanes = 8;
+  static __m128i loadu(const Cell* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void storeu(Cell* p, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static __m128i splat(Cell v) { return _mm_set1_epi16(v); }
+  static __m128i adds(__m128i a, __m128i b) { return _mm_adds_epi16(a, b); }
+  static __m128i subs(__m128i a, __m128i b) { return _mm_subs_epi16(a, b); }
+  static __m128i max(__m128i a, __m128i b) { return _mm_max_epi16(a, b); }
+};
+
+}  // namespace
+
+BandedOutcome xdrop_banded_sse42(std::span<const Residue> a,
+                                 std::span<const Residue> b,
+                                 const ScoreMatrix& matrix, Score gap_open,
+                                 Score gap_extend, Score xdrop) {
+  return banded_xdrop_tiered<Sse42I8Ops, Sse42I16Ops>(a, b, matrix, gap_open,
+                                                      gap_extend, xdrop);
 }
 
 }  // namespace mublastp::simd::detail

@@ -25,6 +25,7 @@
 #include "common/alphabet.hpp"
 #include "core/ungapped.hpp"
 #include "score/matrix.hpp"
+#include "simd/kernels.hpp"
 #include "simd/score_profile.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -127,6 +128,15 @@ inline UngappedSeg assemble(std::uint32_t qoff, std::uint32_t soff,
   return seg;
 }
 
+/// Outcome of one tiered banded gapped extension attempt. tier 1 = the
+/// int8 pass produced the (exact) result, tier 2 = the int16 re-run did,
+/// tier 0 = both tiers saturated or were ineligible and the caller must
+/// run the scalar kernel.
+struct BandedOutcome {
+  std::optional<GappedExtent> ext;
+  std::uint8_t tier = 0;
+};
+
 #ifdef MUBLASTP_SIMD_X86
 
 // ISA entry points. Each is compiled in its own translation unit with the
@@ -151,6 +161,18 @@ std::optional<Score> sw_striped_avx2(std::span<const Residue> query,
                                      std::span<const Residue> subject,
                                      const ScoreMatrix& matrix,
                                      Score gap_open, Score gap_extend);
+
+// Banded gapped x-drop extension, tiered int8 -> int16 saturating lanes
+// (see gapped_banded_impl.hpp for the shared implementation and its
+// exactness argument).
+BandedOutcome xdrop_banded_sse42(std::span<const Residue> a,
+                                 std::span<const Residue> b,
+                                 const ScoreMatrix& matrix, Score gap_open,
+                                 Score gap_extend, Score xdrop);
+BandedOutcome xdrop_banded_avx2(std::span<const Residue> a,
+                                std::span<const Residue> b,
+                                const ScoreMatrix& matrix, Score gap_open,
+                                Score gap_extend, Score xdrop);
 
 #endif  // MUBLASTP_SIMD_X86
 

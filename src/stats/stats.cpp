@@ -46,6 +46,7 @@ void PipelineSnapshot::merge(const PipelineSnapshot& o) {
     }
     if (!seen) degraded.quarantined.push_back(q);
   }
+  gapped_kernel += o.gapped_kernel;
   workspace_peak_bytes = std::max(workspace_peak_bytes,
                                   o.workspace_peak_bytes);
   threads = std::max(threads, o.threads);
@@ -120,6 +121,7 @@ PipelineSnapshot PipelineStats::snapshot() const {
   s.workspace_peak_bytes = ws_peak_;
   s.index_load = index_load_;
   s.degraded = degraded_;
+  s.gapped_kernel = gapped_kernel_;
   s.per_block = blocks_;
   s.totals = extra_counters_;
   s.stage_seconds = extra_seconds_;
@@ -225,6 +227,14 @@ std::string to_json(const PipelineSnapshot& s) {
     append_f(out, ", \"file_bytes\": %" PRIu64
                   ", \"resident_bytes\": %" PRIu64 "}",
              s.index_load.file_bytes, s.index_load.resident_bytes);
+  }
+  if (s.gapped_kernel.any()) {
+    append_f(out,
+             ",\n  \"gapped_kernel\": {\"int8_runs\": %" PRIu64
+             ", \"int16_reruns\": %" PRIu64
+             ", \"scalar_fallbacks\": %" PRIu64 "}",
+             s.gapped_kernel.int8_runs, s.gapped_kernel.int16_reruns,
+             s.gapped_kernel.scalar_fallbacks);
   }
   if (s.degraded.any()) {
     append_f(out,
@@ -439,6 +449,18 @@ PipelineSnapshot from_json(const std::string& json) {
         else if (ikey == "resident_bytes") s.index_load.resident_bytes = ps.number_u64();
         else ps.skip_value();
       });
+    } else if (key == "gapped_kernel") {
+      ps.object([&](const std::string& gkey) {
+        if (gkey == "int8_runs") {
+          s.gapped_kernel.int8_runs = ps.number_u64();
+        } else if (gkey == "int16_reruns") {
+          s.gapped_kernel.int16_reruns = ps.number_u64();
+        } else if (gkey == "scalar_fallbacks") {
+          s.gapped_kernel.scalar_fallbacks = ps.number_u64();
+        } else {
+          ps.skip_value();
+        }
+      });
     } else if (key == "degraded") {
       ps.object([&](const std::string& dkey) {
         if (dkey == "partial") {
@@ -514,6 +536,14 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                c.gapped_extensions);
   std::fprintf(out, "  %-22s %15.4f%%\n", "survival_ratio",
                100.0 * s.survival_ratio());
+  if (s.gapped_kernel.any()) {
+    std::fprintf(out, "  %-22s %15" PRIu64 "\n", "gapped_int8_runs",
+                 s.gapped_kernel.int8_runs);
+    std::fprintf(out, "  %-22s %15" PRIu64 "\n", "gapped_int16_reruns",
+                 s.gapped_kernel.int16_reruns);
+    std::fprintf(out, "  %-22s %15" PRIu64 "\n", "gapped_scalar_fallbacks",
+                 s.gapped_kernel.scalar_fallbacks);
+  }
   for (int st = 0; st < kNumStages; ++st) {
     std::fprintf(out, "  %-22s %14.4fs\n",
                  stage_name(static_cast<Stage>(st)), s.stage_seconds[st]);

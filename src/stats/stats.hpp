@@ -134,6 +134,29 @@ struct QuarantinedBlock {
                          const QuarantinedBlock&) = default;
 };
 
+/// Tier tallies of the banded gapped-extension kernel: which numeric width
+/// each extension half ran at. Execution-strategy telemetry, not part of
+/// the deterministic StageCounters set — all-zero on scalar runs (and
+/// omitted from the JSON then), identical between SSE4.2 and AVX2 because
+/// the int8 -> int16 -> scalar escalation is value-driven.
+struct GappedKernelStats {
+  std::uint64_t int8_runs = 0;         ///< halves settled by the int8 pass
+  std::uint64_t int16_reruns = 0;      ///< halves re-run at int16 (overflow)
+  std::uint64_t scalar_fallbacks = 0;  ///< halves that fell back to scalar
+
+  bool any() const {
+    return int8_runs != 0 || int16_reruns != 0 || scalar_fallbacks != 0;
+  }
+  GappedKernelStats& operator+=(const GappedKernelStats& o) {
+    int8_runs += o.int8_runs;
+    int16_reruns += o.int16_reruns;
+    scalar_fallbacks += o.scalar_fallbacks;
+    return *this;
+  }
+  friend bool operator==(const GappedKernelStats&,
+                         const GappedKernelStats&) = default;
+};
+
 /// Everything a degraded-mode run wants the caller (and the JSON consumer)
 /// to know about how it deviated from a clean run. Default-constructed ==
 /// "nothing degraded", and the whole object is omitted from the JSON then,
@@ -171,6 +194,7 @@ struct PipelineSnapshot {
   std::vector<BlockStats> per_block;
   IndexLoadStats index_load;   ///< optional; see IndexLoadStats
   DegradedStats degraded;      ///< optional; omitted from JSON when !any()
+  GappedKernelStats gapped_kernel;  ///< optional; omitted when !any()
 
   double survival_ratio() const { return totals.survival_ratio(); }
 
@@ -322,6 +346,12 @@ class PipelineStats {
   /// trips, partial flag); carried into every subsequent snapshot().
   void set_degraded(DegradedStats d) { degraded_ = std::move(d); }
 
+  /// Stamps the banded gapped-kernel tier tallies of the run (engines set
+  /// it from the summed per-query StageStats right before finish_run);
+  /// carried into every subsequent snapshot(). All-zero means "scalar
+  /// gapped DP" and is omitted from the JSON.
+  void set_gapped_kernel(GappedKernelStats g) { gapped_kernel_ = g; }
+
   const std::string& engine() const { return engine_; }
 
  private:
@@ -329,6 +359,7 @@ class PipelineStats {
   std::string kernel_;
   IndexLoadStats index_load_;
   DegradedStats degraded_;
+  GappedKernelStats gapped_kernel_;
   int threads_ = 0;
   std::uint64_t queries_ = 0;
   double total_seconds_ = 0.0;

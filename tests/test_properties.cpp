@@ -7,8 +7,10 @@
 
 #include "baseline/query_engine.hpp"
 #include "common/rng.hpp"
+#include "core/gapped.hpp"
 #include "core/mublastp_engine.hpp"
 #include "index/db_index.hpp"
+#include "simd/dispatch.hpp"
 #include "synth/synth.hpp"
 
 namespace mublastp {
@@ -160,6 +162,61 @@ TEST_P(SearchProperties, QueryEngineAgreesUnderDfaAndTable) {
   const QueryResult a = table.search(queries_.sequence(0));
   const QueryResult b = dfa.search(queries_.sequence(0));
   EXPECT_EQ(a.ungapped, b.ungapped);
+}
+
+TEST_P(SearchProperties, GappedScoreAtLeastUngappedSeed) {
+  // A gapped extension seeded by an ungapped segment can only add to the
+  // segment's score (the segment's own path is reachable from the anchor),
+  // and the bound must hold identically on every kernel path.
+  std::vector<simd::KernelPath> paths = {simd::KernelPath::kScalar};
+  for (const simd::KernelPath p :
+       {simd::KernelPath::kSse42, simd::KernelPath::kAvx2}) {
+    if (simd::kernel_supported(p)) paths.push_back(p);
+  }
+  const MuBlastpEngine engine(*index_);
+  const SearchParams& params = engine.params();
+  for (SeqId q = 0; q < queries_.size(); ++q) {
+    const auto query = queries_.sequence(q);
+    const QueryResult r = engine.search(query);
+    for (const UngappedAlignment& u : r.ungapped) {
+      const auto subject = db_.sequence(u.subject);
+      for (const simd::KernelPath path : paths) {
+        const GappedAlignment g =
+            gapped_align(query, subject, u, *params.matrix, params,
+                         /*traceback=*/false, path);
+        EXPECT_GE(g.score, u.score) << simd::kernel_name(path);
+      }
+    }
+  }
+}
+
+TEST_P(SearchProperties, TracebackRescoresToStageThreeScore) {
+  // Stage 4 re-runs the winning extension with traceback; re-scoring the
+  // recorded transcript must reproduce the stage-3 score exactly — for
+  // every kernel path (transcripts are untouched by kernel choice).
+  std::vector<simd::KernelPath> paths = {simd::KernelPath::kScalar};
+  for (const simd::KernelPath p :
+       {simd::KernelPath::kSse42, simd::KernelPath::kAvx2}) {
+    if (simd::kernel_supported(p)) paths.push_back(p);
+  }
+  for (const simd::KernelPath path : paths) {
+    MuBlastpOptions opts;
+    opts.kernel = path;
+    const MuBlastpEngine engine(*index_, {}, opts);
+    const SearchParams& params = engine.params();
+    for (SeqId q = 0; q < queries_.size(); ++q) {
+      const auto query = queries_.sequence(q);
+      const QueryResult r = engine.search(query);
+      for (const GappedAlignment& a : r.alignments) {
+        ASSERT_FALSE(a.ops.empty());
+        EXPECT_EQ(score_of_transcript(query, db_.sequence(a.subject), a,
+                                      *params.matrix, params.gap_open,
+                                      params.gap_extend),
+                  a.score)
+            << simd::kernel_name(path);
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

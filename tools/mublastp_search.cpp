@@ -5,15 +5,17 @@
 //   mublastp_search --index=db.mbi --query=q.fasta [--threads=N]
 //                   [--outfmt=pairwise|tabular|none] [--max-alignments=K]
 //                   [--stats[=json]] [--mmap|--no-mmap]
-//                   [--kernel=auto|scalar|sse42|avx2]
+//                   [--kernel=auto|scalar|sse42|avx2[+ungapped]]
 //                   [--strict] [--inject=site:Nth[:errno]]
 //                   [--time-budget=SEC] [--mem-budget-mb=N]
 //                   [--out=FILE] [--checkpoint=FILE] [--batch-size=16]
 //
 // --threads defaults to the OpenMP thread pool size (omp_get_max_threads);
-// non-positive values are rejected. --kernel selects the ungapped-extension
-// kernel ("auto" = best the CPU supports, the default); results are
-// bit-identical for every kernel.
+// non-positive values are rejected. --kernel selects the alignment-DP
+// kernel ("auto" = best the CPU supports, the default) used by the banded
+// gapped extension; the "+ungapped" suffix additionally opts the ungapped
+// stage into its batched vector kernel (off by default — slower than
+// scalar). Results are bit-identical for every kernel.
 //
 // Index loading: v3 index files are memory-mapped by default (zero-copy;
 // pages shared with other processes serving the same database), v2 files
@@ -230,7 +232,8 @@ int main(int argc, char** argv) {
                  "usage: mublastp_search --index=db.mbi --query=q.fasta"
                  " [--threads=N] [--outfmt=pairwise|tabular|none]"
                  " [--max-alignments=25] [--stats[=json]]"
-                 " [--mmap|--no-mmap] [--kernel=auto|scalar|sse42|avx2]"
+                 " [--mmap|--no-mmap]"
+                 " [--kernel=auto|scalar|sse42|avx2[+ungapped]]"
                  " [--strict] [--inject=site:Nth]"
                  " [--time-budget=SEC] [--mem-budget-mb=N]"
                  " [--out=FILE] [--checkpoint=FILE] [--batch-size=16]\n");
@@ -327,7 +330,10 @@ int main(int argc, char** argv) {
     SearchParams params;
     params.max_alignments = arg_num(argc, argv, "max-alignments", 25);
     MuBlastpOptions options;
-    options.kernel = simd::parse_kernel(arg_str(argc, argv, "kernel", "auto"));
+    const simd::KernelSpec kspec =
+        simd::parse_kernel_spec(arg_str(argc, argv, "kernel", "auto"));
+    options.kernel = kspec.path;
+    options.vector_ungapped = kspec.vector_ungapped;
     options.time_budget_seconds = time_budget;
     options.mem_budget_bytes =
         static_cast<std::uint64_t>(mem_budget_mb) << 20;
@@ -337,7 +343,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     const MuBlastpEngine engine(view, params, options);
-    std::fprintf(stderr, "kernel: %s\n", simd::kernel_name(options.kernel));
+    std::fprintf(stderr, "kernel: %s%s\n", simd::kernel_name(options.kernel),
+                 options.vector_ungapped ? "+ungapped" : "");
 
     // Default to the OpenMP pool size; reject nonsense explicitly rather
     // than letting a "-1" silently become a huge unsigned value.

@@ -2,10 +2,11 @@
 // query-indexed engine (NCBI), the interleaved database-indexed engine
 // (NCBI-db) and muBLASTP (with and without pre-filtering, plus a run over a
 // memory-mapped copy of the index) on the same workload and diff their
-// outputs stage by stage. Two additional runs drive muBLASTP and NCBI-db
+// outputs stage by stage. Three additional runs drive muBLASTP and NCBI-db
 // through the SIMD kernel (--kernel, default the best the CPU supports)
-// against the forced-scalar baselines, asserting the vector kernels are
-// bit-identical down to every counter.
+// against the forced-scalar baselines — one with the banded gapped kernel
+// only, one additionally opting into the batched vector ungapped kernel —
+// asserting the vector kernels are bit-identical down to every counter.
 //
 // Usage:
 //   mublastp_verify [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
@@ -159,6 +160,11 @@ int main(int argc, char** argv) {
     simd_opts.kernel = kernel;
     const MuBlastpEngine mu_simd(index, {}, simd_opts);
     const InterleavedDbEngine ncbi_db_simd(index, {}, kernel);
+    // The opt-in batched vector ungapped kernel on top of the banded
+    // gapped kernel ("--kernel=<path>+ungapped" in the tools).
+    MuBlastpOptions simd_ug_opts = simd_opts;
+    simd_ug_opts.vector_ungapped = true;
+    const MuBlastpEngine mu_simd_ug(index, {}, simd_ug_opts);
 
     // The owned-vs-mapped equivalence check: round-trip the index through a
     // v3 file and drive the same engine off the read-only mapping.
@@ -178,7 +184,7 @@ int main(int argc, char** argv) {
       stats::PipelineSnapshot snap;
     };
 
-    constexpr int kRuns = 7;
+    constexpr int kRuns = 8;
     stats::PipelineSnapshot agg[kRuns];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
@@ -196,6 +202,7 @@ int main(int argc, char** argv) {
           run("mublastp-mmap", mu_mmap),
           run("mublastp-simd", mu_simd),
           run("ncbi-db-simd", ncbi_db_simd),
+          run("mublastp-simd+ungapped", mu_simd_ug),
       };
       bool ok = true;
       for (std::size_t i = 1; i < kRuns; ++i) {
@@ -259,6 +266,36 @@ int main(int argc, char** argv) {
       if (runs[1].snap.totals != runs[6].snap.totals) {
         std::printf("query %u: SCALAR/SIMD COUNTER MISMATCH %s vs %s\n", q,
                     runs[1].name, runs[6].name);
+        ok = false;
+      }
+      if (runs[2].snap.totals != runs[7].snap.totals) {
+        std::printf("query %u: SCALAR/SIMD COUNTER MISMATCH %s vs %s\n", q,
+                    runs[2].name, runs[7].name);
+        ok = false;
+      }
+      // Every gapped extension is one left half + one right half, and each
+      // half is settled by exactly one tier of the banded kernel — so on a
+      // dispatched run the tier tallies must sum to 2x gapped_extensions
+      // (and stay zero on forced-scalar runs, checked via .any()).
+      for (const int i : {5, 6, 7}) {
+        const stats::GappedKernelStats& gk = runs[i].snap.gapped_kernel;
+        const std::uint64_t halves =
+            gk.int8_runs + gk.int16_reruns + gk.scalar_fallbacks;
+        const std::uint64_t expect =
+            kernel == kScalarPath
+                ? 0
+                : 2 * runs[i].snap.totals.gapped_extensions;
+        if (halves != expect) {
+          std::printf("query %u: GAPPED-TIER TALLY MISMATCH %s"
+                      " (%llu halves, expected %llu)\n",
+                      q, runs[i].name,
+                      static_cast<unsigned long long>(halves),
+                      static_cast<unsigned long long>(expect));
+          ok = false;
+        }
+      }
+      if (runs[2].snap.gapped_kernel.any()) {
+        std::printf("query %u: scalar run booked gapped-kernel tiers\n", q);
         ok = false;
       }
       for (int i = 0; i < kRuns; ++i) agg[i].merge(runs[i].snap);
