@@ -1,0 +1,627 @@
+#include "cluster/orchestrator.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <type_traits>
+
+#include "cluster/partition.hpp"
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "core/results.hpp"
+#include "index/db_index_io.hpp"
+
+namespace mublastp::cluster {
+namespace {
+
+/// Exit status a fault-doomed process-mode child dies with (distinctive, so
+/// the quarantine reason can say "injected" vs a real crash).
+constexpr int kInjectedExitStatus = 113;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Result-frame serialization (process mode)
+// ---------------------------------------------------------------------------
+//
+// The child buffers one payload for the whole batch, then writes a single
+// frame: u64 payload length, u32 CRC32, payload. The parent drains the pipe
+// fully before waitpid, so a child blocked on a full pipe always finishes.
+// Payload layout:
+//   f64 worker seconds
+//   per query: u64 n_alignments; per alignment the GappedAlignment fields
+//              (ops as u64 length + bytes); u64 n_ungapped + raw
+//              UngappedAlignment records; raw StageStats.
+
+template <typename T>
+void put(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+struct FrameReader {
+  std::span<const std::byte> bytes;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos + sizeof(T) > bytes.size()) {
+      throw Error("shard result frame truncated", ErrorKind::kIo);
+    }
+    T v{};
+    std::memcpy(&v, bytes.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  std::string get_string(std::uint64_t n) {
+    if (n > bytes.size() - pos) {
+      throw Error("shard result frame truncated", ErrorKind::kIo);
+    }
+    std::string s(reinterpret_cast<const char*>(bytes.data() + pos),
+                  static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return s;
+  }
+};
+
+std::string encode_results(double seconds,
+                           const std::vector<QueryResult>& results) {
+  std::string out;
+  put(out, seconds);
+  for (const QueryResult& r : results) {
+    put(out, static_cast<std::uint64_t>(r.alignments.size()));
+    for (const GappedAlignment& a : r.alignments) {
+      put(out, a.subject);
+      put(out, a.q_start);
+      put(out, a.q_end);
+      put(out, a.s_start);
+      put(out, a.s_end);
+      put(out, a.score);
+      put(out, a.bit_score);
+      put(out, a.evalue);
+      put(out, a.anchor_q);
+      put(out, a.anchor_s);
+      put(out, static_cast<std::uint64_t>(a.ops.size()));
+      out.append(a.ops);
+    }
+    put(out, static_cast<std::uint64_t>(r.ungapped.size()));
+    for (const UngappedAlignment& u : r.ungapped) put(out, u);
+    put(out, r.stats);
+  }
+  return out;
+}
+
+std::vector<QueryResult> decode_results(std::span<const std::byte> payload,
+                                        std::size_t num_queries,
+                                        double* seconds) {
+  FrameReader in{payload};
+  *seconds = in.get<double>();
+  std::vector<QueryResult> results(num_queries);
+  for (QueryResult& r : results) {
+    const std::uint64_t n_align = in.get<std::uint64_t>();
+    r.alignments.resize(static_cast<std::size_t>(n_align));
+    for (GappedAlignment& a : r.alignments) {
+      a.subject = in.get<SeqId>();
+      a.q_start = in.get<std::uint32_t>();
+      a.q_end = in.get<std::uint32_t>();
+      a.s_start = in.get<std::uint32_t>();
+      a.s_end = in.get<std::uint32_t>();
+      a.score = in.get<Score>();
+      a.bit_score = in.get<double>();
+      a.evalue = in.get<double>();
+      a.anchor_q = in.get<std::uint32_t>();
+      a.anchor_s = in.get<std::uint32_t>();
+      a.ops = in.get_string(in.get<std::uint64_t>());
+    }
+    const std::uint64_t n_ungapped = in.get<std::uint64_t>();
+    r.ungapped.resize(static_cast<std::size_t>(n_ungapped));
+    for (UngappedAlignment& u : r.ungapped) u = in.get<UngappedAlignment>();
+    r.stats = in.get<StageStats>();
+  }
+  if (in.pos != payload.size()) {
+    throw Error("shard result frame has trailing bytes", ErrorKind::kIo);
+  }
+  return results;
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF before the frame completed
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+// finalize_stage's exact ranking order (core/results.cpp): score desc, then
+// subject asc, q_start asc, s_start asc. Re-sorting the concatenated
+// per-shard lists with this comparator and truncating reproduces the
+// unsharded final list (see orchestrator.hpp for why).
+bool final_order(const GappedAlignment& a, const GappedAlignment& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.subject != b.subject) return a.subject < b.subject;
+  if (a.q_start != b.q_start) return a.q_start < b.q_start;
+  return a.s_start < b.s_start;
+}
+
+std::vector<QueryResult> merge_shard_results(
+    const ShardSet& set,
+    const std::vector<std::vector<QueryResult>>& per_shard,
+    std::size_t num_queries, std::size_t max_alignments) {
+  std::vector<QueryResult> merged(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    QueryResult& out = merged[q];
+    for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+      if (per_shard[k].empty()) continue;  // quarantined or empty shard
+      const QueryResult& r = per_shard[k][q];
+      const std::span<const SeqId> remap = set.to_global(k);
+      for (GappedAlignment a : r.alignments) {
+        a.subject = remap[a.subject];
+        out.alignments.push_back(std::move(a));
+      }
+      for (UngappedAlignment u : r.ungapped) {
+        u.subject = remap[u.subject];
+        out.ungapped.push_back(u);
+      }
+      out.stats += r.stats;
+    }
+    std::stable_sort(out.alignments.begin(), out.alignments.end(),
+                     final_order);
+    if (out.alignments.size() > max_alignments) {
+      out.alignments.resize(max_alignments);
+    }
+    canonicalize_ungapped(out.ungapped);
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Shard construction helpers
+// ---------------------------------------------------------------------------
+
+MuBlastpOptions shard_engine_options(const ShardSetOptions& opts,
+                                     std::uint64_t combined_residues) {
+  MuBlastpOptions engine = opts.engine;
+  // The one invariant sharding lives on: every shard prices E-values over
+  // the combined search space, exactly like the unsharded run.
+  engine.effective_db_residues = combined_residues;
+  return engine;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+const char* shard_mode_name(ShardWorkerMode mode) {
+  switch (mode) {
+    case ShardWorkerMode::kThread: return "thread";
+    case ShardWorkerMode::kProcess: return "process";
+  }
+  return "unknown";
+}
+
+ShardWorkerMode parse_shard_mode(std::string_view spec) {
+  if (spec == "thread") return ShardWorkerMode::kThread;
+  if (spec == "process") return ShardWorkerMode::kProcess;
+  throw Error("unknown shard worker mode '" + std::string(spec) +
+              "' (expected thread or process)");
+}
+
+double ShardSet::predicted_imbalance() const {
+  if (shards_.empty()) return 0.0;
+  std::uint64_t lo = shards_.front().num_residues;
+  std::uint64_t hi = lo;
+  for (const Shard& s : shards_) {
+    lo = std::min(lo, s.num_residues);
+    hi = std::max(hi, s.num_residues);
+  }
+  if (hi == 0) return 0.0;
+  return static_cast<double>(hi - lo) / static_cast<double>(hi);
+}
+
+ShardSet ShardSet::load(const std::string& path, const ShardSetOptions& opts,
+                        stats::DegradedStats* degraded) {
+  MUBLASTP_CHECK(opts.strict || degraded != nullptr,
+                 "non-strict ShardSet::load needs a DegradedStats sink");
+  const ShardManifest manifest = load_shard_manifest(path);
+  const std::string dir = dirname_of(path);
+
+  ShardSet set;
+  set.total_sequences_ = manifest.total_sequences;
+  set.total_residues_ = manifest.total_residues;
+  set.strategy_ = manifest.strategy;
+  set.options_ = opts;
+  set.shards_.resize(manifest.shards.size());
+
+  for (std::uint32_t k = 0; k < manifest.shard_count(); ++k) {
+    const ShardManifest::Shard& m = manifest.shards[k];
+    Shard& shard = set.shards_[k];
+    shard.to_global = m.to_global;
+    shard.num_residues = m.num_residues;
+    if (m.num_sequences == 0) continue;  // empty shard: no index file
+
+    const std::string shard_path = dir + "/" + m.path;
+    try {
+      std::ifstream in(shard_path, std::ios::binary);
+      MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                          "cannot open shard index: " + shard_path);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      MUBLASTP_CHECK_KIND(!in.bad(), ErrorKind::kIo,
+                          "failed reading shard index: " + shard_path);
+      // Whole-file CRC against the manifest: names a rotted shard before
+      // the (section-level) index loader even runs.
+      const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+      MUBLASTP_CHECK_KIND(crc == m.index_crc32, ErrorKind::kCorrupt,
+                          "shard " + std::to_string(k) +
+                              " index checksum mismatch (manifest says " +
+                              std::to_string(m.index_crc32) + ", file has " +
+                              std::to_string(crc) + ")");
+      std::istringstream stream(std::move(bytes));
+      auto index = std::make_unique<DbIndex>(load_db_index(stream));
+      // Structural cross-check: the index must describe the slice the
+      // manifest promised.
+      const DbIndexView view(*index);
+      MUBLASTP_CHECK_KIND(view.num_sequences() == m.num_sequences &&
+                              view.total_residues() == m.num_residues,
+                          ErrorKind::kCorrupt,
+                          "shard " + std::to_string(k) +
+                              " index does not match its manifest entry");
+      shard.engine = std::make_unique<MuBlastpEngine>(
+          DbIndexView(*index), opts.params,
+          shard_engine_options(opts, manifest.total_residues));
+      shard.index = std::move(index);
+    } catch (const Error& e) {
+      if (opts.strict) throw;
+      degraded->quarantined_shards.push_back({k, e.what()});
+      degraded->partial = true;
+      shard.index.reset();
+      shard.engine.reset();
+    }
+  }
+
+  // Rebuild the database in global original-id order for report rendering.
+  // Quarantined shards contribute empty placeholders (they contribute no
+  // alignments either, so the placeholders are never rendered).
+  std::vector<std::pair<std::uint32_t, SeqId>> locate(
+      manifest.total_sequences, {0, 0});
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    const auto& tg = set.shards_[k].to_global;
+    for (SeqId local = 0; local < tg.size(); ++local) {
+      locate[tg[local]] = {k, local};
+    }
+  }
+  for (std::uint64_t g = 0; g < manifest.total_sequences; ++g) {
+    const auto [k, local] = locate[g];
+    const Shard& shard = set.shards_[k];
+    if (shard.index == nullptr) {
+      // Placeholder for a load-quarantined shard's sequence (the store
+      // rejects truly empty sequences). Never rendered: a quarantined
+      // shard contributes no alignments, so nothing references this id.
+      const Residue placeholder{};
+      set.global_db_.add({&placeholder, 1}, {});
+      continue;
+    }
+    const SeqId sorted = shard.index->sorted_id(local);
+    set.global_db_.add(shard.index->db().sequence(sorted),
+                       shard.index->db().name(sorted));
+  }
+  return set;
+}
+
+ShardSet ShardSet::build_in_memory(const SequenceStore& db, int shards,
+                                   PartitionStrategy strategy,
+                                   const DbIndexConfig& config,
+                                   const ShardSetOptions& opts) {
+  MUBLASTP_CHECK(shards >= 1, "shard count must be >= 1");
+  std::vector<std::size_t> seq_lens(db.size());
+  for (SeqId i = 0; i < db.size(); ++i) seq_lens[i] = db.length(i);
+  const Partitioning parts = make_partitioning(seq_lens, shards, strategy);
+
+  ShardSet set;
+  set.total_sequences_ = db.size();
+  set.total_residues_ = db.total_residues();
+  set.strategy_ = strategy;
+  set.options_ = opts;
+  set.shards_.resize(static_cast<std::size_t>(shards));
+  for (SeqId i = 0; i < db.size(); ++i) {
+    // Ascending global-id walk: each shard's to_global comes out strictly
+    // increasing, and its store's local order is the global order
+    // restricted to the shard.
+    set.shards_[parts.assignment[i]].to_global.push_back(i);
+  }
+  for (Shard& shard : set.shards_) {
+    if (shard.to_global.empty()) continue;
+    SequenceStore shard_db;
+    for (const SeqId g : shard.to_global) {
+      shard_db.add(db.sequence(g), db.name(g));
+      shard.num_residues += db.length(g);
+    }
+    shard.index = std::make_unique<DbIndex>(DbIndex::build(shard_db, config));
+    shard.engine = std::make_unique<MuBlastpEngine>(
+        DbIndexView(*shard.index), opts.params,
+        shard_engine_options(opts, db.total_residues()));
+  }
+  for (SeqId i = 0; i < db.size(); ++i) {
+    set.global_db_.add(db.sequence(i), db.name(i));
+  }
+  return set;
+}
+
+namespace {
+
+struct WorkerOutcome {
+  std::vector<QueryResult> results;  ///< empty when the shard failed
+  double seconds = 0.0;
+  bool failed = false;
+  std::string reason;
+};
+
+void run_thread_workers(const ShardSet& set, const SequenceStore& queries,
+                        int threads, const std::vector<bool>& doomed,
+                        std::vector<WorkerOutcome>& outcomes) {
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    if (set.engine(k) != nullptr && !doomed[k]) live.push_back(k);
+  }
+  const int per_shard = std::max<int>(
+      1, threads / std::max<std::size_t>(1, live.size()));
+
+  std::vector<std::thread> workers;
+  workers.reserve(live.size());
+  for (const std::uint32_t k : live) {
+    workers.emplace_back([&, k] {
+      WorkerOutcome& out = outcomes[k];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        out.results = set.engine(k)->search_batch(queries, per_shard);
+      } catch (const std::exception& e) {
+        out.failed = true;
+        out.reason = e.what();
+        out.results.clear();
+      }
+      out.seconds = seconds_since(t0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    if (doomed[k] && set.engine(k) != nullptr) {
+      outcomes[k].failed = true;
+      outcomes[k].reason = "shard worker failed (injected fault)";
+    }
+  }
+}
+
+void run_process_workers(const ShardSet& set, const SequenceStore& queries,
+                         const std::vector<bool>& doomed,
+                         std::vector<WorkerOutcome>& outcomes) {
+  struct Child {
+    std::uint32_t shard = 0;
+    pid_t pid = -1;
+    int fd = -1;
+  };
+  std::vector<Child> children;
+
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    if (set.engine(k) == nullptr) continue;
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      outcomes[k].failed = true;
+      outcomes[k].reason = std::string("pipe failed: ") +
+                           std::strerror(errno);
+      continue;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      outcomes[k].failed = true;
+      outcomes[k].reason = std::string("fork failed: ") +
+                           std::strerror(errno);
+      continue;
+    }
+    if (pid == 0) {
+      // Child. A doomed child dies like a real crash so the parent's
+      // recovery path (EOF on the pipe + nonzero waitpid status) is the
+      // one exercised. Live children must stay out of OpenMP regions —
+      // libgomp state does not survive fork — so the batch runs as a
+      // plain single-threaded loop.
+      ::close(fds[0]);
+      if (doomed[k]) ::_exit(kInjectedExitStatus);
+      int status = 0;
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<QueryResult> results;
+        results.reserve(queries.size());
+        for (SeqId q = 0; q < queries.size(); ++q) {
+          results.push_back(set.engine(k)->search(queries.sequence(q)));
+        }
+        const std::string payload =
+            encode_results(seconds_since(t0), results);
+        const std::uint64_t len = payload.size();
+        const std::uint32_t crc = crc32(payload.data(), payload.size());
+        if (!write_all(fds[1], &len, sizeof(len)) ||
+            !write_all(fds[1], &crc, sizeof(crc)) ||
+            !write_all(fds[1], payload.data(), payload.size())) {
+          status = 1;
+        }
+      } catch (...) {
+        status = 1;
+      }
+      ::close(fds[1]);
+      ::_exit(status);
+    }
+    ::close(fds[1]);
+    children.push_back({k, pid, fds[0]});
+  }
+
+  // Drain each pipe fully, in shard order, then reap. Children blocked on
+  // a full pipe unblock when their turn comes; no deadlock.
+  for (const Child& c : children) {
+    WorkerOutcome& out = outcomes[c.shard];
+    std::uint64_t len = 0;
+    std::uint32_t crc = 0;
+    std::string payload;
+    bool frame_ok = read_all(c.fd, &len, sizeof(len)) &&
+                    read_all(c.fd, &crc, sizeof(crc));
+    if (frame_ok) {
+      payload.resize(static_cast<std::size_t>(len));
+      frame_ok = payload.empty() ||
+                 read_all(c.fd, payload.data(), payload.size());
+    }
+    ::close(c.fd);
+    int status = 0;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      out.failed = true;
+      if (WIFEXITED(status) && WEXITSTATUS(status) == kInjectedExitStatus) {
+        out.reason = "shard worker exited with status " +
+                     std::to_string(kInjectedExitStatus) +
+                     " (injected fault)";
+      } else if (WIFSIGNALED(status)) {
+        out.reason = "shard worker killed by signal " +
+                     std::to_string(WTERMSIG(status));
+      } else {
+        out.reason = "shard worker exited with status " +
+                     std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                      : -1);
+      }
+      continue;
+    }
+    if (!frame_ok) {
+      out.failed = true;
+      out.reason = "shard worker result frame truncated";
+      continue;
+    }
+    if (crc32(payload.data(), payload.size()) != crc) {
+      out.failed = true;
+      out.reason = "shard worker result frame checksum mismatch";
+      continue;
+    }
+    try {
+      out.results = decode_results(
+          {reinterpret_cast<const std::byte*>(payload.data()),
+           payload.size()},
+          queries.size(), &out.seconds);
+    } catch (const std::exception& e) {
+      out.failed = true;
+      out.reason = e.what();
+      out.results.clear();
+    }
+  }
+}
+
+}  // namespace
+
+ShardedSearchResult search_sharded(const ShardSet& set,
+                                   const SequenceStore& queries,
+                                   int threads, ShardWorkerMode mode) {
+  MUBLASTP_CHECK(set.shard_count() > 0, "shard set is empty");
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  // Evaluate the injection site in the parent, once per shard in ascending
+  // order — deterministic regardless of worker scheduling, and immune to
+  // fork duplicating the counter into every child.
+  std::vector<bool> doomed(set.shard_count(), false);
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    if (set.engine(k) == nullptr) continue;
+    doomed[k] = MUBLASTP_FI_FAIL("shard.worker");
+  }
+
+  std::vector<WorkerOutcome> outcomes(set.shard_count());
+  if (mode == ShardWorkerMode::kThread) {
+    run_thread_workers(set, queries, threads, doomed, outcomes);
+  } else {
+    run_process_workers(set, queries, doomed, outcomes);
+  }
+
+  ShardedSearchResult out;
+  out.shards.count = set.shard_count();
+  out.shards.mode = shard_mode_name(mode);
+  out.shards.strategy = strategy_name(set.strategy());
+  out.shards.imbalance_predicted = set.predicted_imbalance();
+
+  std::vector<std::vector<QueryResult>> per_shard(set.shard_count());
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    WorkerOutcome& o = outcomes[k];
+    if (o.failed) {
+      if (set.options().strict) {
+        throw Error("shard " + std::to_string(k) + " failed: " + o.reason,
+                    ErrorKind::kIo);
+      }
+      out.degraded.quarantined_shards.push_back({k, o.reason});
+      out.degraded.partial = true;
+      o.results.clear();
+    }
+    stats::ShardStats entry;
+    entry.shard = k;
+    entry.seconds = o.seconds;
+    for (const QueryResult& r : o.results) {
+      entry.hits += r.stats.hits;
+      entry.alignments += r.alignments.size();
+    }
+    out.shards.per_shard.push_back(entry);
+    if (set.engine(k) != nullptr && !o.failed) {
+      lo = first ? o.seconds : std::min(lo, o.seconds);
+      hi = first ? o.seconds : std::max(hi, o.seconds);
+      first = false;
+    }
+    per_shard[k] = std::move(o.results);
+  }
+  out.shards.imbalance_measured = hi > 0.0 ? (hi - lo) / hi : 0.0;
+
+  out.results = merge_shard_results(set, per_shard, queries.size(),
+                                    set.options().params.max_alignments);
+  return out;
+}
+
+}  // namespace mublastp::cluster

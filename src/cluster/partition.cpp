@@ -10,8 +10,25 @@ namespace mublastp::cluster {
 
 double Partitioning::imbalance() const {
   MUBLASTP_CHECK(!chars.empty(), "empty partitioning");
+  // The max == 0 guard defines the all-empty case as 0.0 (nothing to
+  // balance) instead of 0/0 = NaN; a mix of empty and non-empty partitions
+  // falls through to (max - 0) / max = 1.0.
   const auto [lo, hi] = std::minmax_element(chars.begin(), chars.end());
   return *hi == 0.0 ? 0.0 : (*hi - *lo) / *hi;
+}
+
+PartitionStrategy parse_strategy(std::string_view spec) {
+  if (spec == "rr" || spec == "round-robin-sorted") {
+    return PartitionStrategy::kRoundRobinSorted;
+  }
+  if (spec == "lpt" || spec == "greedy-lpt") {
+    return PartitionStrategy::kGreedyLpt;
+  }
+  if (spec == "contig" || spec == "contiguous") {
+    return PartitionStrategy::kContiguous;
+  }
+  throw Error("unknown partition strategy '" + std::string(spec) +
+              "' (expected rr, lpt or contig)");
 }
 
 const char* strategy_name(PartitionStrategy strategy) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace mublastp::cluster {
@@ -38,14 +39,26 @@ struct Partitioning {
   std::vector<std::size_t> counts;
 
   /// (max - min) / max of per-partition residue counts — 0 is perfect.
+  /// Empty partitions are well-defined (real `--shards=N` hits them when
+  /// N exceeds the sequence count): any empty partition alongside a
+  /// non-empty one yields 1.0 (maximal imbalance), and an all-empty
+  /// partitioning yields 0.0 (no work to balance — never NaN).
   double imbalance() const;
 };
 
 /// Partitions sequences of the given lengths into `parts` partitions.
+/// `parts` may exceed seq_lens.size(); the surplus partitions come back
+/// empty (counts 0) under every strategy.
 Partitioning make_partitioning(const std::vector<std::size_t>& seq_lens,
                                int parts, PartitionStrategy strategy);
 
 /// Human-readable strategy name (for bench/table output).
 const char* strategy_name(PartitionStrategy strategy);
+
+/// Parses a CLI strategy spec. Accepts the short forms used by
+/// `mublastp_makedb --strategy=` ("rr", "lpt", "contig") and the full
+/// strategy_name() forms. Throws mublastp::Error(kInvalid) on anything
+/// else, naming the accepted spellings.
+PartitionStrategy parse_strategy(std::string_view spec);
 
 }  // namespace mublastp::cluster

@@ -1,0 +1,365 @@
+#include "cluster/shard_manifest.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <type_traits>
+
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "index/db_index_format.hpp"
+
+namespace mublastp::cluster {
+namespace {
+
+constexpr char kMagic[12] = "MUSHARD01";  // NUL-padded to 12 bytes
+constexpr std::size_t kNumSections = 4;
+
+template <typename T>
+void append_pod(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+std::size_t align_up(std::size_t n) {
+  return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+[[noreturn]] void fail_section(ShardSectionId id, const std::string& what) {
+  throw Error("shard manifest section '" +
+                  std::string(shard_section_name(id)) + "' " + what,
+              ErrorKind::kCorrupt);
+}
+
+[[noreturn]] void fail_file(const std::string& what) {
+  throw Error("shard manifest " + what, ErrorKind::kCorrupt);
+}
+
+}  // namespace
+
+std::string_view shard_section_name(ShardSectionId id) {
+  switch (id) {
+    case ShardSectionId::kConfig: return "config";
+    case ShardSectionId::kShardMeta: return "shard-meta";
+    case ShardSectionId::kRemap: return "remap";
+    case ShardSectionId::kPaths: return "paths";
+  }
+  return "unknown";
+}
+
+double ShardManifest::predicted_imbalance() const {
+  if (shards.empty()) return 0.0;
+  std::uint64_t lo = shards.front().num_residues;
+  std::uint64_t hi = lo;
+  for (const Shard& s : shards) {
+    lo = std::min(lo, s.num_residues);
+    hi = std::max(hi, s.num_residues);
+  }
+  // Same empty-partition semantics as Partitioning::imbalance: all-empty is
+  // perfectly balanced (0.0), never NaN.
+  if (hi == 0) return 0.0;
+  return static_cast<double>(hi - lo) / static_cast<double>(hi);
+}
+
+void save_shard_manifest(const std::string& path,
+                         const ShardManifest& manifest) {
+  MUBLASTP_CHECK(!manifest.shards.empty(),
+                 "shard manifest needs at least one shard");
+
+  // Validate the input is self-consistent before anything hits disk: the
+  // loader enforces these invariants, so a writer bug should fail here,
+  // loudly, not at the next load.
+  std::uint64_t sum_seqs = 0;
+  std::uint64_t sum_residues = 0;
+  for (const ShardManifest::Shard& s : manifest.shards) {
+    MUBLASTP_CHECK(s.to_global.size() == s.num_sequences,
+                   "shard remap size must match its sequence count");
+    MUBLASTP_CHECK(s.path.empty() == (s.num_sequences == 0),
+                   "shard path must be empty exactly for empty shards");
+    MUBLASTP_CHECK(s.path.find('\0') == std::string::npos,
+                   "shard path must not contain NUL");
+    for (std::size_t i = 1; i < s.to_global.size(); ++i) {
+      MUBLASTP_CHECK(s.to_global[i - 1] < s.to_global[i],
+                     "shard remap must be strictly increasing");
+    }
+    sum_seqs += s.num_sequences;
+    sum_residues += s.num_residues;
+  }
+  MUBLASTP_CHECK(sum_seqs == manifest.total_sequences,
+                 "shard sequence counts must sum to total_sequences");
+  MUBLASTP_CHECK(sum_residues == manifest.total_residues,
+                 "shard residue counts must sum to total_residues");
+
+  // Build the four section payloads.
+  const std::uint32_t shard_count = manifest.shard_count();
+  std::string config;
+  ShardConfigRecord cfg{};
+  cfg.shard_count = shard_count;
+  cfg.strategy = static_cast<std::uint32_t>(manifest.strategy);
+  cfg.total_sequences = manifest.total_sequences;
+  cfg.total_residues = manifest.total_residues;
+  append_pod(config, cfg);
+
+  std::string meta;
+  std::string remap;
+  std::string paths;
+  std::uint64_t remap_offset = 0;
+  for (const ShardManifest::Shard& s : manifest.shards) {
+    ShardMetaRecord rec{};
+    rec.num_sequences = s.num_sequences;
+    rec.num_residues = s.num_residues;
+    rec.remap_offset = remap_offset;
+    rec.index_crc32 = s.index_crc32;
+    rec.reserved = 0;
+    append_pod(meta, rec);
+    remap_offset += s.num_sequences;
+    for (const SeqId id : s.to_global) append_pod(remap, id);
+    paths.append(s.path);
+    paths.push_back('\0');
+  }
+
+  const std::string* payloads[kNumSections] = {&config, &meta, &remap,
+                                               &paths};
+  constexpr ShardSectionId kIds[kNumSections] = {
+      ShardSectionId::kConfig, ShardSectionId::kShardMeta,
+      ShardSectionId::kRemap, ShardSectionId::kPaths};
+
+  // Lay out the file: header, table, aligned payloads.
+  const std::size_t table_bytes = kNumSections * sizeof(SectionRecord);
+  std::uint64_t cursor = align_up(sizeof(ShardManifestHeader) + table_bytes);
+  SectionRecord table[kNumSections];
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    table[i].id = static_cast<std::uint32_t>(kIds[i]);
+    table[i].reserved = 0;
+    table[i].offset = cursor;
+    table[i].length = payloads[i]->size();
+    table[i].crc32 = crc32(payloads[i]->data(), payloads[i]->size());
+    cursor = align_up(cursor + payloads[i]->size());
+  }
+
+  ShardManifestHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(header.magic));
+  header.version = kShardManifestVersion;
+  header.section_count = kNumSections;
+  header.table_crc32 = crc32(table, table_bytes);
+  header.file_bytes = cursor;
+
+  std::string image;
+  image.reserve(cursor);
+  append_pod(image, header);
+  image.append(reinterpret_cast<const char*>(table), table_bytes);
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    image.resize(table[i].offset, '\0');
+    image.append(*payloads[i]);
+  }
+  image.resize(cursor, '\0');
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MUBLASTP_CHECK_KIND(out.good(), ErrorKind::kIo,
+                      "cannot open shard manifest for writing: " + path);
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  out.flush();
+  MUBLASTP_CHECK_KIND(out.good(), ErrorKind::kIo,
+                      "failed writing shard manifest: " + path);
+}
+
+ShardManifest parse_shard_manifest(std::span<const std::byte> image) {
+  if (image.size() < sizeof(ShardManifestHeader)) {
+    fail_file("is too short for a header (truncated file)");
+  }
+  ShardManifestHeader header{};
+  std::memcpy(&header, image.data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(header.magic)) != 0) {
+    fail_file("has bad magic (not a MUSHARD01 file)");
+  }
+  if (header.version != kShardManifestVersion) {
+    fail_file("has unsupported version " + std::to_string(header.version));
+  }
+  if (header.file_bytes != image.size()) {
+    fail_file("size mismatch: header says " +
+              std::to_string(header.file_bytes) + " bytes, file has " +
+              std::to_string(image.size()) + " (truncated file)");
+  }
+  if (header.section_count != kNumSections) {
+    fail_file("has wrong section count " +
+              std::to_string(header.section_count));
+  }
+
+  const std::size_t table_bytes =
+      header.section_count * sizeof(SectionRecord);
+  if (sizeof(header) + table_bytes > image.size()) {
+    fail_file("is too short for its section table (truncated file)");
+  }
+  std::vector<SectionRecord> table(header.section_count);
+  std::memcpy(table.data(), image.data() + sizeof(header), table_bytes);
+  if (crc32(table.data(), table_bytes) != header.table_crc32) {
+    fail_file("section table checksum mismatch");
+  }
+
+  // Locate, bounds-check and checksum each required section exactly once.
+  std::span<const std::byte> sections[kNumSections + 1];  // indexed by id
+  bool seen[kNumSections + 1] = {};
+  for (const SectionRecord& rec : table) {
+    if (rec.id < 1 || rec.id > kNumSections) {
+      fail_file("has unknown section id " + std::to_string(rec.id));
+    }
+    const auto id = static_cast<ShardSectionId>(rec.id);
+    if (seen[rec.id]) fail_section(id, "appears twice in the table");
+    seen[rec.id] = true;
+    if (rec.offset % kSectionAlign != 0) {
+      fail_section(id, "is misaligned");
+    }
+    if (rec.offset > image.size() ||
+        rec.length > image.size() - rec.offset) {
+      fail_section(id, "extends past the end of the file (truncated file)");
+    }
+    const std::span<const std::byte> payload =
+        image.subspan(rec.offset, rec.length);
+    if (crc32(payload) != static_cast<std::uint32_t>(rec.crc32)) {
+      fail_section(id, "checksum mismatch");
+    }
+    sections[rec.id] = payload;
+  }
+
+  // kConfig.
+  const auto cfg_bytes =
+      sections[static_cast<std::size_t>(ShardSectionId::kConfig)];
+  if (cfg_bytes.size() != sizeof(ShardConfigRecord)) {
+    fail_section(ShardSectionId::kConfig, "has invalid size");
+  }
+  ShardConfigRecord cfg{};
+  std::memcpy(&cfg, cfg_bytes.data(), sizeof(cfg));
+  if (cfg.shard_count == 0) {
+    fail_section(ShardSectionId::kConfig, "declares zero shards");
+  }
+  if (cfg.strategy > static_cast<std::uint32_t>(
+                         PartitionStrategy::kGreedyLpt)) {
+    fail_section(ShardSectionId::kConfig,
+                 "declares unknown partition strategy " +
+                     std::to_string(cfg.strategy));
+  }
+
+  // kShardMeta.
+  const auto meta_bytes =
+      sections[static_cast<std::size_t>(ShardSectionId::kShardMeta)];
+  if (meta_bytes.size() !=
+      static_cast<std::size_t>(cfg.shard_count) * sizeof(ShardMetaRecord)) {
+    fail_section(ShardSectionId::kShardMeta,
+                 "has invalid size (expected one record per shard)");
+  }
+  std::vector<ShardMetaRecord> meta(cfg.shard_count);
+  std::memcpy(meta.data(), meta_bytes.data(), meta_bytes.size());
+
+  // kRemap.
+  const auto remap_bytes =
+      sections[static_cast<std::size_t>(ShardSectionId::kRemap)];
+  if (remap_bytes.size() != cfg.total_sequences * sizeof(SeqId)) {
+    fail_section(ShardSectionId::kRemap,
+                 "has invalid size (expected one id per sequence)");
+  }
+  std::vector<SeqId> remap(cfg.total_sequences);
+  if (!remap.empty()) {
+    std::memcpy(remap.data(), remap_bytes.data(), remap_bytes.size());
+  }
+
+  // kPaths: exactly shard_count NUL-terminated names consuming the section.
+  const auto paths_bytes =
+      sections[static_cast<std::size_t>(ShardSectionId::kPaths)];
+  std::vector<std::string> shard_paths;
+  shard_paths.reserve(cfg.shard_count);
+  std::size_t pos = 0;
+  for (std::uint32_t k = 0; k < cfg.shard_count; ++k) {
+    const auto* base = reinterpret_cast<const char*>(paths_bytes.data());
+    const void* nul = std::memchr(base + pos, '\0', paths_bytes.size() - pos);
+    if (nul == nullptr) {
+      fail_section(ShardSectionId::kPaths,
+                   "is missing a path terminator (truncated payload)");
+    }
+    const std::size_t len =
+        static_cast<const char*>(nul) - (base + pos);
+    shard_paths.emplace_back(base + pos, len);
+    pos += len + 1;
+  }
+  if (pos != paths_bytes.size()) {
+    fail_section(ShardSectionId::kPaths, "has trailing bytes");
+  }
+
+  // Cross-section structural invariants.
+  ShardManifest out;
+  out.strategy = static_cast<PartitionStrategy>(cfg.strategy);
+  out.total_sequences = cfg.total_sequences;
+  out.total_residues = cfg.total_residues;
+  out.shards.resize(cfg.shard_count);
+  std::uint64_t remap_cursor = 0;
+  std::uint64_t sum_residues = 0;
+  std::vector<bool> covered(cfg.total_sequences, false);
+  for (std::uint32_t k = 0; k < cfg.shard_count; ++k) {
+    const ShardMetaRecord& rec = meta[k];
+    if (rec.remap_offset != remap_cursor) {
+      fail_section(ShardSectionId::kShardMeta,
+                   "has non-contiguous remap offsets");
+    }
+    if (rec.num_sequences > cfg.total_sequences - remap_cursor) {
+      fail_section(ShardSectionId::kShardMeta,
+                   "shard sequence counts exceed total_sequences");
+    }
+    if (shard_paths[k].empty() != (rec.num_sequences == 0)) {
+      fail_section(ShardSectionId::kPaths,
+                   "has an empty path for a non-empty shard (or vice versa)");
+    }
+    ShardManifest::Shard& shard = out.shards[k];
+    shard.path = std::move(shard_paths[k]);
+    shard.num_sequences = rec.num_sequences;
+    shard.num_residues = rec.num_residues;
+    shard.index_crc32 = rec.index_crc32;
+    shard.to_global.assign(
+        remap.begin() + static_cast<std::ptrdiff_t>(remap_cursor),
+        remap.begin() +
+            static_cast<std::ptrdiff_t>(remap_cursor + rec.num_sequences));
+    for (std::size_t i = 0; i < shard.to_global.size(); ++i) {
+      const SeqId g = shard.to_global[i];
+      if (g >= cfg.total_sequences) {
+        fail_section(ShardSectionId::kRemap,
+                     "maps a local id outside the database");
+      }
+      if (covered[g]) {
+        fail_section(ShardSectionId::kRemap,
+                     "maps the same global id twice");
+      }
+      covered[g] = true;
+      if (i > 0 && shard.to_global[i - 1] >= g) {
+        fail_section(ShardSectionId::kRemap,
+                     "is not strictly increasing within a shard");
+      }
+    }
+    remap_cursor += rec.num_sequences;
+    sum_residues += rec.num_residues;
+  }
+  if (remap_cursor != cfg.total_sequences) {
+    fail_section(ShardSectionId::kShardMeta,
+                 "shard sequence counts do not sum to total_sequences");
+  }
+  if (sum_residues != cfg.total_residues) {
+    fail_section(ShardSectionId::kShardMeta,
+                 "shard residue counts do not sum to total_residues");
+  }
+  return out;
+}
+
+ShardManifest load_shard_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good() || MUBLASTP_FI_FAIL("shard.manifest")) {
+    throw Error("cannot open shard manifest: " + path, ErrorKind::kIo);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad() || MUBLASTP_FI_FAIL("shard.manifest")) {
+    throw Error("failed reading shard manifest: " + path, ErrorKind::kIo);
+  }
+  return parse_shard_manifest(
+      {reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()});
+}
+
+}  // namespace mublastp::cluster

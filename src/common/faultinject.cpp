@@ -20,6 +20,8 @@ constexpr const char* kSites[] = {
     "index.open",        // open(2)/ifstream of an index file
     "index.prefault",    // SIGBUS during guarded first-touch prefault
     "io.read",           // bulk input reads (FASTA, index stream slurp)
+    "shard.manifest",    // MUSHARD01 manifest open/read
+    "shard.worker",      // one shard worker of a sharded search batch
     "stage.ungapped",    // ungapped-extension stage of a search round
 };
 constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);

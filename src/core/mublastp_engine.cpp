@@ -351,7 +351,7 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   }
   result.alignments =
       finalize_stage(query, lookup, std::move(gapped), matrix, params_,
-                     karlin_, view_.total_residues());
+                     karlin_, statistical_db_residues());
   if constexpr (Rec::kEnabled) prec.stage(stats::Stage::kFinalize, lap.lap());
   return result;
 }
@@ -531,7 +531,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
       }
       results[i].alignments =
           finalize_stage(query, lookup, std::move(gapped), matrix, params_,
-                         karlin_, view_.total_residues());
+                         karlin_, statistical_db_residues());
       if constexpr (PS::kEnabled) {
         ps->recorder(omp_get_thread_num())
             .stage(stats::Stage::kFinalize, lap.lap());

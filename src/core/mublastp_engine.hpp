@@ -69,6 +69,14 @@ struct MuBlastpOptions {
   /// the batch fails with Error(kCanceled).
   double time_budget_seconds = 0.0;
 
+  /// Search-space size (residues) used for E-value statistics instead of
+  /// the index's own total when nonzero. Sharded execution sets this to the
+  /// COMBINED database size so every shard's E-values (and the E-value
+  /// cutoff) are computed over the same n as an unsharded run — the
+  /// prerequisite for merged output being bit-identical. 0 (the default)
+  /// keeps the single-index behaviour: n = view.total_residues().
+  std::uint64_t effective_db_residues = 0;
+
   /// Whole-batch workspace budget (bytes; 0 = none), split evenly across
   /// worker threads. A workspace whose retained footprint exceeds its share
   /// after a round releases its buffers (capacities regrow on demand), so
@@ -185,6 +193,14 @@ class MuBlastpEngine {
                                       stats::DegradedStats* degraded) const;
 
   void sort_records(std::vector<HitRecord>& records, int key_bits) const;
+
+  /// The n of the K*m*n E-value search space: the combined-database
+  /// override when set (sharded execution), the index total otherwise.
+  std::size_t statistical_db_residues() const {
+    return options_.effective_db_residues != 0
+               ? static_cast<std::size_t>(options_.effective_db_residues)
+               : view_.total_residues();
+  }
 
   DbIndexView view_;
   SearchParams params_;

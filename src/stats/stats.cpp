@@ -46,7 +46,49 @@ void PipelineSnapshot::merge(const PipelineSnapshot& o) {
     }
     if (!seen) degraded.quarantined.push_back(q);
   }
+  for (const QuarantinedShard& q : o.degraded.quarantined_shards) {
+    bool seen = false;
+    for (const QuarantinedShard& mine : degraded.quarantined_shards) {
+      if (mine.shard == q.shard) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) degraded.quarantined_shards.push_back(q);
+  }
   gapped_kernel += o.gapped_kernel;
+  // Shard breakdowns accumulate per shard id (batched sharded runs fold one
+  // snapshot per batch); the measured imbalance is recomputed over the
+  // summed worker seconds.
+  if (!shards.recorded()) {
+    shards = o.shards;
+  } else if (o.shards.recorded()) {
+    shards.count = std::max(shards.count, o.shards.count);
+    for (const ShardStats& theirs : o.shards.per_shard) {
+      ShardStats* mine = nullptr;
+      for (ShardStats& m : shards.per_shard) {
+        if (m.shard == theirs.shard) {
+          mine = &m;
+          break;
+        }
+      }
+      if (mine == nullptr) {
+        shards.per_shard.push_back(theirs);
+      } else {
+        mine->seconds += theirs.seconds;
+        mine->hits += theirs.hits;
+        mine->alignments += theirs.alignments;
+      }
+    }
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (const ShardStats& sh : shards.per_shard) {
+      lo = first ? sh.seconds : std::min(lo, sh.seconds);
+      hi = first ? sh.seconds : std::max(hi, sh.seconds);
+      first = false;
+    }
+    shards.imbalance_measured = hi == 0.0 ? 0.0 : (hi - lo) / hi;
+  }
   workspace_peak_bytes = std::max(workspace_peak_bytes,
                                   o.workspace_peak_bytes);
   threads = std::max(threads, o.threads);
@@ -236,6 +278,25 @@ std::string to_json(const PipelineSnapshot& s) {
              s.gapped_kernel.int8_runs, s.gapped_kernel.int16_reruns,
              s.gapped_kernel.scalar_fallbacks);
   }
+  if (s.shards.recorded()) {
+    append_f(out, ",\n  \"shards\": {\"count\": %u, \"mode\": \"%s\","
+                  " \"strategy\": \"%s\", \"imbalance_predicted\": ",
+             s.shards.count, s.shards.mode.c_str(),
+             s.shards.strategy.c_str());
+    append_double(out, s.shards.imbalance_predicted);
+    out += ", \"imbalance_measured\": ";
+    append_double(out, s.shards.imbalance_measured);
+    out += ", \"per_shard\": [";
+    for (std::size_t i = 0; i < s.shards.per_shard.size(); ++i) {
+      const ShardStats& sh = s.shards.per_shard[i];
+      if (i != 0) out += ", ";
+      append_f(out, "{\"shard\": %u, \"seconds\": ", sh.shard);
+      append_double(out, sh.seconds);
+      append_f(out, ", \"hits\": %" PRIu64 ", \"alignments\": %" PRIu64 "}",
+               sh.hits, sh.alignments);
+    }
+    out += "]}";
+  }
   if (s.degraded.any()) {
     append_f(out,
              ",\n  \"degraded\": {\"partial\": %s, \"load_retries\": %" PRIu64
@@ -250,7 +311,21 @@ std::string to_json(const PipelineSnapshot& s) {
       out += json_safe(q.reason);
       out += "\"}";
     }
-    out += "]}";
+    out += "]";
+    // Emitted only when present so pre-sharding degraded snapshots stay
+    // byte-identical.
+    if (!s.degraded.quarantined_shards.empty()) {
+      out += ", \"quarantined_shards\": [";
+      for (std::size_t i = 0; i < s.degraded.quarantined_shards.size(); ++i) {
+        const QuarantinedShard& q = s.degraded.quarantined_shards[i];
+        if (i != 0) out += ", ";
+        append_f(out, "{\"shard\": %u, \"reason\": \"", q.shard);
+        out += json_safe(q.reason);
+        out += "\"}";
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += ",\n  \"per_block\": [";
   for (std::size_t i = 0; i < s.per_block.size(); ++i) {
@@ -485,6 +560,54 @@ PipelineSnapshot from_json(const std::string& json) {
             });
             s.degraded.quarantined.push_back(std::move(q));
           });
+        } else if (dkey == "quarantined_shards") {
+          ps.array([&] {
+            QuarantinedShard q;
+            ps.object([&](const std::string& qkey) {
+              if (qkey == "shard") {
+                q.shard = static_cast<std::uint32_t>(ps.number_u64());
+              } else if (qkey == "reason") {
+                q.reason = ps.string();
+              } else {
+                ps.skip_value();
+              }
+            });
+            s.degraded.quarantined_shards.push_back(std::move(q));
+          });
+        } else {
+          ps.skip_value();
+        }
+      });
+    } else if (key == "shards") {
+      ps.object([&](const std::string& skey) {
+        if (skey == "count") {
+          s.shards.count = static_cast<std::uint32_t>(ps.number_u64());
+        } else if (skey == "mode") {
+          s.shards.mode = ps.string();
+        } else if (skey == "strategy") {
+          s.shards.strategy = ps.string();
+        } else if (skey == "imbalance_predicted") {
+          s.shards.imbalance_predicted = ps.number_double();
+        } else if (skey == "imbalance_measured") {
+          s.shards.imbalance_measured = ps.number_double();
+        } else if (skey == "per_shard") {
+          ps.array([&] {
+            ShardStats sh;
+            ps.object([&](const std::string& shkey) {
+              if (shkey == "shard") {
+                sh.shard = static_cast<std::uint32_t>(ps.number_u64());
+              } else if (shkey == "seconds") {
+                sh.seconds = ps.number_double();
+              } else if (shkey == "hits") {
+                sh.hits = ps.number_u64();
+              } else if (shkey == "alignments") {
+                sh.alignments = ps.number_u64();
+              } else {
+                ps.skip_value();
+              }
+            });
+            s.shards.per_shard.push_back(sh);
+          });
         } else {
           ps.skip_value();
         }
@@ -555,6 +678,20 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                  s.index_load.mode.c_str(), s.index_load.load_seconds,
                  s.index_load.file_bytes, s.index_load.resident_bytes);
   }
+  if (s.shards.recorded()) {
+    std::fprintf(out,
+                 "  shards: count=%u mode=%s strategy=%s"
+                 " imbalance predicted=%.4f measured=%.4f\n",
+                 s.shards.count, s.shards.mode.c_str(),
+                 s.shards.strategy.c_str(), s.shards.imbalance_predicted,
+                 s.shards.imbalance_measured);
+    for (const ShardStats& sh : s.shards.per_shard) {
+      std::fprintf(out,
+                   "    shard %-3u %10.4fs %12" PRIu64 " hits %8" PRIu64
+                   " alignments\n",
+                   sh.shard, sh.seconds, sh.hits, sh.alignments);
+    }
+  }
   if (s.degraded.any()) {
     std::fprintf(out,
                  "  DEGRADED: partial=%s load_retries=%" PRIu64
@@ -564,6 +701,10 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                  s.degraded.time_budget_trips, s.degraded.mem_budget_trips);
     for (const QuarantinedBlock& q : s.degraded.quarantined) {
       std::fprintf(out, "    quarantined block %u: %s\n", q.block,
+                   q.reason.c_str());
+    }
+    for (const QuarantinedShard& q : s.degraded.quarantined_shards) {
+      std::fprintf(out, "    quarantined shard %u: %s\n", q.shard,
                    q.reason.c_str());
     }
   }

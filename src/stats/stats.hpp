@@ -134,6 +134,18 @@ struct QuarantinedBlock {
                          const QuarantinedBlock&) = default;
 };
 
+/// One shard excluded from a sharded run: its worker crashed, was
+/// fault-injected, or its index failed to load. The surviving shards'
+/// merged results are complete for every subject they hold; this records
+/// which slice of the database is missing and why.
+struct QuarantinedShard {
+  std::uint32_t shard = 0;
+  std::string reason;
+
+  friend bool operator==(const QuarantinedShard&,
+                         const QuarantinedShard&) = default;
+};
+
 /// Tier tallies of the banded gapped-extension kernel: which numeric width
 /// each extension half ran at. Execution-strategy telemetry, not part of
 /// the deterministic StageCounters set — all-zero on scalar runs (and
@@ -163,6 +175,7 @@ struct GappedKernelStats {
 /// so clean runs are byte-identical to pre-degraded output.
 struct DegradedStats {
   std::vector<QuarantinedBlock> quarantined;  ///< blocks excluded + why
+  std::vector<QuarantinedShard> quarantined_shards;  ///< shards excluded + why
   std::uint64_t load_retries = 0;       ///< index load retry attempts
   std::uint64_t time_budget_trips = 0;  ///< queries cut off by --time-budget
   std::uint64_t mem_budget_trips = 0;   ///< workspace shrinks by --mem-budget
@@ -170,10 +183,42 @@ struct DegradedStats {
 
   bool any() const {
     return partial || load_retries != 0 || time_budget_trips != 0 ||
-           mem_budget_trips != 0 || !quarantined.empty();
+           mem_budget_trips != 0 || !quarantined.empty() ||
+           !quarantined_shards.empty();
   }
   friend bool operator==(const DegradedStats&,
                          const DegradedStats&) = default;
+};
+
+/// One shard's contribution to a sharded run: wall time of its worker and
+/// what it found. A quarantined shard keeps its entry with zeros.
+struct ShardStats {
+  std::uint32_t shard = 0;
+  double seconds = 0.0;          ///< worker wall time across the batch
+  std::uint64_t hits = 0;        ///< stage-1 word hits in this shard
+  std::uint64_t alignments = 0;  ///< final alignments contributed (pre-merge)
+
+  friend bool operator==(const ShardStats&, const ShardStats&) = default;
+};
+
+/// Per-shard breakdown of a sharded run (the stats-v1 "shards" object).
+/// Default-constructed (count == 0) == "not a sharded run"; omitted from
+/// the JSON then, so single-index snapshots are byte-identical to before.
+struct ShardsStats {
+  std::uint32_t count = 0;       ///< shard_count of the manifest
+  std::string mode;              ///< "thread" or "process"
+  std::string strategy;          ///< partition strategy_name()
+  /// (max - min) / max of per-shard residue counts — the static balance the
+  /// partitioner promised.
+  double imbalance_predicted = 0.0;
+  /// Same ratio over the measured per-shard worker seconds — what the run
+  /// actually saw. Cross-checked against the discrete-event simulator in
+  /// bench/shard_balance.
+  double imbalance_measured = 0.0;
+  std::vector<ShardStats> per_shard;
+
+  bool recorded() const { return count != 0; }
+  friend bool operator==(const ShardsStats&, const ShardsStats&) = default;
 };
 
 /// Immutable result of one collection run — exactly what the JSON schema
@@ -195,6 +240,7 @@ struct PipelineSnapshot {
   IndexLoadStats index_load;   ///< optional; see IndexLoadStats
   DegradedStats degraded;      ///< optional; omitted from JSON when !any()
   GappedKernelStats gapped_kernel;  ///< optional; omitted when !any()
+  ShardsStats shards;          ///< optional; omitted when !recorded()
 
   double survival_ratio() const { return totals.survival_ratio(); }
 

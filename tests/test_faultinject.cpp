@@ -54,7 +54,7 @@ class FaultInject : public ::testing::Test {
 
 TEST_F(FaultInject, RegistryIsSortedAndSelfConsistent) {
   const auto sites = fi::registered_sites();
-  ASSERT_GE(sites.size(), 8u);
+  ASSERT_GE(sites.size(), 10u);
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end(),
                              [](const char* a, const char* b) {
                                return std::string_view(a) < b;
@@ -64,7 +64,8 @@ TEST_F(FaultInject, RegistryIsSortedAndSelfConsistent) {
   }
   for (const char* s : {"index.crc", "index.mmap", "index.open",
                         "index.prefault", "io.read", "alloc.workspace",
-                        "stage.ungapped", "checkpoint.write"}) {
+                        "stage.ungapped", "checkpoint.write",
+                        "shard.manifest", "shard.worker"}) {
     EXPECT_TRUE(fi::is_registered(s)) << s;
   }
   EXPECT_FALSE(fi::is_registered("no.such.site"));
@@ -110,6 +111,20 @@ TEST_F(FaultInject, FiringSetsRequestedErrno) {
   errno = 0;
   EXPECT_TRUE(fi::should_fail("index.mmap"));
   EXPECT_EQ(errno, ENOMEM);
+}
+
+TEST_F(FaultInject, ShardSitesCountAndFireIndependently) {
+  // The sharded-execution sites obey the same arm/count semantics as the
+  // rest of the registry; their recovery paths (quarantine vs strict
+  // fail-closed, both worker modes) are proven end-to-end in
+  // tests/test_shards.cpp.
+  fi::arm_from_spec("shard.manifest:1,shard.worker:2");
+  EXPECT_TRUE(fi::should_fail("shard.manifest"));
+  EXPECT_FALSE(fi::should_fail("shard.worker"));
+  EXPECT_TRUE(fi::should_fail("shard.worker"));
+  EXPECT_FALSE(fi::should_fail("shard.worker"));  // single-shot
+  EXPECT_EQ(fi::call_count("shard.manifest"), 1u);
+  EXPECT_EQ(fi::call_count("shard.worker"), 3u);
 }
 
 TEST_F(FaultInject, DisarmedSitesAreNoops) {

@@ -124,5 +124,68 @@ TEST(Partition, StrategyNames) {
   EXPECT_STREQ(strategy_name(PartitionStrategy::kGreedyLpt), "greedy-lpt");
 }
 
+TEST(Partition, ParseStrategyAcceptsShortAndLongSpellings) {
+  EXPECT_EQ(parse_strategy("rr"), PartitionStrategy::kRoundRobinSorted);
+  EXPECT_EQ(parse_strategy("round-robin-sorted"),
+            PartitionStrategy::kRoundRobinSorted);
+  EXPECT_EQ(parse_strategy("lpt"), PartitionStrategy::kGreedyLpt);
+  EXPECT_EQ(parse_strategy("greedy-lpt"), PartitionStrategy::kGreedyLpt);
+  EXPECT_EQ(parse_strategy("contig"), PartitionStrategy::kContiguous);
+  EXPECT_EQ(parse_strategy("contiguous"), PartitionStrategy::kContiguous);
+  try {
+    parse_strategy("fastest");
+    FAIL() << "unknown strategy spec accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInvalid);
+    // The error must teach the accepted spellings.
+    EXPECT_NE(std::string(e.what()).find("rr"), std::string::npos);
+  }
+}
+
+// imbalance() with empty partitions: the exact semantics `--shards=N` with
+// N > sequence count relies on (documented on Partitioning::imbalance).
+class EmptyPartitionImbalance
+    : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(EmptyPartitionImbalance, SurplusPartitionsYieldMaximalImbalance) {
+  // 3 sequences into 5 partitions: at least two partitions are empty, so
+  // min residues is 0 and (max - 0) / max == 1.0 under every strategy.
+  const Partitioning part =
+      make_partitioning({100, 200, 300}, 5, GetParam());
+  ASSERT_EQ(part.chars.size(), 5u);
+  ASSERT_EQ(part.counts.size(), 5u);
+  std::size_t empty = 0;
+  for (const std::size_t c : part.counts) {
+    if (c == 0) ++empty;
+  }
+  EXPECT_GE(empty, 2u);
+  EXPECT_DOUBLE_EQ(part.imbalance(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, EmptyPartitionImbalance,
+    ::testing::Values(PartitionStrategy::kContiguous,
+                      PartitionStrategy::kRoundRobinSorted,
+                      PartitionStrategy::kGreedyLpt),
+    [](const auto& info) {
+      std::string n = strategy_name(info.param);
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Partition, AllEmptyImbalanceIsZeroNeverNaN) {
+  // make_partitioning rejects empty inputs, but Partitioning is a plain
+  // aggregate — a hand-built all-empty partitioning (what a sharded run
+  // over zero live shards would summarize) must define imbalance as 0.0.
+  Partitioning part;
+  part.chars = {0.0, 0.0, 0.0};
+  part.counts = {0, 0, 0};
+  const double v = part.imbalance();
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(v, v);  // not NaN
+}
+
 }  // namespace
 }  // namespace mublastp::cluster

@@ -7,13 +7,26 @@
 //                   [--threshold=11] [--long-limit=8192]
 //   mublastp_makedb --synth=sprot|envnr --residues=N --seed=S --out=db.mbi
 //
+// With --shards=N the database is partitioned (--strategy=rr|lpt|contig,
+// default rr — the paper's length-sort + round-robin deal) into N
+// self-contained shard indexes written as <out>.shard0..<out>.shardN-1,
+// and <out> becomes a MUSHARD01 manifest tying them together (see
+// docs/SHARDING.md). mublastp_search --shards-manifest=<out> searches them
+// as one database.
+//
 // --inject=site:Nth[:errno] arms a fault-injection site (see
 // docs/ROBUSTNESS.md); exit codes map the typed error taxonomy:
 // 0 ok, 1 generic, 2 usage, 4 I/O, 5 corrupt input, 6 resources.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <vector>
 
+#include "cluster/partition.hpp"
+#include "cluster/shard_manifest.hpp"
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
 #include "common/timer.hpp"
@@ -41,6 +54,72 @@ std::size_t arg_num(int argc, char** argv, const std::string& key,
   return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
 }
 
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::uint32_t file_crc32(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MUBLASTP_CHECK_KIND(in.good(), mublastp::ErrorKind::kIo,
+                      "cannot reopen shard index for checksum: " + path);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return mublastp::crc32(bytes.data(), bytes.size());
+}
+
+// Builds + writes the N shard indexes and the MUSHARD01 manifest.
+void make_sharded(const mublastp::SequenceStore& db,
+                  const mublastp::DbIndexConfig& config,
+                  const std::string& out_path, int shards,
+                  mublastp::cluster::PartitionStrategy strategy) {
+  using namespace mublastp;
+  namespace cl = mublastp::cluster;
+
+  std::vector<std::size_t> seq_lens(db.size());
+  for (SeqId i = 0; i < db.size(); ++i) seq_lens[i] = db.length(i);
+  const cl::Partitioning parts =
+      cl::make_partitioning(seq_lens, shards, strategy);
+
+  cl::ShardManifest manifest;
+  manifest.strategy = strategy;
+  manifest.total_sequences = db.size();
+  manifest.total_residues = db.total_residues();
+  manifest.shards.resize(static_cast<std::size_t>(shards));
+  // Ascending global-id walk keeps every shard's remap strictly increasing
+  // (the manifest invariant the merge relies on).
+  for (SeqId i = 0; i < db.size(); ++i) {
+    manifest.shards[parts.assignment[i]].to_global.push_back(i);
+  }
+
+  Timer t;
+  for (int k = 0; k < shards; ++k) {
+    cl::ShardManifest::Shard& shard =
+        manifest.shards[static_cast<std::size_t>(k)];
+    shard.num_sequences = shard.to_global.size();
+    if (shard.to_global.empty()) continue;  // empty shard: no index file
+    SequenceStore shard_db;
+    for (const SeqId g : shard.to_global) {
+      shard_db.add(db.sequence(g), db.name(g));
+      shard.num_residues += db.length(g);
+    }
+    const DbIndex index = DbIndex::build(shard_db, config);
+    const std::string shard_path = out_path + ".shard" + std::to_string(k);
+    save_db_index_file(shard_path, index);
+    shard.path = basename_of(shard_path);
+    shard.index_crc32 = file_crc32(shard_path);
+    std::printf("shard %d: %zu sequences, %llu residues, %zu blocks -> %s\n",
+                k, shard.to_global.size(),
+                static_cast<unsigned long long>(shard.num_residues),
+                index.blocks().size(), shard_path.c_str());
+  }
+  cl::save_shard_manifest(out_path, manifest);
+  std::printf(
+      "wrote manifest %s: %d shards (%s), imbalance %.3f, in %.2fs\n",
+      out_path.c_str(), shards, cl::strategy_name(strategy),
+      manifest.predicted_imbalance(), t.seconds());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,9 +132,12 @@ int main(int argc, char** argv) {
                  "usage: mublastp_makedb (--in=db.fasta | --synth=sprot|envnr"
                  " --residues=N) --out=db.mbi [--block-kb=512]"
                  " [--threshold=11] [--long-limit=8192] [--seed=42]"
+                 " [--shards=N [--strategy=rr|lpt|contig]]"
                  " [--inject=site:Nth]\n");
     return 2;
   }
+  const std::size_t shards = arg_num(argc, argv, "shards", 0);
+  const std::string strategy_spec = arg_str(argc, argv, "strategy", "rr");
   const std::string inject = arg_str(argc, argv, "inject", "");
   if (!inject.empty()) {
     try {
@@ -91,6 +173,12 @@ int main(int argc, char** argv) {
     config.neighbor_threshold =
         static_cast<Score>(arg_num(argc, argv, "threshold", 11));
     config.long_seq_limit = arg_num(argc, argv, "long-limit", 8192);
+
+    if (shards > 0) {
+      make_sharded(db, config, out_path, static_cast<int>(shards),
+                   cluster::parse_strategy(strategy_spec));
+      return 0;
+    }
 
     Timer t;
     const DbIndex index = DbIndex::build(db, config);

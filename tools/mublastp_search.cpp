@@ -9,6 +9,23 @@
 //                   [--strict] [--inject=site:Nth[:errno]]
 //                   [--time-budget=SEC] [--mem-budget-mb=N]
 //                   [--out=FILE] [--checkpoint=FILE] [--batch-size=16]
+//   mublastp_search --shards-manifest=db.mbi --query=q.fasta
+//                   [--shard-mode=thread|process] [...common flags...]
+//
+// Sharded mode (--shards-manifest, exclusive with --index): loads the
+// MUSHARD01 manifest written by `mublastp_makedb --shards=N`, fans the
+// query batch out to one worker per shard (--shard-mode=thread runs them
+// in-process, each with its share of --threads; --shard-mode=process
+// fork(2)s one child per shard and reads results back over CRC-framed
+// pipes), rescales every E-value over the COMBINED database size, and
+// merges per-shard hits into the same globally-ordered top-k an unsharded
+// search of the whole database produces — bit-identical output (see
+// docs/SHARDING.md). A shard that fails (index rot, worker crash, injected
+// fault) is quarantined: surviving shards complete, the victim is named in
+// the stats-v1 "degraded" object ("quarantined_shards") and the run exits
+// 3 (partial). --strict fails closed instead: exit 5 for load-time
+// corruption, 4 for a dead worker. The "shards" stats object records
+// per-shard timings/hits and predicted-vs-measured imbalance.
 //
 // --threads defaults to the OpenMP thread pool size (omp_get_max_threads);
 // non-positive values are rejected. --kernel selects the alignment-DP
@@ -61,6 +78,7 @@
 #include <sstream>
 #include <string>
 
+#include "cluster/orchestrator.hpp"
 #include "common/checkpoint.hpp"
 #include "common/checksum.hpp"
 #include "common/error.hpp"
@@ -202,6 +220,80 @@ void render(std::ostream& os, const std::string& outfmt,
   }  // outfmt == "none": suppress the report (e.g. for --stats=json)
 }
 
+/// Sharded-mode render: merged results carry GLOBAL original ids, resolved
+/// against the ShardSet's reconstructed global-order SequenceStore — the
+/// same lines the unsharded view-based render produces.
+void render_store(std::ostream& os, const std::string& outfmt,
+                  const SequenceStore& queries, SeqId q,
+                  const SequenceStore& db, const QueryResult& result) {
+  if (outfmt == "tabular") {
+    write_tabular(os, queries.name(q), queries.sequence(q), db, result,
+                  blosum62());
+  } else if (outfmt == "pairwise") {
+    write_pairwise(os, queries.name(q), queries.sequence(q), db, result,
+                   blosum62());
+  }
+}
+
+/// Resolves --threads (default: the OpenMP pool size). Returns false (after
+/// printing the usage error) on a non-positive or malformed value.
+bool parse_threads(int argc, char** argv, int* out) {
+  const std::string threads_arg = arg_str(argc, argv, "threads", "");
+  long threads_val = omp_get_max_threads();
+  if (!threads_arg.empty()) {
+    char* endp = nullptr;
+    threads_val = std::strtol(threads_arg.c_str(), &endp, 10);
+    if (endp == threads_arg.c_str() || *endp != '\0' || threads_val <= 0) {
+      std::fprintf(stderr, "error: --threads must be a positive integer"
+                   " (got '%s')\n", threads_arg.c_str());
+      return false;
+    }
+  }
+  *out = static_cast<int>(threads_val);
+  return true;
+}
+
+/// Folds one sharded search's degraded report into the run's, deduplicating
+/// quarantined shards by id (a load-quarantined shard would otherwise be
+/// re-reported by every checkpoint batch).
+void absorb_shard_degradation(stats::DegradedStats& into,
+                              const stats::DegradedStats& from) {
+  for (const stats::QuarantinedShard& q : from.quarantined_shards) {
+    bool seen = false;
+    for (const stats::QuarantinedShard& have : into.quarantined_shards) {
+      if (have.shard == q.shard) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) into.quarantined_shards.push_back(q);
+  }
+  into.partial = into.partial || from.partial;
+}
+
+/// Builds the stats-v1 snapshot of one sharded search call. Per-stage
+/// seconds/blocks are per-shard-internal and not meaningful globally, so
+/// only the deterministic counters, the wall time and the "shards" object
+/// are recorded.
+stats::PipelineSnapshot sharded_snapshot(
+    const cluster::ShardedSearchResult& res, int threads, double seconds,
+    const MuBlastpOptions& options) {
+  stats::PipelineSnapshot snap;
+  snap.engine = "mublastp-sharded";
+  snap.kernel = simd::kernel_name(options.kernel);
+  snap.threads = threads;
+  snap.queries = res.results.size();
+  snap.total_seconds = seconds;
+  for (const QueryResult& r : res.results) {
+    snap.totals += stats::counters_of(r.stats);
+    snap.gapped_kernel.int8_runs += r.stats.gapped_int8_runs;
+    snap.gapped_kernel.int16_reruns += r.stats.gapped_int16_reruns;
+    snap.gapped_kernel.scalar_fallbacks += r.stats.gapped_scalar_fallbacks;
+  }
+  snap.shards = res.shards;
+  return snap;
+}
+
 /// RAII for the POSIX output fd used by the checkpointed path (the report
 /// stream must be durable before its batch is journaled, which needs
 /// fsync — hence a raw fd instead of an ofstream).
@@ -212,10 +304,193 @@ struct OutFile {
   }
 };
 
+/// The whole sharded-mode run: load the manifest's shard set, fan out,
+/// merge, render, report. Same output plumbing (plain + checkpointed) and
+/// the same exit-code contract as the unsharded path.
+int run_sharded(int argc, char** argv, const std::string& manifest_path,
+                const std::string& query_path, const std::string& outfmt,
+                const std::string& stats_mode, const std::string& out_path,
+                const std::string& checkpoint_path, bool strict,
+                std::size_t batch_size) {
+  RunDegradation deg;
+  try {
+    const cluster::ShardWorkerMode mode = cluster::parse_shard_mode(
+        arg_str(argc, argv, "shard-mode", "thread"));
+
+    cluster::ShardSetOptions sopts;
+    sopts.params.max_alignments = arg_num(argc, argv, "max-alignments", 25);
+    const simd::KernelSpec kspec =
+        simd::parse_kernel_spec(arg_str(argc, argv, "kernel", "auto"));
+    sopts.engine.kernel = kspec.path;
+    sopts.engine.vector_ungapped = kspec.vector_ungapped;
+    sopts.strict = strict;
+    if (!simd::kernel_supported(sopts.engine.kernel)) {
+      std::fprintf(stderr, "error: kernel '%s' is not supported on this"
+                   " CPU\n", simd::kernel_name(sopts.engine.kernel));
+      return 2;
+    }
+    int threads = 0;
+    if (!parse_threads(argc, argv, &threads)) return 2;
+
+    Timer t;
+    const cluster::ShardSet set =
+        cluster::ShardSet::load(manifest_path, sopts, &deg.stats);
+    std::fprintf(stderr,
+                 "loaded shard manifest (%u shards, %s, %s workers):"
+                 " %llu sequences, %llu residues (%.2fs)\n",
+                 set.shard_count(), strategy_name(set.strategy()),
+                 cluster::shard_mode_name(mode),
+                 static_cast<unsigned long long>(set.total_sequences()),
+                 static_cast<unsigned long long>(set.total_residues()),
+                 t.seconds());
+    for (const stats::QuarantinedShard& q : deg.stats.quarantined_shards) {
+      std::fprintf(stderr, "warning: quarantined shard %u: %s\n", q.shard,
+                   q.reason.c_str());
+    }
+
+    SequenceStore queries;
+    read_fasta_file(query_path, queries);
+    std::fprintf(stderr, "read %zu queries\n", queries.size());
+
+    const bool want_stats = !stats_mode.empty();
+    t.reset();
+    stats::PipelineSnapshot merged_snap;
+    if (checkpoint_path.empty()) {
+      cluster::ShardedSearchResult res =
+          cluster::search_sharded(set, queries, threads, mode);
+      absorb_shard_degradation(deg.stats, res.degraded);
+      std::fprintf(stderr, "searched in %.2fs (%d thread(s), %u shards)\n",
+                   t.seconds(), threads, set.shard_count());
+
+      std::ofstream out_file;
+      if (!out_path.empty()) {
+        out_file.open(out_path, std::ios::binary | std::ios::trunc);
+        MUBLASTP_CHECK_KIND(out_file.good(), ErrorKind::kIo,
+                            "cannot open output file: " + out_path);
+      }
+      std::ostream& os = out_path.empty() ? std::cout : out_file;
+      for (SeqId q = 0; q < queries.size(); ++q) {
+        render_store(os, outfmt, queries, q, set.global_db(), res.results[q]);
+      }
+      os.flush();
+      MUBLASTP_CHECK_KIND(!os.bad(), ErrorKind::kIo,
+                          "write failure on search output");
+      if (want_stats) {
+        merged_snap =
+            sharded_snapshot(res, threads, t.seconds(), sopts.engine);
+      }
+    } else {
+      // Checkpointed sharded run: same durable-output-then-journal protocol
+      // as the unsharded path, at shard-batch granularity — every journaled
+      // batch's merged output survived any crash.
+      const std::uint64_t nq = queries.size();
+      const std::uint64_t nbatches = (nq + batch_size - 1) / batch_size;
+      std::uint64_t manifest_bytes = 0;
+      {
+        std::ifstream in(manifest_path,
+                         std::ios::binary | std::ios::ate);
+        manifest_bytes = static_cast<std::uint64_t>(in.tellg());
+      }
+      std::uint32_t fp = crc32(&batch_size, sizeof(batch_size));
+      fp = crc32(&nq, sizeof(nq), fp);
+      fp = crc32(&manifest_bytes, sizeof(manifest_bytes), fp);
+      CheckpointJournal journal(checkpoint_path, fp);
+
+      OutFile out;
+      out.fd = ::open(out_path.c_str(), O_RDWR | O_CREAT, 0644);
+      MUBLASTP_CHECK_KIND(out.fd >= 0, ErrorKind::kIo,
+                          "cannot open output file: " + out_path);
+      std::uint64_t offset = journal.resume_offset();
+      MUBLASTP_CHECK_KIND(
+          ::ftruncate(out.fd, static_cast<off_t>(offset)) == 0,
+          ErrorKind::kIo, "cannot truncate output file: " + out_path);
+      MUBLASTP_CHECK_KIND(
+          ::lseek(out.fd, static_cast<off_t>(offset), SEEK_SET) >= 0,
+          ErrorKind::kIo, "cannot seek output file: " + out_path);
+      if (journal.num_completed() != 0) {
+        std::fprintf(stderr,
+                     "resuming: %zu of %llu batches already complete"
+                     " (output offset %llu)\n",
+                     journal.num_completed(),
+                     static_cast<unsigned long long>(nbatches),
+                     static_cast<unsigned long long>(offset));
+      }
+
+      for (std::uint64_t b = 0; b < nbatches; ++b) {
+        if (journal.completed(b)) continue;
+        const SeqId begin = static_cast<SeqId>(b * batch_size);
+        const SeqId end =
+            static_cast<SeqId>(std::min<std::uint64_t>(nq,
+                                                       (b + 1) * batch_size));
+        SequenceStore batch;
+        for (SeqId q = begin; q < end; ++q) {
+          batch.add(queries.sequence(q), queries.name(q));
+        }
+        Timer bt;
+        cluster::ShardedSearchResult res =
+            cluster::search_sharded(set, batch, threads, mode);
+        absorb_shard_degradation(deg.stats, res.degraded);
+
+        std::ostringstream os;
+        for (SeqId q = begin; q < end; ++q) {
+          render_store(os, outfmt, queries, q, set.global_db(),
+                       res.results[q - begin]);
+        }
+        const std::string bytes = os.str();
+        std::size_t written = 0;
+        while (written < bytes.size()) {
+          const ssize_t n = ::write(out.fd, bytes.data() + written,
+                                    bytes.size() - written);
+          MUBLASTP_CHECK_KIND(n >= 0, ErrorKind::kIo,
+                              "write failure on output file: " + out_path);
+          written += static_cast<std::size_t>(n);
+        }
+        MUBLASTP_CHECK_KIND(::fsync(out.fd) == 0, ErrorKind::kIo,
+                            "fsync failure on output file: " + out_path);
+        offset += bytes.size();
+        journal.append(b, offset);
+        if (want_stats) {
+          merged_snap.merge(
+              sharded_snapshot(res, threads, bt.seconds(), sopts.engine));
+        }
+      }
+      std::fprintf(stderr, "searched in %.2fs (%d thread(s), %u shards)\n",
+                   t.seconds(), threads, set.shard_count());
+    }
+
+    if (want_stats) {
+      merged_snap.degraded = deg.stats;
+      if (stats_mode == "json") {
+        const std::string json = stats::to_json(merged_snap);
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        stats::print_table(stderr, merged_snap);
+      }
+    }
+    if (deg.stats.partial) {
+      std::fprintf(stderr,
+                   "warning: results are PARTIAL (%zu shard(s)"
+                   " quarantined)\n",
+                   deg.stats.quarantined_shards.size());
+      return 3;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.kind());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string index_path = arg_str(argc, argv, "index", "");
+  const std::string manifest_path =
+      arg_str(argc, argv, "shards-manifest", "");
   const std::string query_path = arg_str(argc, argv, "query", "");
   const std::string outfmt = arg_str(argc, argv, "outfmt", "pairwise");
   const std::string stats_mode =
@@ -227,9 +502,12 @@ int main(int argc, char** argv) {
   const bool strict = arg_flag(argc, argv, "strict");
   const bool force_mmap = arg_flag(argc, argv, "mmap");
   const bool force_copy = arg_flag(argc, argv, "no-mmap");
-  if (index_path.empty() || query_path.empty()) {
+  if ((index_path.empty() == manifest_path.empty()) ||
+      query_path.empty()) {
     std::fprintf(stderr,
-                 "usage: mublastp_search --index=db.mbi --query=q.fasta"
+                 "usage: mublastp_search (--index=db.mbi |"
+                 " --shards-manifest=db.mbi [--shard-mode=thread|process])"
+                 " --query=q.fasta"
                  " [--threads=N] [--outfmt=pairwise|tabular|none]"
                  " [--max-alignments=25] [--stats[=json]]"
                  " [--mmap|--no-mmap]"
@@ -278,6 +556,12 @@ int main(int argc, char** argv) {
   const double time_budget =
       std::strtod(arg_str(argc, argv, "time-budget", "0").c_str(), nullptr);
   const std::size_t mem_budget_mb = arg_num(argc, argv, "mem-budget-mb", 0);
+
+  if (!manifest_path.empty()) {
+    return run_sharded(argc, argv, manifest_path, query_path, outfmt,
+                       stats_mode, out_path, checkpoint_path, strict,
+                       batch_size);
+  }
 
   // Fail fast with a precise message on an unreadable index path; the binary
   // loader's own errors are kept for files that exist but are corrupt.

@@ -7,6 +7,11 @@
 // against the forced-scalar baselines — one with the banded gapped kernel
 // only, one additionally opting into the batched vector ungapped kernel —
 // asserting the vector kernels are bit-identical down to every counter.
+// A ninth run searches a 3-shard round-robin partitioning of the same
+// database through the sharded orchestrator (docs/SHARDING.md): merged
+// results must match every other engine, per-query stage stats must equal
+// the single-index run exactly, and the per-shard hit counters must sum to
+// the single-index total.
 //
 // Usage:
 //   mublastp_verify [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
@@ -35,6 +40,7 @@
 
 #include "baseline/interleaved_engine.hpp"
 #include "baseline/query_engine.hpp"
+#include "cluster/orchestrator.hpp"
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
 #include "fasta/fasta.hpp"
@@ -178,13 +184,23 @@ int main(int argc, char** argv) {
     std::filesystem::remove(tmp_index);
     const MuBlastpEngine mu_mmap(mapped, {}, scalar_opts);
 
+    // The sharded run: same database split 3 ways round-robin, searched
+    // through the orchestrator (in memory — no files), merged back. One
+    // batch search up front; the per-query loop below diffs its slices.
+    namespace cl = cluster;
+    const cl::ShardSet shard_set = cl::ShardSet::build_in_memory(
+        db, 3, cl::PartitionStrategy::kRoundRobinSorted, {},
+        {{}, scalar_opts, false});
+    const cl::ShardedSearchResult sharded = cl::search_sharded(
+        shard_set, queries, 1, cl::ShardWorkerMode::kThread);
+
     struct Named {
       const char* name;
       QueryResult result;
       stats::PipelineSnapshot snap;
     };
 
-    constexpr int kRuns = 8;
+    constexpr int kRuns = 9;
     stats::PipelineSnapshot agg[kRuns];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
@@ -193,6 +209,17 @@ int main(int argc, char** argv) {
         stats::PipelineStats ps(name);
         QueryResult r = engine.search(query, ps);
         return Named{name, std::move(r), ps.snapshot()};
+      };
+      // The sharded run was computed as one batch above; wrap this query's
+      // slice so the generic comparisons below treat it like any engine.
+      const auto sharded_run = [&] {
+        Named n;
+        n.name = "mublastp-sharded";
+        n.result = sharded.results[q];
+        n.snap.engine = "mublastp-sharded";
+        n.snap.queries = 1;
+        n.snap.totals = stats::counters_of(n.result.stats);
+        return n;
       };
       const Named runs[kRuns] = {
           run("ncbi", ncbi),
@@ -203,6 +230,7 @@ int main(int argc, char** argv) {
           run("mublastp-simd", mu_simd),
           run("ncbi-db-simd", ncbi_db_simd),
           run("mublastp-simd+ungapped", mu_simd_ug),
+          sharded_run(),
       };
       bool ok = true;
       for (std::size_t i = 1; i < kRuns; ++i) {
@@ -298,12 +326,37 @@ int main(int argc, char** argv) {
         std::printf("query %u: scalar run booked gapped-kernel tiers\n", q);
         ok = false;
       }
+      // The sharded merge sums per-shard stage stats over disjoint subject
+      // sets — the result must equal the single-index run's stats EXACTLY,
+      // field for field, not just on the deterministic counter subset.
+      if (runs[8].result.stats != runs[2].result.stats) {
+        std::printf("query %u: SHARDED STAGE-STATS MISMATCH %s vs %s\n", q,
+                    runs[8].name, runs[2].name);
+        ok = false;
+      }
       for (int i = 0; i < kRuns; ++i) agg[i].merge(runs[i].snap);
       std::printf("query %-3u %-40s %s (%zu ungapped, %zu alignments)\n", q,
                   queries.name(q).c_str(), ok ? "OK" : "MISMATCH",
                   runs[0].result.ungapped.size(),
                   runs[0].result.alignments.size());
       all_ok = all_ok && ok;
+    }
+    // Counter-sum tally: the per-shard hit counters the orchestrator books
+    // (telemetry, not merged results) must sum to the single-index engine's
+    // aggregate — no hit double-counted, none dropped, across the batch.
+    std::uint64_t shard_hits = 0;
+    for (const auto& s : sharded.shards.per_shard) shard_hits += s.hits;
+    if (shard_hits != agg[2].totals.hits) {
+      std::printf("SHARD TALLY MISMATCH: per-shard hits sum %llu !="
+                  " single-index total %llu\n",
+                  static_cast<unsigned long long>(shard_hits),
+                  static_cast<unsigned long long>(agg[2].totals.hits));
+      all_ok = false;
+    } else {
+      std::printf("shard tally: %u shards (%s), per-shard hits sum %llu =="
+                  " single-index total\n",
+                  sharded.shards.count, sharded.shards.strategy.c_str(),
+                  static_cast<unsigned long long>(shard_hits));
     }
     if (!stats_mode.empty()) {
       for (int i = 0; i < kRuns; ++i) {

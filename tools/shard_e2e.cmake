@@ -1,0 +1,38 @@
+# Sharded-vs-unsharded differential check, run as a ctest script:
+# search the same queries against the single index and against the 3-shard
+# manifest (both worker modes) and require byte-identical tabular output.
+# Driven by tools/CMakeLists.txt (tool_search_sharded_matches_unsharded).
+foreach(var SEARCH INDEX MANIFEST QUERY WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "shard_e2e.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SEARCH} --index=${INDEX} --query=${QUERY} --outfmt=tabular
+          --out=${WORKDIR}/shard_e2e_unsharded.tab
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "unsharded search failed (exit ${rc})")
+endif()
+
+foreach(mode thread process)
+  execute_process(
+    COMMAND ${SEARCH} --shards-manifest=${MANIFEST} --query=${QUERY}
+            --outfmt=tabular --shard-mode=${mode}
+            --out=${WORKDIR}/shard_e2e_${mode}.tab
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sharded search (${mode}) failed (exit ${rc})")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORKDIR}/shard_e2e_unsharded.tab
+            ${WORKDIR}/shard_e2e_${mode}.tab
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "sharded (${mode}) tabular output differs from unsharded")
+  endif()
+endforeach()
+message(STATUS "sharded output byte-identical to unsharded (both modes)")
