@@ -4,10 +4,11 @@
 // kernel configuration the CPU supports (scalar always; SSE4.2/AVX2 when
 // available, each with and without the opt-in "+ungapped" vector kernel)
 // and reports per-stage timings, throughput, and each configuration's
-// speedup over scalar — the banded gapped DP is the stage the SIMD kernels
-// target by default. Counters are asserted identical across kernels (exit 1
-// on any mismatch), so a run doubles as an equivalence check on a
-// perf-sized workload.
+// speedup over scalar — the banded gapped DP and (since the flattened
+// hit-scan kernels) stage-1 hit detection are the stages the SIMD paths
+// target. Counters are asserted identical across kernels (exit 1 on any
+// mismatch), so a run doubles as an equivalence check on a perf-sized
+// workload.
 //
 //   perf_regress [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
 //                [--threads=T] [--reps=R] [--json=out.json]
@@ -92,10 +93,19 @@ void append_json_run(std::string& out, const KernelRun& r) {
   const stats::GappedKernelStats& gk = r.best.gapped_kernel;
   std::snprintf(buf, sizeof(buf),
                 " \"gapped_kernel\": {\"int8_runs\": %llu,"
-                " \"int16_reruns\": %llu, \"scalar_fallbacks\": %llu}}",
+                " \"int16_reruns\": %llu, \"scalar_fallbacks\": %llu}",
                 static_cast<unsigned long long>(gk.int8_runs),
                 static_cast<unsigned long long>(gk.int16_reruns),
                 static_cast<unsigned long long>(gk.scalar_fallbacks));
+  out += buf;
+  const stats::HitKernelStats& hk = r.best.hit_kernel;
+  std::snprintf(buf, sizeof(buf),
+                ", \"hit_kernel\": {\"flatten_builds\": %llu,"
+                " \"flatten_seconds\": %.6f, \"tiles\": %llu,"
+                " \"tail_entries\": %llu}}",
+                static_cast<unsigned long long>(hk.flatten_builds),
+                hk.flatten_seconds, static_cast<unsigned long long>(hk.tiles),
+                static_cast<unsigned long long>(hk.tail_entries));
   out += buf;
 }
 
@@ -202,24 +212,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n%-14s %10s %10s %10s %10s %10s %10s %9s %9s\n", "kernel",
-              "detect", "sort", "ungapped", "gapped", "finalize", "total",
-              "x gapped", "x total");
+  std::printf("\n%-14s %10s %10s %10s %10s %10s %10s %9s %9s %9s\n",
+              "kernel", "detect", "sort", "ungapped", "gapped", "finalize",
+              "total", "x detect", "x gapped", "x total");
+  const double base_detect =
+      stage_sec(runs.front().best, stats::Stage::kHitDetect);
   const double base_ungap =
       stage_sec(runs.front().best, stats::Stage::kUngapped);
   const double base_gapped =
       stage_sec(runs.front().best, stats::Stage::kGapped);
   const double base_total = runs.front().best.total_seconds;
   for (const KernelRun& r : runs) {
+    const double detect = stage_sec(r.best, stats::Stage::kHitDetect);
     const double gapped = stage_sec(r.best, stats::Stage::kGapped);
     const double total = r.best.total_seconds;
     std::printf(
-        "%-14s %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %8.2fx %8.2fx\n",
-        r.name.c_str(),
-        stage_sec(r.best, stats::Stage::kHitDetect),
+        "%-14s %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %9.4fs %8.2fx %8.2fx"
+        " %8.2fx\n",
+        r.name.c_str(), detect,
         stage_sec(r.best, stats::Stage::kSort),
         stage_sec(r.best, stats::Stage::kUngapped), gapped,
         stage_sec(r.best, stats::Stage::kFinalize), total,
+        detect > 0 ? base_detect / detect : 0.0,
         gapped > 0 ? base_gapped / gapped : 0.0,
         total > 0 ? base_total / total : 0.0);
   }
@@ -293,12 +307,14 @@ int main(int argc, char** argv) {
     bool first = true;
     for (const KernelRun& r : runs) {
       if (r.path == simd::KernelPath::kScalar) continue;
+      const double detect = stage_sec(r.best, stats::Stage::kHitDetect);
       const double ungap = stage_sec(r.best, stats::Stage::kUngapped);
       const double gapped = stage_sec(r.best, stats::Stage::kGapped);
       std::snprintf(buf, sizeof(buf),
-                    "%s\"%s\": {\"ungapped\": %.3f, \"gapped\": %.3f,"
-                    " \"total\": %.3f}",
+                    "%s\"%s\": {\"hit_detect\": %.3f, \"ungapped\": %.3f,"
+                    " \"gapped\": %.3f, \"total\": %.3f}",
                     first ? "" : ", ", r.name.c_str(),
+                    detect > 0 ? base_detect / detect : 0.0,
                     ungap > 0 ? base_ungap / ungap : 0.0,
                     gapped > 0 ? base_gapped / gapped : 0.0,
                     r.best.total_seconds > 0

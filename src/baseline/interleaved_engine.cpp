@@ -42,7 +42,9 @@ void InterleavedDbEngine::search_block(std::span<const Residue> query,
                                        std::uint32_t block_id,
                                        StageStats& stats,
                                        std::vector<UngappedAlignment>& out,
-                                       DiagState& state, Mem mem, Rec rec,
+                                       DiagState& state,
+                                       const FlatNeighborhood* flat, Mem mem,
+                                       Rec rec,
                                        const SimdExtendContext* simd_ctx)
     const {
   const ScoreMatrix& matrix = *params_.matrix;
@@ -65,39 +67,61 @@ void InterleavedDbEngine::search_block(std::span<const Residue> query,
 
   std::vector<UngappedSeg> segs;
 
-  for (std::uint32_t qoff = 0; qoff + kWordLength <= query.size(); ++qoff) {
-    if constexpr (Mem::kEnabled) {
-      mem.touch(query.data() + qoff, kWordLength);
-    }
-    const std::uint32_t w = word_key(query.data() + qoff);
-    const auto nbs = neighbors.neighbors(w);
-    if constexpr (Mem::kEnabled) {
-      mem.touch(nbs.data(), nbs.size_bytes());
-    }
-    for (const std::uint32_t nb : nbs) {
-      const auto entries = block.entries(nb);
-      if constexpr (Mem::kEnabled) {
-        mem.touch(entries.data(), entries.size_bytes());
+  // One posting list's worth of the fused scan. Interleaved: the extension
+  // runs right inside process_hit, touching this fragment's residues while
+  // the scan is somewhere else entirely.
+  const auto scan_list = [&](std::uint32_t qoff,
+                             std::span<const std::uint32_t> entries) {
+    for (const std::uint32_t entry : entries) {
+      const std::uint32_t local = block.entry_fragment(entry);
+      const std::uint32_t soff = block.entry_offset(entry);
+      const FragmentRef& frag = block.fragments()[local];
+      const std::span<const Residue> subject =
+          db.sequence(frag.seq).subspan(frag.start, frag.len);
+      const std::size_t key =
+          bases[local] +
+          static_cast<std::size_t>(static_cast<std::int64_t>(soff) - qoff +
+                                   qlen);
+      segs.clear();
+      process_hit(state, key, query, subject, qoff, soff, matrix, params_,
+                  stats, segs, mem, simd_ctx);
+      for (const UngappedSeg& seg : segs) {
+        out.push_back(resolve_fragment_segment(query, db, frag, seg, qoff,
+                                               soff, matrix, params_));
       }
-      for (const std::uint32_t entry : entries) {
-        const std::uint32_t local = block.entry_fragment(entry);
-        const std::uint32_t soff = block.entry_offset(entry);
-        const FragmentRef& frag = block.fragments()[local];
-        const std::span<const Residue> subject =
-            db.sequence(frag.seq).subspan(frag.start, frag.len);
-        const std::size_t key =
-            bases[local] +
-            static_cast<std::size_t>(static_cast<std::int64_t>(soff) - qoff +
-                                     qlen);
-        segs.clear();
-        // Interleaved: the extension runs right here, touching this
-        // fragment's residues while the scan is somewhere else entirely.
-        process_hit(state, key, query, subject, qoff, soff, matrix, params_,
-                    stats, segs, mem, simd_ctx);
-        for (const UngappedSeg& seg : segs) {
-          out.push_back(resolve_fragment_segment(query, db, frag, seg, qoff,
-                                                 soff, matrix, params_));
+    }
+  };
+
+  if (flat != nullptr) {
+    // Query-specialized scan: the flattened table replaces word_key + the
+    // neighbor indirection, and the next posting list is prefetched while
+    // the current one (and its interleaved extensions) runs.
+    const std::uint32_t npos = flat->positions();
+    for (std::uint32_t qoff = 0; qoff < npos; ++qoff) {
+      const auto words = flat->words(qoff);
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        if (wi + 1 < words.size()) {
+          __builtin_prefetch(block.entries(words[wi + 1]).data());
         }
+        scan_list(qoff, block.entries(words[wi]));
+      }
+    }
+  } else {
+    for (std::uint32_t qoff = 0; qoff + kWordLength <= query.size(); ++qoff) {
+      if constexpr (Mem::kEnabled) {
+        mem.touch(query.data() + qoff, kWordLength);
+      }
+      const std::uint32_t w = word_key(query.data() + qoff);
+      const auto nbs = neighbors.neighbors(w);
+      if constexpr (Mem::kEnabled) {
+        mem.touch(nbs.data(), nbs.size_bytes());
+      }
+      for (const std::uint32_t nb : nbs) {
+        const auto entries = block.entries(nb);
+        if constexpr (Mem::kEnabled) {
+          mem.touch(entries.data(), entries.size_bytes());
+        }
+        scan_list(qoff, entries);
       }
     }
   }
@@ -131,16 +155,28 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   simd::QueryProfile profile;
   SimdExtendContext ctx{kernel_, &profile};
   const SimdExtendContext* simd_ctx = nullptr;
+  // Query-setup: flatten the neighbor lookup once per query with a vector
+  // kernel selected; traced runs keep the classic scan's access stream.
+  FlatNeighborhood flat;
+  const FlatNeighborhood* flatp = nullptr;
   if constexpr (!Mem::kEnabled) {
     if (vector_ungapped_ && kernel_ != simd::KernelPath::kScalar) {
       profile.build(query, *params_.matrix);
       simd_ctx = &ctx;
     }
+    if (kernel_ != simd::KernelPath::kScalar) {
+      stats::LapTimer<Rec::kEnabled> flat_lap;
+      flat.build(query, view_.neighbors());
+      flatp = &flat;
+      if constexpr (Rec::kEnabled) {
+        rec.hit_kernel({1, flat_lap.lap(), 0, 0});
+      }
+    }
   }
   std::uint32_t block_id = 0;
   for (const DbBlockView& block : view_.blocks()) {
-    search_block(query, block, block_id++, result.stats, ungapped, state, mem,
-                 rec, simd_ctx);
+    search_block(query, block, block_id++, result.stats, ungapped, state,
+                 flatp, mem, rec, simd_ctx);
   }
 
   // Remap sorted-store ids to the caller's original database ids.

@@ -14,6 +14,7 @@
 #include "core/results.hpp"
 #include "core/two_hit.hpp"
 #include "index/db_index_view.hpp"
+#include "index/flat_lookup.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
 #include "simd/dispatch.hpp"
@@ -62,11 +63,16 @@ class InterleavedDbEngine {
   simd::KernelPath kernel() const { return kernel_; }
 
  private:
+  /// `flat` is the query's pre-built flattened neighbor table (vector
+  /// kernels, never traced), or nullptr for the classic two-level scan.
+  /// The per-entry fused hit/extend automaton is identical either way —
+  /// the flat path only removes the lookup indirections and prefetches the
+  /// next posting list — so results match bit for bit.
   template <typename Mem, typename Rec>
   void search_block(std::span<const Residue> query, const DbBlockView& block,
                     std::uint32_t block_id, StageStats& stats,
                     std::vector<UngappedAlignment>& out, DiagState& state,
-                    Mem mem, Rec rec,
+                    const FlatNeighborhood* flat, Mem mem, Rec rec,
                     const struct SimdExtendContext* simd_ctx) const;
 
   template <typename Mem, typename Rec>

@@ -188,6 +188,15 @@ std::vector<QueryResult> merge_shard_results(
   std::vector<QueryResult> merged(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
     QueryResult& out = merged[q];
+    std::size_t total_alignments = 0;
+    std::size_t total_ungapped = 0;
+    for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+      if (per_shard[k].empty()) continue;
+      total_alignments += per_shard[k][q].alignments.size();
+      total_ungapped += per_shard[k][q].ungapped.size();
+    }
+    out.alignments.reserve(total_alignments);
+    out.ungapped.reserve(total_ungapped);
     for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
       if (per_shard[k].empty()) continue;  // quarantined or empty shard
       const QueryResult& r = per_shard[k][q];

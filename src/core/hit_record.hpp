@@ -1,0 +1,22 @@
+// The 8-byte hit record shared by the reorder buffer and the SIMD hit-scan
+// kernels. Lives in its own header so src/simd can name it without pulling
+// in the full engine declaration.
+#pragma once
+
+#include <cstdint>
+
+namespace mublastp {
+
+/// A hit (or hit pair, after pre-filtering) as stored in the reorder
+/// buffer: 8 bytes, sorted by `key` only — the stable sort preserves the
+/// query-offset order hit detection produces (Figure 4).
+struct HitRecord {
+  /// Dense diagonal key: per-fragment base (prefix sum over fragment
+  /// diagonal counts) + shifted diagonal. Ascending key order == ascending
+  /// (fragment, diagonal) order, and the same value indexes the last-hit
+  /// array during pre-filtering.
+  std::uint32_t key = 0;
+  std::uint32_t qoff = 0;  ///< query offset of the (second) hit's word
+};
+
+}  // namespace mublastp

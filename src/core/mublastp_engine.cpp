@@ -29,6 +29,8 @@ const SearchParams& checked_params(const SearchParams& p) {
 std::uint64_t MuBlastpEngine::Workspace::footprint_bytes() const {
   return static_cast<std::uint64_t>(state.footprint_bytes()) +
          records.capacity() * sizeof(HitRecord) +
+         rec_scratch.capacity() * sizeof(HitRecord) +
+         scan_entries.capacity() * sizeof(std::uint32_t) +
          bases.capacity() * sizeof(std::uint32_t) +
          profile.footprint_bytes() +
          pending.capacity() * sizeof(PendingExt) +
@@ -44,6 +46,8 @@ bool MuBlastpEngine::Workspace::enforce_budget() {
   // what it needs; only cross-round retention is sacrificed.
   state = DiagState{};
   records = {};
+  rec_scratch = {};
+  scan_entries = {};
   bases = {};
   records_hwm = 0;
   profile = simd::QueryProfile{};
@@ -91,7 +95,8 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
                                   const DbBlockView& block,
                                   std::uint32_t block_id, StageStats& stats,
                                   std::vector<UngappedAlignment>& out,
-                                  Workspace& ws, Mem mem, Rec prec) const {
+                                  Workspace& ws, const FlatNeighborhood* flat,
+                                  Mem mem, Rec prec) const {
   const ScoreMatrix& matrix = *params_.matrix;
   const DbIndexView& db = view_;
   const NeighborTable& neighbors = view_.neighbors();
@@ -129,44 +134,114 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   // Only index structures and the last-hit array are touched here — no
   // subject residues — which is why the pre-filter does not reintroduce the
   // cache-thrash it removes from the sort (Section IV-C).
-  for (std::uint32_t qoff = 0; qoff + kWordLength <= query.size(); ++qoff) {
-    if constexpr (Mem::kEnabled) {
-      mem.touch(query.data() + qoff, kWordLength);
-    }
-    const std::uint32_t w = word_key(query.data() + qoff);
-    const auto nbs = neighbors.neighbors(w);
-    if constexpr (Mem::kEnabled) {
-      mem.touch(nbs.data(), nbs.size_bytes());
-    }
-    for (const std::uint32_t nb : nbs) {
-      const auto entries = block.entries(nb);
-      if constexpr (Mem::kEnabled) {
-        mem.touch(entries.data(), entries.size_bytes());
-      }
-      for (const std::uint32_t entry : entries) {
-        ++stats.hits;
-        const std::uint32_t local = block.entry_fragment(entry);
-        const std::uint32_t soff = block.entry_offset(entry);
-        const std::uint32_t key = ws.bases[local] +
-                                  static_cast<std::uint32_t>(
-                                      static_cast<std::int64_t>(soff) - qoff +
-                                      qlen);
-
-        if (options_.prefilter) {
-          const std::int32_t q = static_cast<std::int32_t>(qoff);
-          const std::int32_t last = ws.state.last_hit(key, mem);
-          if (last != DiagState::kNone && q - last < params_.two_hit_min) {
-            continue;  // overlapping hit: ignored
-          }
-          const bool paired = last != DiagState::kNone &&
-                              q - last < params_.two_hit_window;
-          ws.state.set_last_hit(key, q, mem);
-          if (!paired) continue;
-          ++stats.hit_pairs;
+  //
+  // Two implementations, bit-identical by construction and by test:
+  //   - the query-specialized path (flat != nullptr, vector kernel, never
+  //     traced): the pre-built FlatNeighborhood replaces word_key + the
+  //     neighbor-table indirection, the next posting list is prefetched
+  //     while the current one scans, and each posting list runs through the
+  //     chunked hit-scan kernels (decode + last-hit prefetch + vector
+  //     two-hit prefilter);
+  //   - the classic two-level scan below, which stays the authoritative
+  //     reference (scalar kernel and memsim-traced runs always take it).
+  bool use_flat = false;
+  if constexpr (!Mem::kEnabled) {
+    use_flat = flat != nullptr && options_.kernel != simd::KernelPath::kScalar;
+  }
+  if (use_flat) {
+    simd::HitScanTallies tallies;
+    const simd::HitScanFilter filter{ws.state.raw_last(), ws.state.base(),
+                                     params_.two_hit_min,
+                                     params_.two_hit_window};
+    const std::uint32_t npos = flat->positions();
+    for (std::uint32_t qoff = 0; qoff < npos; ++qoff) {
+      const auto words = flat->words(qoff);
+      // Fuse this position's posting lists into ONE scan. Distinct words
+      // index disjoint (fragment, offset) sets, so at a fixed qoff the
+      // fused keys stay pairwise distinct (the kernel's conflict-freedom
+      // precondition), and concatenating in word order preserves the
+      // classic visit order — and thus the record stream — exactly. The
+      // payoff is depth: one kernel call over the position's whole
+      // neighborhood (often hundreds of entries) instead of dozens of
+      // sub-chunk-sized lists, so the chunked last-hit prefetch actually
+      // runs ahead of the filter.
+      ws.scan_entries.clear();
+      for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        const auto entries = block.entries(words[wi]);
+        if (wi + 1 < words.size()) {
+          __builtin_prefetch(block.entries(words[wi + 1]).data());
         }
-        ws.records.push_back({key, qoff});
+        ws.scan_entries.insert(ws.scan_entries.end(), entries.begin(),
+                               entries.end());
+      }
+      if (ws.scan_entries.empty()) continue;
+      stats.hits += ws.scan_entries.size();
+      const simd::HitScan scan{ws.scan_entries.data(),
+                               ws.scan_entries.size(),
+                               ws.bases.data(),
+                               block.offset_bits(),
+                               qoff,
+                               qlen - qoff};
+      if (options_.prefilter) {
+        if (ws.rec_scratch.size() < scan.count) {
+          ws.rec_scratch.resize(scan.count);
+        }
+        const std::size_t cnt = simd::hit_scan_prefilter(
+            options_.kernel, scan, filter, ws.rec_scratch.data(), &tallies);
+        stats.hit_pairs += cnt;
+        ws.records.insert(ws.records.end(), ws.rec_scratch.begin(),
+                          ws.rec_scratch.begin() +
+                              static_cast<std::ptrdiff_t>(cnt));
+      } else {
+        const std::size_t old = ws.records.size();
+        ws.records.resize(old + scan.count);
+        simd::hit_scan_collect(options_.kernel, scan,
+                               ws.records.data() + old, &tallies);
+      }
+    }
+    if constexpr (Rec::kEnabled) {
+      prec.hit_kernel({0, 0.0, tallies.tiles, tallies.tail_entries});
+    }
+  } else {
+    for (std::uint32_t qoff = 0; qoff + kWordLength <= query.size(); ++qoff) {
+      if constexpr (Mem::kEnabled) {
+        mem.touch(query.data() + qoff, kWordLength);
+      }
+      const std::uint32_t w = word_key(query.data() + qoff);
+      const auto nbs = neighbors.neighbors(w);
+      if constexpr (Mem::kEnabled) {
+        mem.touch(nbs.data(), nbs.size_bytes());
+      }
+      for (const std::uint32_t nb : nbs) {
+        const auto entries = block.entries(nb);
         if constexpr (Mem::kEnabled) {
-          mem.touch(&ws.records.back(), sizeof(HitRecord));
+          mem.touch(entries.data(), entries.size_bytes());
+        }
+        for (const std::uint32_t entry : entries) {
+          ++stats.hits;
+          const std::uint32_t local = block.entry_fragment(entry);
+          const std::uint32_t soff = block.entry_offset(entry);
+          const std::uint32_t key = ws.bases[local] +
+                                    static_cast<std::uint32_t>(
+                                        static_cast<std::int64_t>(soff) -
+                                        qoff + qlen);
+
+          if (options_.prefilter) {
+            const std::int32_t q = static_cast<std::int32_t>(qoff);
+            const std::int32_t last = ws.state.last_hit(key, mem);
+            if (last != DiagState::kNone && q - last < params_.two_hit_min) {
+              continue;  // overlapping hit: ignored
+            }
+            const bool paired = last != DiagState::kNone &&
+                                q - last < params_.two_hit_window;
+            ws.state.set_last_hit(key, q, mem);
+            if (!paired) continue;
+            ++stats.hit_pairs;
+          }
+          ws.records.push_back({key, qoff});
+          if constexpr (Mem::kEnabled) {
+            mem.touch(&ws.records.back(), sizeof(HitRecord));
+          }
         }
       }
     }
@@ -320,10 +395,24 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   QueryResult result;
   std::vector<UngappedAlignment> ungapped;
   Workspace ws;
+  // Query-setup: flatten the neighbor lookup once, reused by every block.
+  // Traced runs skip it (the modeled access stream is the classic scan's).
+  FlatNeighborhood flat;
+  const FlatNeighborhood* flatp = nullptr;
+  if constexpr (!Mem::kEnabled) {
+    if (options_.kernel != simd::KernelPath::kScalar) {
+      stats::LapTimer<Rec::kEnabled> flat_lap;
+      flat.build(query, view_.neighbors());
+      flatp = &flat;
+      if constexpr (Rec::kEnabled) {
+        prec.hit_kernel({1, flat_lap.lap(), 0, 0});
+      }
+    }
+  }
   std::uint32_t block_id = 0;
   for (const DbBlockView& block : view_.blocks()) {
-    search_block(query, block, block_id++, result.stats, ungapped, ws, mem,
-                 prec);
+    search_block(query, block, block_id++, result.stats, ungapped, ws, flatp,
+                 mem, prec);
   }
 
   for (UngappedAlignment& u : ungapped) {
@@ -404,6 +493,24 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
     ps->set_kernel(simd::kernel_name(options_.kernel));
   }
 
+  // Query-setup (the flattened-lookup specialization): one FlatNeighborhood
+  // per query, built before the block loop so every (block, query) round
+  // reuses it. Scalar-kernel batches skip the tables entirely — their
+  // stage 1 runs the classic two-level scan unchanged.
+  std::vector<FlatNeighborhood> flats;
+  if (options_.kernel != simd::KernelPath::kScalar) {
+    stats::LapTimer<PS::kEnabled> flat_lap;
+    flats.resize(nq);
+    for (std::size_t i = 0; i < nq; ++i) {
+      flats[i].build(queries.sequence(static_cast<SeqId>(i)),
+                     view_.neighbors());
+    }
+    if constexpr (PS::kEnabled) {
+      ps->recorder(0).hit_kernel(
+          {static_cast<std::uint64_t>(nq), flat_lap.lap(), 0, 0});
+    }
+  }
+
   // Degraded-mode bookkeeping. `marks[i]` snapshots ungapped[i].size()
   // before each block so a failing block's partial contributions can be
   // purged (blocks run serially; appends are contiguous tails). `tripped`
@@ -439,13 +546,14 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
       Workspace& ws = workspaces[static_cast<std::size_t>(tid)];
       Timer query_timer;
       try {
+        const FlatNeighborhood* flat = flats.empty() ? nullptr : &flats[i];
         if constexpr (PS::kEnabled) {
           search_block(queries.sequence(static_cast<SeqId>(i)), block,
-                       block_id, results[i].stats, ungapped[i], ws,
+                       block_id, results[i].stats, ungapped[i], ws, flat,
                        memsim::NullMemoryModel{}, ps->recorder(tid));
         } else {
           search_block(queries.sequence(static_cast<SeqId>(i)), block,
-                       block_id, results[i].stats, ungapped[i], ws,
+                       block_id, results[i].stats, ungapped[i], ws, flat,
                        memsim::NullMemoryModel{},
                        stats::NullStats::Recorder{});
         }

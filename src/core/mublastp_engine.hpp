@@ -23,9 +23,11 @@
 
 #include <vector>
 
+#include "core/hit_record.hpp"
 #include "core/params.hpp"
 #include "core/results.hpp"
 #include "core/two_hit.hpp"
+#include "index/flat_lookup.hpp"
 #include "index/db_index_view.hpp"
 #include "memsim/memsim.hpp"
 #include "score/karlin.hpp"
@@ -47,9 +49,11 @@ struct MuBlastpOptions {
   enum class SortAlgo { kRadixLsd, kRadixMsd, kMergeSort, kStdStable };
   SortAlgo sort_algo = SortAlgo::kRadixLsd;
 
-  /// Which kernel the alignment DPs run on (banded gapped extension in
-  /// stage 3, plus the batched ungapped kernel when vector_ungapped opts
-  /// in). Results are bit-identical for every path; kScalar executes the
+  /// Which kernel the hot stages run on: the query-specialized hit
+  /// detection path (flattened neighbor lookup + prefetched posting scan +
+  /// vector two-hit prefilter), the banded gapped extension in stage 3,
+  /// plus the batched ungapped kernel when vector_ungapped opts in.
+  /// Results are bit-identical for every path; kScalar executes the
   /// pre-SIMD code unchanged. Traced (memsim) runs always use the scalar
   /// kernels so access streams stay exact.
   simd::KernelPath kernel = simd::default_kernel();
@@ -83,18 +87,6 @@ struct MuBlastpOptions {
   /// results are unchanged — only the high-water retention is bounded. Each
   /// release counts one mem_budget_trip in DegradedStats.
   std::uint64_t mem_budget_bytes = 0;
-};
-
-/// A hit (or hit pair, after pre-filtering) as stored in the reorder
-/// buffer: 8 bytes, sorted by `key` only — the stable sort preserves the
-/// query-offset order hit detection produces (Figure 4).
-struct HitRecord {
-  /// Dense diagonal key: per-fragment base (prefix sum over fragment
-  /// diagonal counts) + shifted diagonal. Ascending key order == ascending
-  /// (fragment, diagonal) order, and the same value indexes the last-hit
-  /// array during pre-filtering.
-  std::uint32_t key = 0;
-  std::uint32_t qoff = 0;  ///< query offset of the (second) hit's word
 };
 
 /// The muBLASTP engine.
@@ -159,6 +151,8 @@ class MuBlastpEngine {
   struct Workspace {
     DiagState state;
     std::vector<HitRecord> records;
+    std::vector<HitRecord> rec_scratch;  ///< hit-scan compaction buffer
+    std::vector<std::uint32_t> scan_entries;  ///< fused per-qoff posting scan
     std::vector<std::uint32_t> bases;  ///< per-fragment diagonal key bases
     std::size_t records_hwm = 0;       ///< max records.size() seen so far
     simd::QueryProfile profile;        ///< per-query score profile (SIMD)
@@ -177,11 +171,15 @@ class MuBlastpEngine {
     bool enforce_budget();
   };
 
+  /// `flat` is the query's pre-built flattened neighbor table, or nullptr
+  /// for the classic two-level scan (scalar kernel / traced runs). With a
+  /// non-null flat and a vector kernel, stage 1 runs the query-specialized
+  /// hit-scan kernels; hits, pairs, and record order are bit-identical.
   template <typename Mem, typename Rec>
   void search_block(std::span<const Residue> query, const DbBlockView& block,
                     std::uint32_t block_id, StageStats& stats,
                     std::vector<UngappedAlignment>& out, Workspace& ws,
-                    Mem mem, Rec rec) const;
+                    const FlatNeighborhood* flat, Mem mem, Rec rec) const;
 
   template <typename Mem, typename Rec>
   QueryResult search_impl(std::span<const Residue> query, Mem mem,

@@ -98,6 +98,7 @@ std::vector<GappedAlignment> finalize_stage(std::span<const Residue> query,
   // Envelope culling: drop an alignment contained in a better one on the
   // same subject (including exact duplicates from block overlap).
   std::vector<GappedAlignment> kept;
+  kept.reserve(std::min<std::size_t>(gapped.size(), params.max_alignments));
   for (const GappedAlignment& g : gapped) {
     bool redundant = false;
     for (const GappedAlignment& k : kept) {
@@ -110,6 +111,19 @@ std::vector<GappedAlignment> finalize_stage(std::span<const Residue> query,
     if (redundant) continue;
     kept.push_back(g);
     if (kept.size() >= params.max_alignments) break;
+  }
+
+  // E-value reporting threshold (NCBI -evalue), applied BEFORE the
+  // traceback pass: E-values depend only on the score, the score-only and
+  // traceback passes produce the same score (checked below), and E-values
+  // are monotone in score — so trimming the ranked suffix here drops
+  // exactly the alignments the old trim-after-traceback dropped, without
+  // paying their traceback DP.
+  for (GappedAlignment& g : kept) {
+    g.evalue = evalue(g.score, query.size(), db_residues, karlin);
+  }
+  while (!kept.empty() && kept.back().evalue > params.evalue_cutoff) {
+    kept.pop_back();
   }
 
   // Traceback pass (stage 4 proper): realign the survivors recording ops,
@@ -128,11 +142,6 @@ std::vector<GappedAlignment> finalize_stage(std::span<const Residue> query,
     g = with_tb;
     g.bit_score = bit_score(g.score, karlin);
     g.evalue = evalue(g.score, query.size(), db_residues, karlin);
-  }
-  // E-value reporting threshold (NCBI -evalue). E-values are monotone in
-  // score, so this trims a suffix of the ranked list.
-  while (!kept.empty() && kept.back().evalue > params.evalue_cutoff) {
-    kept.pop_back();
   }
   return kept;
 }

@@ -96,6 +96,17 @@ class DiagState {
     ext_[key] = base_ + q;
   }
 
+  /// Raw last-hit array for the SIMD prefilter kernels. Contract: the entry
+  /// for `key` holds base() + q when a hit was recorded this round and a
+  /// value < base() otherwise; within one round 1 <= base() <= 2^30 and
+  /// stored offsets never overflow int32 arithmetic against base(). The
+  /// kernels must preserve this representation exactly (they store either
+  /// the unchanged previous word or base() + q, mirroring set_last_hit).
+  std::int32_t* raw_last() { return last_.data(); }
+
+  /// The current round's stamp base (see raw_last()).
+  std::int32_t base() const { return base_; }
+
  private:
   static constexpr std::int32_t kClearAt = 0x40000000;
 

@@ -1,0 +1,27 @@
+#include "index/flat_lookup.hpp"
+
+#include <cstring>
+
+namespace mublastp {
+
+void FlatNeighborhood::build(std::span<const Residue> query,
+                             const NeighborTable& table) {
+  const std::size_t npos =
+      query.size() >= static_cast<std::size_t>(kWordLength)
+          ? query.size() - kWordLength + 1
+          : 0;
+  offsets_.clear();
+  offsets_.reserve(npos + 1);
+  flat_.clear();
+  offsets_.push_back(0);
+  for (std::size_t qoff = 0; qoff < npos; ++qoff) {
+    const auto nbs = table.neighbors(word_key(query.data() + qoff));
+    flat_.insert(flat_.end(), nbs.begin(), nbs.end());
+    offsets_.push_back(static_cast<std::uint32_t>(flat_.size()));
+  }
+  built_query_ = query.data();
+  built_len_ = query.size();
+  built_table_ = &table;
+}
+
+}  // namespace mublastp

@@ -1,5 +1,6 @@
 #include "simd/kernels.hpp"
 
+#include "simd/hit_prefilter_impl.hpp"
 #include "simd/simd_internal.hpp"
 
 namespace mublastp::simd {
@@ -42,16 +43,75 @@ UngappedSeg ungapped_extend_one(KernelPath path,
 #endif
 }
 
+namespace {
+
+// Length-class split for the batched ungapped kernel (ROADMAP item 2's
+// open revisit): a hit whose sweeps can cover at most a few vectors of
+// positions pays the SIMD path's setup without amortizing it, and the
+// x-drop early exit usually fires inside the scalar lead anyway. Route
+// those to the scalar kernel and keep the vector path for hits with real
+// extension headroom. Every per-hit kernel is exact, so the split cannot
+// change results — only which exact kernel computes each out[i].
+constexpr std::int64_t kShortExtensionHeadroom = 24;
+
+bool short_extension(std::span<const Residue> query, const BatchHit& h) {
+  const detail::ExtentGeometry g =
+      detail::extent_geometry(query.size(), h.subject_len, h.qoff, h.soff);
+  return g.llen < kShortExtensionHeadroom && g.rlen < kShortExtensionHeadroom;
+}
+
+}  // namespace
+
 void ungapped_extend_batch(KernelPath path, std::span<const Residue> query,
                            const QueryProfile& profile,
                            const ScoreMatrix& matrix, Score xdrop,
                            std::span<const BatchHit> hits, UngappedSeg* out) {
+  if (!simd_eligible(path, profile)) {
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      const BatchHit& h = hits[i];
+      out[i] = ungapped_extend_one(
+          path, query, std::span<const Residue>(h.subject, h.subject_len),
+          h.qoff, h.soff, profile, matrix, xdrop);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < hits.size(); ++i) {
     const BatchHit& h = hits[i];
+    const KernelPath hit_path =
+        short_extension(query, h) ? KernelPath::kScalar : path;
     out[i] = ungapped_extend_one(
-        path, query, std::span<const Residue>(h.subject, h.subject_len),
+        hit_path, query, std::span<const Residue>(h.subject, h.subject_len),
         h.qoff, h.soff, profile, matrix, xdrop);
   }
+}
+
+std::size_t hit_scan_prefilter(KernelPath path, const HitScan& scan,
+                               const HitScanFilter& filter, HitRecord* out,
+                               HitScanTallies* tallies) {
+#ifdef MUBLASTP_SIMD_X86
+  if (path == KernelPath::kAvx2) {
+    return detail::hit_prefilter_avx2(scan, filter, out, tallies);
+  }
+  if (path == KernelPath::kSse42) {
+    return detail::hit_prefilter_sse42(scan, filter, out, tallies);
+  }
+#endif
+  if (tallies) tallies->tail_entries += scan.count;
+  return detail::hit_prefilter_scalar_impl(scan, filter, out);
+}
+
+std::size_t hit_scan_collect(KernelPath path, const HitScan& scan,
+                             HitRecord* out, HitScanTallies* tallies) {
+#ifdef MUBLASTP_SIMD_X86
+  if (path == KernelPath::kAvx2) {
+    return detail::hit_collect_avx2(scan, out, tallies);
+  }
+  if (path == KernelPath::kSse42) {
+    return detail::hit_collect_sse42(scan, out, tallies);
+  }
+#endif
+  if (tallies) tallies->tail_entries += scan.count;
+  return detail::hit_collect_scalar_impl(scan, out);
 }
 
 std::optional<GappedExtent> xdrop_extend_banded(

@@ -14,11 +14,13 @@
 #include <nmmintrin.h>
 #include <smmintrin.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "simd/gapped_banded_impl.hpp"
+#include "simd/hit_prefilter_impl.hpp"
 
 namespace mublastp::simd::detail {
 namespace {
@@ -267,6 +269,108 @@ BandedOutcome xdrop_banded_sse42(std::span<const Residue> a,
                                  Score gap_extend, Score xdrop) {
   return banded_xdrop_tiered<Sse42I8Ops, Sse42I16Ops>(a, b, matrix, gap_open,
                                                       gap_extend, xdrop);
+}
+
+// --- Hit-scan kernels (PR 8) ------------------------------------------
+//
+// Same chunked decode -> prefetch -> filter structure as the AVX2 kernels
+// at half the tile width. SSE has no gather: the chunk's keys are decoded
+// with the shared scalar span, and each filter tile pulls its 4 previous
+// last-hit words with independent scalar loads (the memory-level
+// parallelism is what the prefetched chunk exists to feed).
+
+std::size_t hit_prefilter_sse42(const HitScan& scan, const HitScanFilter& f,
+                                HitRecord* out, HitScanTallies* tallies) {
+  const std::int32_t q_raw = f.base + static_cast<std::int32_t>(scan.qoff);
+  const __m128i vbase = _mm_set1_epi32(f.base);
+  const __m128i vqraw = _mm_set1_epi32(q_raw);
+  const __m128i vmin = _mm_set1_epi32(f.min);
+  const __m128i vwin = _mm_set1_epi32(f.window);
+  alignas(16) std::uint32_t keys[kHitChunk];
+  alignas(16) std::int32_t lane_new[kLanes];
+  std::size_t cnt = 0;
+  std::uint64_t tiles = 0;
+  std::uint64_t tail = 0;
+  for (std::size_t cbeg = 0; cbeg < scan.count; cbeg += kHitChunk) {
+    const std::size_t cn = std::min(kHitChunk, scan.count - cbeg);
+    decode_keys_scalar(scan.entries + cbeg, cn, scan.bases, scan.offset_bits,
+                       scan.key_add, keys);
+    for (std::size_t p = 0; p < cn; ++p) {
+      __builtin_prefetch(f.last + keys[p], 1);
+    }
+    std::size_t i = 0;
+    for (; i + kLanes <= cn; i += kLanes) {
+      const __m128i vkey =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(keys + i));
+      const __m128i prev =
+          _mm_set_epi32(f.last[keys[i + 3]], f.last[keys[i + 2]],
+                        f.last[keys[i + 1]], f.last[keys[i]]);
+      const __m128i invalid = _mm_cmpgt_epi32(vbase, prev);
+      const __m128i delta = _mm_sub_epi32(vqraw, prev);
+      const __m128i lt_min = _mm_cmpgt_epi32(vmin, delta);
+      const __m128i lt_win = _mm_cmpgt_epi32(vwin, delta);
+      const __m128i overlap = _mm_andnot_si128(invalid, lt_min);
+      const __m128i paired =
+          _mm_andnot_si128(_mm_or_si128(invalid, overlap), lt_win);
+      const __m128i newlast = _mm_blendv_epi8(vqraw, prev, overlap);
+      _mm_store_si128(reinterpret_cast<__m128i*>(lane_new), newlast);
+      f.last[keys[i]] = lane_new[0];
+      f.last[keys[i + 1]] = lane_new[1];
+      f.last[keys[i + 2]] = lane_new[2];
+      f.last[keys[i + 3]] = lane_new[3];
+      unsigned m = static_cast<unsigned>(
+          _mm_movemask_ps(_mm_castsi128_ps(paired)));
+      while (m) {
+        const int j = __builtin_ctz(m);
+        out[cnt++] = HitRecord{keys[i + static_cast<std::size_t>(j)],
+                               scan.qoff};
+        m &= m - 1;
+      }
+      ++tiles;
+    }
+    cnt += prefilter_span_scalar(keys + i, cn - i, f.last, f.base, q_raw,
+                                 f.min, f.window, scan.qoff, out + cnt);
+    tail += cn - i;
+  }
+  if (tallies) {
+    tallies->tiles += tiles;
+    tallies->tail_entries += tail;
+  }
+  return cnt;
+}
+
+std::size_t hit_collect_sse42(const HitScan& scan, HitRecord* out,
+                              HitScanTallies* tallies) {
+  const __m128i vqoff = _mm_set1_epi32(static_cast<int>(scan.qoff));
+  alignas(16) std::uint32_t keys[kHitChunk];
+  std::size_t written = 0;
+  std::uint64_t tiles = 0;
+  std::uint64_t tail = 0;
+  for (std::size_t cbeg = 0; cbeg < scan.count; cbeg += kHitChunk) {
+    const std::size_t cn = std::min(kHitChunk, scan.count - cbeg);
+    decode_keys_scalar(scan.entries + cbeg, cn, scan.bases, scan.offset_bits,
+                       scan.key_add, keys);
+    std::size_t i = 0;
+    for (; i + kLanes <= cn; i += kLanes) {
+      const __m128i vkey =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(keys + i));
+      const __m128i lo = _mm_unpacklo_epi32(vkey, vqoff);
+      const __m128i hi = _mm_unpackhi_epi32(vkey, vqoff);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + written), lo);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + written + 2), hi);
+      written += kLanes;
+      ++tiles;
+    }
+    for (; i < cn; ++i) {
+      out[written++] = HitRecord{keys[i], scan.qoff};
+      ++tail;
+    }
+  }
+  if (tallies) {
+    tallies->tiles += tiles;
+    tallies->tail_entries += tail;
+  }
+  return scan.count;
 }
 
 }  // namespace mublastp::simd::detail

@@ -174,6 +174,18 @@ BandedOutcome xdrop_banded_avx2(std::span<const Residue> a,
                                 const ScoreMatrix& matrix, Score gap_open,
                                 Score gap_extend, Score xdrop);
 
+// Hit-scan kernels (chunked decode + prefetch + vector two-hit prefilter;
+// see hit_prefilter_impl.hpp for the shared scalar spans and exactness
+// argument). Tallies pointers may be null.
+std::size_t hit_prefilter_sse42(const HitScan& scan, const HitScanFilter& f,
+                                HitRecord* out, HitScanTallies* tallies);
+std::size_t hit_prefilter_avx2(const HitScan& scan, const HitScanFilter& f,
+                               HitRecord* out, HitScanTallies* tallies);
+std::size_t hit_collect_sse42(const HitScan& scan, HitRecord* out,
+                              HitScanTallies* tallies);
+std::size_t hit_collect_avx2(const HitScan& scan, HitRecord* out,
+                             HitScanTallies* tallies);
+
 #endif  // MUBLASTP_SIMD_X86
 
 }  // namespace mublastp::simd::detail

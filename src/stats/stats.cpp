@@ -57,6 +57,7 @@ void PipelineSnapshot::merge(const PipelineSnapshot& o) {
     if (!seen) degraded.quarantined_shards.push_back(q);
   }
   gapped_kernel += o.gapped_kernel;
+  hit_kernel += o.hit_kernel;
   // Shard breakdowns accumulate per shard id (batched sharded runs fold one
   // snapshot per batch); the measured imbalance is recomputed over the
   // summed worker seconds.
@@ -124,6 +125,7 @@ void PipelineStats::begin_run(int threads, std::size_t blocks,
     blocks_[b].block = static_cast<std::uint32_t>(b);
   }
   extra_counters_ = {};
+  hit_kernel_ = {};
   extra_seconds_ = {};
   ws_peak_ = 0;
 }
@@ -146,9 +148,11 @@ void PipelineStats::finish_run(double total_seconds) {
     extra_counters_ += a.extra;
     for (int s = 0; s < kNumStages; ++s) extra_seconds_[s] += a.extra_seconds[s];
     ws_peak_ = std::max(ws_peak_, a.ws_peak);
+    hit_kernel_ += a.hit_kernel;
     a.extra = {};
     a.extra_seconds = {};
     a.ws_peak = 0;
+    a.hit_kernel = {};
   }
   total_seconds_ = total_seconds;
 }
@@ -164,6 +168,7 @@ PipelineSnapshot PipelineStats::snapshot() const {
   s.index_load = index_load_;
   s.degraded = degraded_;
   s.gapped_kernel = gapped_kernel_;
+  s.hit_kernel = hit_kernel_;
   s.per_block = blocks_;
   s.totals = extra_counters_;
   s.stage_seconds = extra_seconds_;
@@ -277,6 +282,14 @@ std::string to_json(const PipelineSnapshot& s) {
              ", \"scalar_fallbacks\": %" PRIu64 "}",
              s.gapped_kernel.int8_runs, s.gapped_kernel.int16_reruns,
              s.gapped_kernel.scalar_fallbacks);
+  }
+  if (s.hit_kernel.any()) {
+    append_f(out, ",\n  \"hit_kernel\": {\"flatten_builds\": %" PRIu64
+                  ", \"flatten_seconds\": ",
+             s.hit_kernel.flatten_builds);
+    append_double(out, s.hit_kernel.flatten_seconds);
+    append_f(out, ", \"tiles\": %" PRIu64 ", \"tail_entries\": %" PRIu64 "}",
+             s.hit_kernel.tiles, s.hit_kernel.tail_entries);
   }
   if (s.shards.recorded()) {
     append_f(out, ",\n  \"shards\": {\"count\": %u, \"mode\": \"%s\","
@@ -536,6 +549,20 @@ PipelineSnapshot from_json(const std::string& json) {
           ps.skip_value();
         }
       });
+    } else if (key == "hit_kernel") {
+      ps.object([&](const std::string& hkey) {
+        if (hkey == "flatten_builds") {
+          s.hit_kernel.flatten_builds = ps.number_u64();
+        } else if (hkey == "flatten_seconds") {
+          s.hit_kernel.flatten_seconds = ps.number_double();
+        } else if (hkey == "tiles") {
+          s.hit_kernel.tiles = ps.number_u64();
+        } else if (hkey == "tail_entries") {
+          s.hit_kernel.tail_entries = ps.number_u64();
+        } else {
+          ps.skip_value();
+        }
+      });
     } else if (key == "degraded") {
       ps.object([&](const std::string& dkey) {
         if (dkey == "partial") {
@@ -666,6 +693,16 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                  s.gapped_kernel.int16_reruns);
     std::fprintf(out, "  %-22s %15" PRIu64 "\n", "gapped_scalar_fallbacks",
                  s.gapped_kernel.scalar_fallbacks);
+  }
+  if (s.hit_kernel.any()) {
+    std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hit_flatten_builds",
+                 s.hit_kernel.flatten_builds);
+    std::fprintf(out, "  %-22s %14.4fs\n", "hit_flatten_time",
+                 s.hit_kernel.flatten_seconds);
+    std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hit_tiles",
+                 s.hit_kernel.tiles);
+    std::fprintf(out, "  %-22s %15" PRIu64 "\n", "hit_tail_entries",
+                 s.hit_kernel.tail_entries);
   }
   for (int st = 0; st < kNumStages; ++st) {
     std::fprintf(out, "  %-22s %14.4fs\n",

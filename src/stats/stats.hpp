@@ -169,6 +169,33 @@ struct GappedKernelStats {
                          const GappedKernelStats&) = default;
 };
 
+/// Telemetry of the query-specialized hit-detection path: flattened-lookup
+/// build work plus the vector-tile vs scalar-tail split of the hit-scan
+/// kernels. Execution-strategy telemetry like GappedKernelStats, NOT a
+/// deterministic counter set — tile counts differ between the 4-lane
+/// SSE4.2 and 8-lane AVX2 kernels (the hits they produce do not). All-zero
+/// on scalar/traced runs and omitted from the JSON then.
+struct HitKernelStats {
+  std::uint64_t flatten_builds = 0;   ///< FlatNeighborhood (re)builds
+  double flatten_seconds = 0.0;       ///< wall time spent building them
+  std::uint64_t tiles = 0;            ///< full vector prefilter/collect tiles
+  std::uint64_t tail_entries = 0;     ///< posting entries done by scalar tails
+
+  bool any() const {
+    return flatten_builds != 0 || flatten_seconds != 0.0 || tiles != 0 ||
+           tail_entries != 0;
+  }
+  HitKernelStats& operator+=(const HitKernelStats& o) {
+    flatten_builds += o.flatten_builds;
+    flatten_seconds += o.flatten_seconds;
+    tiles += o.tiles;
+    tail_entries += o.tail_entries;
+    return *this;
+  }
+  friend bool operator==(const HitKernelStats&,
+                         const HitKernelStats&) = default;
+};
+
 /// Everything a degraded-mode run wants the caller (and the JSON consumer)
 /// to know about how it deviated from a clean run. Default-constructed ==
 /// "nothing degraded", and the whole object is omitted from the JSON then,
@@ -240,6 +267,7 @@ struct PipelineSnapshot {
   IndexLoadStats index_load;   ///< optional; see IndexLoadStats
   DegradedStats degraded;      ///< optional; omitted from JSON when !any()
   GappedKernelStats gapped_kernel;  ///< optional; omitted when !any()
+  HitKernelStats hit_kernel;   ///< optional; omitted when !any()
   ShardsStats shards;          ///< optional; omitted when !recorded()
 
   double survival_ratio() const { return totals.survival_ratio(); }
@@ -271,6 +299,7 @@ struct NullStats {
     void stage(Stage, double) const {}
     void add(const StageCounters&) const {}
     void workspace(std::uint64_t) const {}
+    void hit_kernel(const HitKernelStats&) const {}
   };
   void begin_run(int, std::size_t, std::uint64_t) const {}
   Recorder recorder(int) const { return {}; }
@@ -312,6 +341,7 @@ struct ThreadAccum {
   StageCounters extra;
   StageSeconds extra_seconds{};
   std::uint64_t ws_peak = 0;       ///< workspace-bytes high-water mark
+  HitKernelStats hit_kernel;       ///< hit-scan kernel telemetry
 };
 
 }  // namespace detail
@@ -357,6 +387,8 @@ class PipelineStats {
     void workspace(std::uint64_t bytes) {
       if (bytes > accum_->ws_peak) accum_->ws_peak = bytes;
     }
+    /// Books hit-scan kernel telemetry (flatten builds, tile/tail split).
+    void hit_kernel(const HitKernelStats& d) { accum_->hit_kernel += d; }
 
    private:
     friend class PipelineStats;
@@ -410,6 +442,7 @@ class PipelineStats {
   std::uint64_t queries_ = 0;
   double total_seconds_ = 0.0;
   std::uint64_t ws_peak_ = 0;
+  HitKernelStats hit_kernel_;  ///< folded from accumulators at finish_run
   std::vector<detail::ThreadAccum> accums_;
   std::vector<BlockStats> blocks_;  ///< merged per-block aggregates
   StageCounters extra_counters_;    ///< merged stage-3/4 counters

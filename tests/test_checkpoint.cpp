@@ -21,7 +21,11 @@ class Checkpoint : public ::testing::Test {
  protected:
   void SetUp() override {
     fi::reset();
-    path_ = ::testing::TempDir() + "/mublastp_checkpoint_test.ckpt";
+    // Unique per test: ctest runs discovered tests in parallel, so a
+    // shared journal path would let concurrent tests clobber each other.
+    path_ = ::testing::TempDir() + "/mublastp_checkpoint_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ckpt";
     std::remove(path_.c_str());
   }
   void TearDown() override {

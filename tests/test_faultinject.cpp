@@ -6,6 +6,7 @@
 #include "common/faultinject.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -146,7 +147,11 @@ class FaultInjectPipeline : public FaultInject {
     DbIndexConfig cfg;
     cfg.block_bytes = 8 * 1024;
     index_ = new DbIndex(DbIndex::build(db, cfg));
-    path_ = new std::string(::testing::TempDir() + "/mublastp_fi_index.mbi");
+    // Unique per process: ctest runs discovered tests as parallel
+    // processes, and a shared index file would be rewritten under a
+    // sibling's live mapping (SIGBUS on prefault).
+    path_ = new std::string(::testing::TempDir() + "/mublastp_fi_index_" +
+                            std::to_string(::getpid()) + ".mbi");
     save_db_index_file(*path_, *index_);
 
     queries_ = new SequenceStore();

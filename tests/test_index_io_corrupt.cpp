@@ -7,6 +7,7 @@
 #include "index/db_index_io.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstddef>
 #include <cstdio>
@@ -67,8 +68,10 @@ class IndexIoCorrupt : public ::testing::Test {
   static void expect_rejected(const std::string& data,
                               const std::string& expect_substr,
                               const std::string& context) {
-    const std::string path =
-        ::testing::TempDir() + "/mublastp_corrupt_case.mbi";
+    // Unique per process: ctest runs discovered tests as parallel
+    // processes, and they must not clobber each other's case files.
+    const std::string path = ::testing::TempDir() + "/mublastp_corrupt_" +
+                             std::to_string(::getpid()) + ".mbi";
     {
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       out.write(data.data(), static_cast<std::streamsize>(data.size()));

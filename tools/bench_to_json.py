@@ -6,13 +6,13 @@ temp file, validates the "mublastp-bench-v1" document it wrote (schema tag,
 one run per kernel, identical counters), annotates it with the invocation
 parameters, and writes it to the requested path (default stdout). Exit code
 is nonzero if the bench failed, the document is malformed, or a
---min-speedup floor is not met — which is what makes it usable as a CI
-perf-regression gate.
+--min-speedup / --min-hit-detect floor is not met — which is what makes it
+usable as a CI perf-regression gate.
 
 Usage:
   tools/bench_to_json.py --bench=build/bench/perf_regress \
-      [--out=BENCH.json] [--min-speedup=1.0] [--kernel-key=avx2] \
-      [-- extra perf_regress args...]
+      [--out=BENCH.json] [--min-speedup=1.0] [--min-hit-detect=1.0] \
+      [--kernel-key=avx2] [-- extra perf_regress args...]
 """
 
 import argparse
@@ -32,6 +32,10 @@ def main() -> int:
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="fail unless the checked kernel's total-pipeline "
                              "speedup over scalar reaches this floor")
+    parser.add_argument("--min-hit-detect", type=float, default=0.0,
+                        help="fail unless the checked kernel's stage-1 "
+                             "hit-detect speedup over scalar reaches this "
+                             "floor")
     parser.add_argument("--kernel-key", default="",
                         help="kernel to apply --min-speedup to "
                              "(default: the bench's auto-dispatch kernel)")
@@ -64,19 +68,33 @@ def main() -> int:
         return 1
 
     key = args.kernel_key or doc.get("auto_kernel", "")
-    if args.min_speedup > 0.0 and key != "scalar":
+    gated = args.min_speedup > 0.0 or args.min_hit_detect > 0.0
+    if gated and key != "scalar":
         speedup = doc.get("speedup_vs_scalar", {}).get(key)
         if speedup is None:
             print(f"error: no speedup entry for kernel '{key}'",
                   file=sys.stderr)
             return 1
-        if speedup["total"] < args.min_speedup:
+        if args.min_speedup > 0.0 and speedup["total"] < args.min_speedup:
             print(f"error: {key} total speedup {speedup['total']:.3f}x "
                   f"below floor {args.min_speedup:.3f}x", file=sys.stderr)
             return 1
+        detect = speedup.get("hit_detect")
+        if args.min_hit_detect > 0.0:
+            if detect is None:
+                print(f"error: no hit_detect speedup entry for kernel "
+                      f"'{key}'", file=sys.stderr)
+                return 1
+            if detect < args.min_hit_detect:
+                print(f"error: {key} hit_detect speedup {detect:.3f}x "
+                      f"below floor {args.min_hit_detect:.3f}x",
+                      file=sys.stderr)
+                return 1
         print(f"{key} total speedup {speedup['total']:.3f}x "
-              f"(gapped {speedup['gapped']:.3f}x, "
-              f"floor {args.min_speedup:.3f}x)", file=sys.stderr)
+              f"(hit_detect {detect if detect is not None else 0.0:.3f}x, "
+              f"gapped {speedup['gapped']:.3f}x, "
+              f"floors total {args.min_speedup:.3f}x / "
+              f"hit_detect {args.min_hit_detect:.3f}x)", file=sys.stderr)
 
     doc["invocation"] = {"bench": args.bench, "args": args.rest}
     text = json.dumps(doc, indent=2) + "\n"

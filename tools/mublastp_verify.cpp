@@ -2,11 +2,13 @@
 // query-indexed engine (NCBI), the interleaved database-indexed engine
 // (NCBI-db) and muBLASTP (with and without pre-filtering, plus a run over a
 // memory-mapped copy of the index) on the same workload and diff their
-// outputs stage by stage. Three additional runs drive muBLASTP and NCBI-db
+// outputs stage by stage. Four additional runs drive muBLASTP and NCBI-db
 // through the SIMD kernel (--kernel, default the best the CPU supports)
 // against the forced-scalar baselines — one with the banded gapped kernel
-// only, one additionally opting into the batched vector ungapped kernel —
-// asserting the vector kernels are bit-identical down to every counter.
+// only, one additionally opting into the batched vector ungapped kernel,
+// and one with pre-filtering off (Algorithm 1 through the vector hit-scan
+// collect path) — asserting the vector kernels are bit-identical down to
+// every counter.
 // A ninth run searches a 3-shard round-robin partitioning of the same
 // database through the sharded orchestrator (docs/SHARDING.md): merged
 // results must match every other engine, per-query stage stats must equal
@@ -171,6 +173,11 @@ int main(int argc, char** argv) {
     MuBlastpOptions simd_ug_opts = simd_opts;
     simd_ug_opts.vector_ungapped = true;
     const MuBlastpEngine mu_simd_ug(index, {}, simd_ug_opts);
+    // Algorithm 1 through the dispatched kernel: with pre-filtering off the
+    // hit-scan *collect* kernel feeds the sort; must twin mublastp-alg1.
+    MuBlastpOptions nopf_simd = simd_opts;
+    nopf_simd.prefilter = false;
+    const MuBlastpEngine mu_alg1_simd(index, {}, nopf_simd);
 
     // The owned-vs-mapped equivalence check: round-trip the index through a
     // v3 file and drive the same engine off the read-only mapping.
@@ -200,7 +207,7 @@ int main(int argc, char** argv) {
       stats::PipelineSnapshot snap;
     };
 
-    constexpr int kRuns = 9;
+    constexpr int kRuns = 10;
     stats::PipelineSnapshot agg[kRuns];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
@@ -231,6 +238,7 @@ int main(int argc, char** argv) {
           run("ncbi-db-simd", ncbi_db_simd),
           run("mublastp-simd+ungapped", mu_simd_ug),
           sharded_run(),
+          run("mublastp-alg1-simd", mu_alg1_simd),
       };
       bool ok = true;
       for (std::size_t i = 1; i < kRuns; ++i) {
@@ -301,11 +309,16 @@ int main(int argc, char** argv) {
                     runs[2].name, runs[7].name);
         ok = false;
       }
+      if (runs[3].snap.totals != runs[9].snap.totals) {
+        std::printf("query %u: SCALAR/SIMD COUNTER MISMATCH %s vs %s\n", q,
+                    runs[3].name, runs[9].name);
+        ok = false;
+      }
       // Every gapped extension is one left half + one right half, and each
       // half is settled by exactly one tier of the banded kernel — so on a
       // dispatched run the tier tallies must sum to 2x gapped_extensions
       // (and stay zero on forced-scalar runs, checked via .any()).
-      for (const int i : {5, 6, 7}) {
+      for (const int i : {5, 6, 7, 9}) {
         const stats::GappedKernelStats& gk = runs[i].snap.gapped_kernel;
         const std::uint64_t halves =
             gk.int8_runs + gk.int16_reruns + gk.scalar_fallbacks;
