@@ -29,6 +29,7 @@
 #include "baseline/smith_waterman.hpp"
 #include "bench_common.hpp"
 #include "common/faultinject.hpp"
+#include "common/json_writer.hpp"
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
 #include "index/db_index.hpp"
@@ -62,24 +63,31 @@ double stage_sec(const stats::PipelineSnapshot& s, stats::Stage st) {
 }
 
 void append_json_run(std::string& out, const KernelRun& r) {
+  // Floats go through jsonw so the emitted bytes are identical under any
+  // LC_NUMERIC (printf %f localizes the decimal separator).
   char buf[256];
   out += "    {\"kernel\": \"";
   out += r.name;
   out += "\", \"stage_seconds\": {";
   for (int s = 0; s < stats::kNumStages; ++s) {
-    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6f", s == 0 ? "" : ", ",
-                  stats::stage_name(static_cast<stats::Stage>(s)),
-                  r.best.stage_seconds[s]);
-    out += buf;
+    if (s != 0) out += ", ";
+    out += '"';
+    out += stats::stage_name(static_cast<stats::Stage>(s));
+    out += "\": ";
+    jsonw::append_fixed(out, r.best.stage_seconds[s], 6);
   }
   const double total = r.best.total_seconds;
   const auto& c = r.best.totals;
-  std::snprintf(buf, sizeof(buf),
-                "}, \"total_seconds\": %.6f, \"hits_per_sec\": %.0f,"
-                " \"extensions_per_sec\": %.0f,",
-                total, total > 0 ? static_cast<double>(c.hits) / total : 0.0,
-                total > 0 ? static_cast<double>(c.extensions) / total : 0.0);
-  out += buf;
+  out += "}, \"total_seconds\": ";
+  jsonw::append_fixed(out, total, 6);
+  out += ", \"hits_per_sec\": ";
+  jsonw::append_fixed(out, total > 0 ? static_cast<double>(c.hits) / total
+                                     : 0.0, 0);
+  out += ", \"extensions_per_sec\": ";
+  jsonw::append_fixed(out,
+                      total > 0 ? static_cast<double>(c.extensions) / total
+                                : 0.0, 0);
+  out += ',';
   std::snprintf(buf, sizeof(buf),
                 " \"counters\": {\"hits\": %llu, \"hit_pairs\": %llu,"
                 " \"extensions\": %llu, \"ungapped_alignments\": %llu,"
@@ -101,10 +109,13 @@ void append_json_run(std::string& out, const KernelRun& r) {
   const stats::HitKernelStats& hk = r.best.hit_kernel;
   std::snprintf(buf, sizeof(buf),
                 ", \"hit_kernel\": {\"flatten_builds\": %llu,"
-                " \"flatten_seconds\": %.6f, \"tiles\": %llu,"
-                " \"tail_entries\": %llu}}",
-                static_cast<unsigned long long>(hk.flatten_builds),
-                hk.flatten_seconds, static_cast<unsigned long long>(hk.tiles),
+                " \"flatten_seconds\": ",
+                static_cast<unsigned long long>(hk.flatten_builds));
+  out += buf;
+  jsonw::append_fixed(out, hk.flatten_seconds, 6);
+  std::snprintf(buf, sizeof(buf),
+                ", \"tiles\": %llu, \"tail_entries\": %llu}}",
+                static_cast<unsigned long long>(hk.tiles),
                 static_cast<unsigned long long>(hk.tail_entries));
   out += buf;
 }
@@ -310,17 +321,21 @@ int main(int argc, char** argv) {
       const double detect = stage_sec(r.best, stats::Stage::kHitDetect);
       const double ungap = stage_sec(r.best, stats::Stage::kUngapped);
       const double gapped = stage_sec(r.best, stats::Stage::kGapped);
-      std::snprintf(buf, sizeof(buf),
-                    "%s\"%s\": {\"hit_detect\": %.3f, \"ungapped\": %.3f,"
-                    " \"gapped\": %.3f, \"total\": %.3f}",
-                    first ? "" : ", ", r.name.c_str(),
-                    detect > 0 ? base_detect / detect : 0.0,
-                    ungap > 0 ? base_ungap / ungap : 0.0,
-                    gapped > 0 ? base_gapped / gapped : 0.0,
-                    r.best.total_seconds > 0
-                        ? base_total / r.best.total_seconds
-                        : 0.0);
-      out += buf;
+      if (!first) out += ", ";
+      out += '"';
+      out += r.name;
+      out += "\": {\"hit_detect\": ";
+      jsonw::append_fixed(out, detect > 0 ? base_detect / detect : 0.0, 3);
+      out += ", \"ungapped\": ";
+      jsonw::append_fixed(out, ungap > 0 ? base_ungap / ungap : 0.0, 3);
+      out += ", \"gapped\": ";
+      jsonw::append_fixed(out, gapped > 0 ? base_gapped / gapped : 0.0, 3);
+      out += ", \"total\": ";
+      jsonw::append_fixed(out,
+                          r.best.total_seconds > 0
+                              ? base_total / r.best.total_seconds
+                              : 0.0, 3);
+      out += '}';
       first = false;
     }
     out += "},\n  \"smith_waterman\": {";
@@ -328,13 +343,17 @@ int main(int argc, char** argv) {
                   queries.size() * sw_subjects.size());
     out += buf;
     for (std::size_t i = 0; i < sw_runs.size(); ++i) {
-      std::snprintf(buf, sizeof(buf), "%s{\"kernel\": \"%s\", \"seconds\": %.6f"
-                    ", \"speedup\": %.3f}", i == 0 ? "" : ", ",
-                    simd::kernel_name(sw_runs[i].path), sw_runs[i].secs,
-                    sw_runs[i].secs > 0
-                        ? sw_runs.front().secs / sw_runs[i].secs
-                        : 0.0);
-      out += buf;
+      if (i != 0) out += ", ";
+      out += "{\"kernel\": \"";
+      out += simd::kernel_name(sw_runs[i].path);
+      out += "\", \"seconds\": ";
+      jsonw::append_fixed(out, sw_runs[i].secs, 6);
+      out += ", \"speedup\": ";
+      jsonw::append_fixed(out,
+                          sw_runs[i].secs > 0
+                              ? sw_runs.front().secs / sw_runs[i].secs
+                              : 0.0, 3);
+      out += '}';
     }
     std::snprintf(buf, sizeof(buf), "], \"scores_identical\": %s},\n",
                   sw_ok ? "true" : "false");

@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "core/fragment_assembly.hpp"
 #include "core/hit_logic.hpp"
+#include "trace/trace.hpp"
 
 namespace mublastp {
 namespace {
@@ -53,6 +54,7 @@ void InterleavedDbEngine::search_block(std::span<const Residue> query,
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = stats;
   stats::LapTimer<Rec::kEnabled> lap;
+  rec.mark();
 
   // One diagonal-state slot per (fragment, diagonal) — the "multiple last
   // hit arrays, one for each subject sequence" of Section II-B. Fragment f
@@ -166,6 +168,7 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
     }
     if (kernel_ != simd::KernelPath::kScalar) {
       stats::LapTimer<Rec::kEnabled> flat_lap;
+      rec.mark();
       flat.build(query, view_.neighbors());
       flatp = &flat;
       if constexpr (Rec::kEnabled) {
@@ -193,6 +196,7 @@ QueryResult InterleavedDbEngine::search_impl(std::span<const Residue> query,
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
   stats::LapTimer<Rec::kEnabled> lap;
+  rec.mark();
   // Traced runs keep the scalar gapped DP (exact access streams).
   const simd::KernelPath gapped_kernel =
       Mem::kEnabled ? simd::KernelPath::kScalar : kernel_;
@@ -234,9 +238,10 @@ QueryResult InterleavedDbEngine::search_traced(
                      stats::NullStats::Recorder{});
 }
 
-template <typename PS>
+template <typename PS, bool Traced>
 std::vector<QueryResult> InterleavedDbEngine::batch_impl(
-    const SequenceStore& queries, int threads, PS* ps) const {
+    const SequenceStore& queries, int threads, PS* ps,
+    trace::Tracer* tracer) const {
   MUBLASTP_CHECK(threads > 0, "thread count must be positive");
   std::vector<QueryResult> results(queries.size());
   [[maybe_unused]] Timer run_timer;
@@ -245,16 +250,31 @@ std::vector<QueryResult> InterleavedDbEngine::batch_impl(
                   queries.size());
     ps->set_kernel(simd::kernel_name(kernel_));
   }
+  const auto recorder_for = [&](int tid, std::uint32_t query) {
+    (void)tid;
+    (void)query;
+    if constexpr (Traced) {
+      if constexpr (PS::kEnabled) {
+        return trace::TracingRecorder(ps->recorder(tid), tracer, query);
+      } else {
+        return trace::TracingRecorder(stats::NullStats::Recorder{}, tracer,
+                                      query);
+      }
+    } else if constexpr (PS::kEnabled) {
+      return ps->recorder(tid);
+    } else {
+      return stats::NullStats::Recorder{};
+    }
+  };
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if constexpr (PS::kEnabled) {
-      results[i] = search_impl(queries.sequence(static_cast<SeqId>(i)),
-                               memsim::NullMemoryModel{},
-                               ps->recorder(omp_get_thread_num()));
-    } else {
-      results[i] = search(queries.sequence(static_cast<SeqId>(i)));
-    }
+    results[i] =
+        search_impl(queries.sequence(static_cast<SeqId>(i)),
+                    memsim::NullMemoryModel{},
+                    recorder_for(omp_get_thread_num(),
+                                 static_cast<std::uint32_t>(i)));
   }
+  if constexpr (Traced) tracer->flush();
   if constexpr (PS::kEnabled) {
     stats::GappedKernelStats gk;
     for (const QueryResult& r : results) {
@@ -269,11 +289,21 @@ std::vector<QueryResult> InterleavedDbEngine::batch_impl(
 }
 
 std::vector<QueryResult> InterleavedDbEngine::search_batch(
-    const SequenceStore& queries, int threads,
-    stats::PipelineStats* ps) const {
-  if (ps != nullptr) return batch_impl(queries, threads, ps);
+    const SequenceStore& queries, int threads, stats::PipelineStats* ps,
+    trace::Tracer* tracer) const {
   stats::NullStats* off = nullptr;
-  return batch_impl(queries, threads, off);
+  if (tracer != nullptr) {
+    if (ps != nullptr) {
+      return batch_impl<stats::PipelineStats, true>(queries, threads, ps,
+                                                    tracer);
+    }
+    return batch_impl<stats::NullStats, true>(queries, threads, off, tracer);
+  }
+  if (ps != nullptr) {
+    return batch_impl<stats::PipelineStats, false>(queries, threads, ps,
+                                                   nullptr);
+  }
+  return batch_impl<stats::NullStats, false>(queries, threads, off, nullptr);
 }
 
 }  // namespace mublastp

@@ -22,6 +22,10 @@
 
 namespace mublastp {
 
+namespace trace {
+class Tracer;
+}
+
 /// Interleaved database-indexed engine ("NCBI-db").
 class InterleavedDbEngine {
  public:
@@ -53,9 +57,12 @@ class InterleavedDbEngine {
   /// collected into per-thread accumulators and merged once at run end
   /// (there is no serial block loop here); counters are deterministic for
   /// any thread count all the same.
+  /// When `tracer` is non-null, stage spans are additionally recorded
+  /// into it (flushed once at the end of the batch).
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
                                         int threads,
-                                        stats::PipelineStats* ps
+                                        stats::PipelineStats* ps = nullptr,
+                                        trace::Tracer* tracer
                                         = nullptr) const;
 
   const DbIndexView& view() const { return view_; }
@@ -79,9 +86,10 @@ class InterleavedDbEngine {
   QueryResult search_impl(std::span<const Residue> query, Mem mem,
                           Rec rec) const;
 
-  template <typename PS>
+  template <typename PS, bool Traced>
   std::vector<QueryResult> batch_impl(const SequenceStore& queries,
-                                      int threads, PS* ps) const;
+                                      int threads, PS* ps,
+                                      trace::Tracer* tracer) const;
 
   DbIndexView view_;
   SearchParams params_;

@@ -11,6 +11,7 @@
 #include "core/hit_logic.hpp"
 #include "index/dfa_index.hpp"
 #include "index/query_index.hpp"
+#include "trace/trace.hpp"
 
 namespace mublastp {
 namespace {
@@ -58,6 +59,7 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
                  "injected ungapped-stage failure (stage.ungapped)");
   [[maybe_unused]] StageStats scan_before;
   stats::LapTimer<Rec::kEnabled> lap;
+  rec.mark();
   QueryResult result;
   // Build only the detector in use; both materialize the same positions.
   const bool use_dfa = detector_ == Detector::kDfa;
@@ -149,6 +151,7 @@ QueryResult QueryIndexedEngine::search_impl(std::span<const Residue> query,
   const SubjectLookup lookup = [this](SeqId id) { return db_->sequence(id); };
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
+  rec.mark();
   // Traced runs keep the scalar gapped DP (exact access streams).
   const simd::KernelPath gapped_kernel =
       Mem::kEnabled ? simd::KernelPath::kScalar : kernel_;
@@ -190,9 +193,10 @@ QueryResult QueryIndexedEngine::search_traced(
                      stats::NullStats::Recorder{});
 }
 
-template <typename PS>
+template <typename PS, bool Traced>
 std::vector<QueryResult> QueryIndexedEngine::batch_impl(
-    const SequenceStore& queries, int threads, PS* ps) const {
+    const SequenceStore& queries, int threads, PS* ps,
+    trace::Tracer* tracer) const {
   MUBLASTP_CHECK(threads > 0, "thread count must be positive");
   std::vector<QueryResult> results(queries.size());
   [[maybe_unused]] Timer run_timer;
@@ -200,16 +204,29 @@ std::vector<QueryResult> QueryIndexedEngine::batch_impl(
     ps->begin_run(std::max(threads, 1), 1, queries.size());
     ps->set_kernel(simd::kernel_name(kernel_));
   }
+  const auto recorder_for = [&](int tid, std::uint32_t query) {
+    (void)tid;
+    (void)query;
+    if constexpr (Traced) {
+      if constexpr (PS::kEnabled) {
+        return trace::TracingRecorder(ps->recorder(tid), tracer, query);
+      } else {
+        return trace::TracingRecorder(stats::NullStats::Recorder{}, tracer,
+                                      query);
+      }
+    } else if constexpr (PS::kEnabled) {
+      return ps->recorder(tid);
+    } else {
+      return stats::NullStats::Recorder{};
+    }
+  };
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    if constexpr (PS::kEnabled) {
-      results[i] = search_impl(queries.sequence(static_cast<SeqId>(i)),
-                               memsim::NullMemoryModel{},
-                               ps->recorder(omp_get_thread_num()));
-    } else {
-      results[i] = search(queries.sequence(static_cast<SeqId>(i)));
-    }
+    results[i] = search_impl(
+        queries.sequence(static_cast<SeqId>(i)), memsim::NullMemoryModel{},
+        recorder_for(omp_get_thread_num(), static_cast<std::uint32_t>(i)));
   }
+  if constexpr (Traced) tracer->flush();
   if constexpr (PS::kEnabled) {
     stats::GappedKernelStats gk;
     for (const QueryResult& r : results) {
@@ -224,11 +241,21 @@ std::vector<QueryResult> QueryIndexedEngine::batch_impl(
 }
 
 std::vector<QueryResult> QueryIndexedEngine::search_batch(
-    const SequenceStore& queries, int threads,
-    stats::PipelineStats* ps) const {
-  if (ps != nullptr) return batch_impl(queries, threads, ps);
+    const SequenceStore& queries, int threads, stats::PipelineStats* ps,
+    trace::Tracer* tracer) const {
   stats::NullStats* off = nullptr;
-  return batch_impl(queries, threads, off);
+  if (tracer != nullptr) {
+    if (ps != nullptr) {
+      return batch_impl<stats::PipelineStats, true>(queries, threads, ps,
+                                                    tracer);
+    }
+    return batch_impl<stats::NullStats, true>(queries, threads, off, tracer);
+  }
+  if (ps != nullptr) {
+    return batch_impl<stats::PipelineStats, false>(queries, threads, ps,
+                                                   nullptr);
+  }
+  return batch_impl<stats::NullStats, false>(queries, threads, off, nullptr);
 }
 
 }  // namespace mublastp

@@ -23,6 +23,10 @@
 
 namespace mublastp {
 
+namespace trace {
+class Tracer;
+}
+
 /// Query-indexed (NCBI-BLAST style) search engine.
 class QueryIndexedEngine {
  public:
@@ -58,9 +62,12 @@ class QueryIndexedEngine {
 
   /// Searches a batch with OpenMP over queries ("-num_threads" behaviour).
   /// When `ps` is non-null, telemetry is collected and merged at run end.
+  /// When `tracer` is non-null, stage spans are additionally recorded into
+  /// it (flushed once at the end of the batch).
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
                                         int threads,
-                                        stats::PipelineStats* ps
+                                        stats::PipelineStats* ps = nullptr,
+                                        trace::Tracer* tracer
                                         = nullptr) const;
 
   const SequenceStore& db() const { return *db_; }
@@ -73,9 +80,10 @@ class QueryIndexedEngine {
   QueryResult search_impl(std::span<const Residue> query, Mem mem,
                           Rec rec) const;
 
-  template <typename PS>
+  template <typename PS, bool Traced>
   std::vector<QueryResult> batch_impl(const SequenceStore& queries,
-                                      int threads, PS* ps) const;
+                                      int threads, PS* ps,
+                                      trace::Tracer* tracer) const;
 
   const SequenceStore* db_;
   SearchParams params_;

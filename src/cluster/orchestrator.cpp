@@ -18,6 +18,7 @@
 #include "common/faultinject.hpp"
 #include "core/results.hpp"
 #include "index/db_index_io.hpp"
+#include "trace/trace.hpp"
 
 namespace mublastp::cluster {
 namespace {
@@ -43,6 +44,9 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 //   per query: u64 n_alignments; per alignment the GappedAlignment fields
 //              (ops as u64 length + bytes); u64 n_ungapped + raw
 //              UngappedAlignment records; raw StageStats.
+// Traced runs (parent tracer non-null on both sides of the fork) append:
+//   u64 n_spans + raw trace::Span records + u64 child epoch (raw
+//   CLOCK_MONOTONIC ns, for parent-side re-basing) + u64 dropped spans.
 
 template <typename T>
 void put(std::string& out, const T& v) {
@@ -78,7 +82,8 @@ struct FrameReader {
 };
 
 std::string encode_results(double seconds,
-                           const std::vector<QueryResult>& results) {
+                           const std::vector<QueryResult>& results,
+                           const trace::Tracer* tracer = nullptr) {
   std::string out;
   put(out, seconds);
   for (const QueryResult& r : results) {
@@ -101,12 +106,27 @@ std::string encode_results(double seconds,
     for (const UngappedAlignment& u : r.ungapped) put(out, u);
     put(out, r.stats);
   }
+  if (tracer != nullptr) {
+    const std::vector<trace::Span>& spans = tracer->spans();
+    put(out, static_cast<std::uint64_t>(spans.size()));
+    for (const trace::Span& s : spans) put(out, s);
+    put(out, tracer->epoch_raw_ns());
+    put(out, tracer->dropped());
+  }
   return out;
 }
 
+/// A fork-mode worker's trace section, decoded alongside its results.
+struct ChildTrace {
+  std::vector<trace::Span> spans;
+  std::uint64_t epoch_raw_ns = 0;
+  std::uint64_t dropped = 0;
+};
+
 std::vector<QueryResult> decode_results(std::span<const std::byte> payload,
                                         std::size_t num_queries,
-                                        double* seconds) {
+                                        double* seconds,
+                                        ChildTrace* child_trace = nullptr) {
   FrameReader in{payload};
   *seconds = in.get<double>();
   std::vector<QueryResult> results(num_queries);
@@ -130,6 +150,16 @@ std::vector<QueryResult> decode_results(std::span<const std::byte> payload,
     r.ungapped.resize(static_cast<std::size_t>(n_ungapped));
     for (UngappedAlignment& u : r.ungapped) u = in.get<UngappedAlignment>();
     r.stats = in.get<StageStats>();
+  }
+  if (child_trace != nullptr) {
+    const std::uint64_t n_spans = in.get<std::uint64_t>();
+    if (n_spans > (payload.size() - in.pos) / sizeof(trace::Span)) {
+      throw Error("shard result frame truncated", ErrorKind::kIo);
+    }
+    child_trace->spans.resize(static_cast<std::size_t>(n_spans));
+    for (trace::Span& s : child_trace->spans) s = in.get<trace::Span>();
+    child_trace->epoch_raw_ns = in.get<std::uint64_t>();
+    child_trace->dropped = in.get<std::uint64_t>();
   }
   if (in.pos != payload.size()) {
     throw Error("shard result frame has trailing bytes", ErrorKind::kIo);
@@ -410,7 +440,8 @@ struct WorkerOutcome {
 
 void run_thread_workers(const ShardSet& set, const SequenceStore& queries,
                         int threads, const std::vector<bool>& doomed,
-                        std::vector<WorkerOutcome>& outcomes) {
+                        std::vector<WorkerOutcome>& outcomes,
+                        trace::Tracer* tracer) {
   std::vector<std::uint32_t> live;
   for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
     if (set.engine(k) != nullptr && !doomed[k]) live.push_back(k);
@@ -418,23 +449,49 @@ void run_thread_workers(const ShardSet& set, const SequenceStore& queries,
   const int per_shard = std::max<int>(
       1, threads / std::max<std::size_t>(1, live.size()));
 
+  // One child tracer per live shard, sharing the parent's clock epoch so
+  // the absorbed spans need no re-basing (offset 0).
+  std::vector<std::unique_ptr<trace::Tracer>> child_tracers(
+      set.shard_count());
+  if (tracer != nullptr) {
+    for (const std::uint32_t k : live) {
+      child_tracers[k] = std::make_unique<trace::Tracer>(
+          tracer->options(), tracer->epoch_raw_ns(), k);
+    }
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(live.size());
   for (const std::uint32_t k : live) {
     workers.emplace_back([&, k] {
       WorkerOutcome& out = outcomes[k];
+      trace::Tracer* ct = child_tracers[k].get();
+      const std::uint64_t span_begin = ct != nullptr ? ct->now_ns() : 0;
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        out.results = set.engine(k)->search_batch(queries, per_shard);
+        out.results = set.engine(k)->search_batch(queries, per_shard,
+                                                  nullptr, nullptr, ct);
       } catch (const std::exception& e) {
         out.failed = true;
         out.reason = e.what();
         out.results.clear();
       }
       out.seconds = seconds_since(t0);
+      if (ct != nullptr) {
+        ct->record(trace::SpanKind::kShardWorker, span_begin, ct->now_ns(),
+                   trace::kNoId, trace::kNoId, k);
+        ct->flush();
+      }
     });
   }
   for (std::thread& w : workers) w.join();
+  if (tracer != nullptr) {
+    for (const std::uint32_t k : live) {
+      const trace::Tracer& ct = *child_tracers[k];
+      tracer->absorb(ct.spans().data(), ct.spans().size(), 0, k);
+      tracer->add_dropped(ct.dropped());
+    }
+  }
   for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
     if (doomed[k] && set.engine(k) != nullptr) {
       outcomes[k].failed = true;
@@ -445,7 +502,8 @@ void run_thread_workers(const ShardSet& set, const SequenceStore& queries,
 
 void run_process_workers(const ShardSet& set, const SequenceStore& queries,
                          const std::vector<bool>& doomed,
-                         std::vector<WorkerOutcome>& outcomes) {
+                         std::vector<WorkerOutcome>& outcomes,
+                         trace::Tracer* tracer) {
   struct Child {
     std::uint32_t shard = 0;
     pid_t pid = -1;
@@ -481,14 +539,36 @@ void run_process_workers(const ShardSet& set, const SequenceStore& queries,
       if (doomed[k]) ::_exit(kInjectedExitStatus);
       int status = 0;
       try {
+        // The child builds its own tracer post-fork (the parent's lanes
+        // and thread-local caches don't survive fork): same options, its
+        // own epoch. The epoch ships back in the frame so the parent can
+        // re-base — CLOCK_MONOTONIC is system-wide, so the offset is just
+        // the epoch difference.
+        std::unique_ptr<trace::Tracer> child_tracer;
+        if (tracer != nullptr) {
+          child_tracer = std::make_unique<trace::Tracer>(tracer->options());
+          child_tracer->set_shard(k);
+        }
         const auto t0 = std::chrono::steady_clock::now();
         std::vector<QueryResult> results;
         results.reserve(queries.size());
         for (SeqId q = 0; q < queries.size(); ++q) {
-          results.push_back(set.engine(k)->search(queries.sequence(q)));
+          if (child_tracer != nullptr) {
+            results.push_back(set.engine(k)->search(
+                queries.sequence(q), static_cast<std::uint32_t>(q),
+                *child_tracer));
+          } else {
+            results.push_back(set.engine(k)->search(queries.sequence(q)));
+          }
         }
-        const std::string payload =
-            encode_results(seconds_since(t0), results);
+        if (child_tracer != nullptr) {
+          child_tracer->record(trace::SpanKind::kShardWorker, 0,
+                               child_tracer->now_ns(), trace::kNoId,
+                               trace::kNoId, k);
+          child_tracer->flush();
+        }
+        const std::string payload = encode_results(
+            seconds_since(t0), results, child_tracer.get());
         const std::uint64_t len = payload.size();
         const std::uint32_t crc = crc32(payload.data(), payload.size());
         if (!write_all(fds[1], &len, sizeof(len)) ||
@@ -551,10 +631,20 @@ void run_process_workers(const ShardSet& set, const SequenceStore& queries,
       continue;
     }
     try {
+      ChildTrace child_trace;
       out.results = decode_results(
           {reinterpret_cast<const std::byte*>(payload.data()),
            payload.size()},
-          queries.size(), &out.seconds);
+          queries.size(), &out.seconds,
+          tracer != nullptr ? &child_trace : nullptr);
+      if (tracer != nullptr) {
+        const std::int64_t offset =
+            static_cast<std::int64_t>(child_trace.epoch_raw_ns) -
+            static_cast<std::int64_t>(tracer->epoch_raw_ns());
+        tracer->absorb(child_trace.spans.data(), child_trace.spans.size(),
+                       offset, c.shard);
+        tracer->add_dropped(child_trace.dropped);
+      }
     } catch (const std::exception& e) {
       out.failed = true;
       out.reason = e.what();
@@ -567,7 +657,8 @@ void run_process_workers(const ShardSet& set, const SequenceStore& queries,
 
 ShardedSearchResult search_sharded(const ShardSet& set,
                                    const SequenceStore& queries,
-                                   int threads, ShardWorkerMode mode) {
+                                   int threads, ShardWorkerMode mode,
+                                   trace::Tracer* tracer) {
   MUBLASTP_CHECK(set.shard_count() > 0, "shard set is empty");
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -585,9 +676,9 @@ ShardedSearchResult search_sharded(const ShardSet& set,
 
   std::vector<WorkerOutcome> outcomes(set.shard_count());
   if (mode == ShardWorkerMode::kThread) {
-    run_thread_workers(set, queries, threads, doomed, outcomes);
+    run_thread_workers(set, queries, threads, doomed, outcomes, tracer);
   } else {
-    run_process_workers(set, queries, doomed, outcomes);
+    run_process_workers(set, queries, doomed, outcomes, tracer);
   }
 
   ShardedSearchResult out;
@@ -628,8 +719,14 @@ ShardedSearchResult search_sharded(const ShardSet& set,
   }
   out.shards.imbalance_measured = hi > 0.0 ? (hi - lo) / hi : 0.0;
 
+  const std::uint64_t merge_begin =
+      tracer != nullptr ? tracer->now_ns() : 0;
   out.results = merge_shard_results(set, per_shard, queries.size(),
                                     set.options().params.max_alignments);
+  if (tracer != nullptr) {
+    tracer->record(trace::SpanKind::kMerge, merge_begin, tracer->now_ns());
+    tracer->flush();
+  }
   return out;
 }
 

@@ -153,8 +153,17 @@ struct ShardedSearchResult {
 /// dies like a real crash, exercising the pipe/waitpid recovery path. Any
 /// failed shard is quarantined (degraded.partial set) unless
 /// set.options().strict, which throws Error(kIo) instead.
+///
+/// With `tracer` non-null every shard worker records stage spans into the
+/// merged timeline. Thread-mode workers write into child tracers that share
+/// the parent tracer's clock epoch; fork-process workers ship their raw
+/// spans (plus their own epoch) back inside the CRC-framed result pipe and
+/// the parent re-bases them onto its epoch. Each worker additionally
+/// records one shard_worker span covering its whole batch, and the parent
+/// records the cross-shard merge.
 ShardedSearchResult search_sharded(const ShardSet& set,
                                    const SequenceStore& queries,
-                                   int threads, ShardWorkerMode mode);
+                                   int threads, ShardWorkerMode mode,
+                                   trace::Tracer* tracer = nullptr);
 
 }  // namespace mublastp::cluster

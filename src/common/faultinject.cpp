@@ -23,6 +23,7 @@ constexpr const char* kSites[] = {
     "shard.manifest",    // MUSHARD01 manifest open/read
     "shard.worker",      // one shard worker of a sharded search batch
     "stage.ungapped",    // ungapped-extension stage of a search round
+    "trace.perfctr_open",  // perf_event_open(2) of a tracer counter group
 };
 constexpr std::size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

@@ -1,0 +1,30 @@
+// Locale-independent JSON number formatting, shared by every JSON contract
+// in the repo (mublastp-stats-v1, mublastp-bench-v1, mublastp-trace-v1).
+//
+// printf-family float formatting honours LC_NUMERIC: under a comma-decimal
+// locale "%.17g" prints "0,5", which silently corrupts the emitted JSON.
+// These helpers format through std::to_chars, which is locale-independent
+// by specification, then normalize the exponent spelling to printf's
+// ("1e-05", sign + at least two digits) so output is byte-identical to the
+// historical C-locale "%.17g"/"%.*f" emission on every host.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mublastp::jsonw {
+
+/// Appends `v` with round-trip precision — byte-identical to C-locale
+/// "%.17g" — regardless of the process locale.
+void append_double(std::string& out, double v);
+
+/// Appends `v` in fixed notation with `precision` fractional digits —
+/// byte-identical to C-locale "%.*f" — regardless of the process locale.
+void append_fixed(std::string& out, double v, int precision);
+
+/// Parses a JSON number token (locale-independent strtod replacement).
+/// Returns 0.0 on an empty or malformed token, mirroring strtod's
+/// no-conversion behaviour for the minimal parsers built on it.
+double parse_double(std::string_view token);
+
+}  // namespace mublastp::jsonw

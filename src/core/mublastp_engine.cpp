@@ -14,6 +14,7 @@
 #include "core/fragment_assembly.hpp"
 #include "core/ungapped.hpp"
 #include "sort/radix.hpp"
+#include "trace/trace.hpp"
 
 namespace mublastp {
 namespace {
@@ -129,6 +130,7 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = stats;
   stats::LapTimer<Rec::kEnabled> lap;
+  prec.mark();
 
   // ---- Stage 1: hit detection (+ pre-filter with Algorithm 2). --------
   // Only index structures and the last-hit array are touched here — no
@@ -249,6 +251,7 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
 
   // ---- Stage 2a: hit reordering. ---------------------------------------
   const double detect_sec = lap.lap();
+  prec.mark();
   ws.records_hwm = std::max(ws.records_hwm, ws.records.size());
   stats.sorted_records += ws.records.size();
   if constexpr (Mem::kEnabled) {
@@ -263,6 +266,7 @@ void MuBlastpEngine::search_block(std::span<const Residue> query,
   }
   sort_records(ws.records, key_bits);
   const double sort_sec = lap.lap();
+  prec.mark();
   MUBLASTP_CHECK(!MUBLASTP_FI_FAIL("stage.ungapped"),
                  "injected ungapped-stage failure (stage.ungapped)");
 
@@ -402,6 +406,7 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   if constexpr (!Mem::kEnabled) {
     if (options_.kernel != simd::KernelPath::kScalar) {
       stats::LapTimer<Rec::kEnabled> flat_lap;
+      prec.mark();
       flat.build(query, view_.neighbors());
       flatp = &flat;
       if constexpr (Rec::kEnabled) {
@@ -428,6 +433,7 @@ QueryResult MuBlastpEngine::search_impl(std::span<const Residue> query,
   [[maybe_unused]] StageStats before;
   if constexpr (Rec::kEnabled) before = result.stats;
   stats::LapTimer<Rec::kEnabled> lap;
+  prec.mark();
   // Traced runs keep the scalar gapped DP (same reasoning as stage 2b:
   // the modeled access stream must be the reference one).
   const simd::KernelPath gapped_kernel =
@@ -470,11 +476,39 @@ QueryResult MuBlastpEngine::search_traced(std::span<const Residue> query,
                      stats::NullStats::Recorder{});
 }
 
-template <typename PS>
+QueryResult MuBlastpEngine::search(std::span<const Residue> query,
+                                   std::uint32_t query_id,
+                                   trace::Tracer& tracer) const {
+  return search_impl(
+      query, memsim::NullMemoryModel{},
+      trace::TracingRecorder(stats::NullStats::Recorder{}, &tracer,
+                             query_id));
+}
+
+template <typename PS, bool Traced>
 std::vector<QueryResult> MuBlastpEngine::batch_impl(
     const SequenceStore& queries, int threads, PS* ps,
-    stats::DegradedStats* degraded) const {
+    stats::DegradedStats* degraded, trace::Tracer* tracer) const {
   MUBLASTP_CHECK(threads > 0, "thread count must be positive");
+  // Recorder and tail-timer guards fire when either collector is active;
+  // span recording needs the stage boundaries evaluated even without stats.
+  constexpr bool kObserve = PS::kEnabled || Traced;
+  const auto recorder_for = [&](int tid, std::uint32_t query) {
+    (void)tid;
+    (void)query;
+    if constexpr (Traced) {
+      if constexpr (PS::kEnabled) {
+        return trace::TracingRecorder(ps->recorder(tid), tracer, query);
+      } else {
+        return trace::TracingRecorder(stats::NullStats::Recorder{}, tracer,
+                                      query);
+      }
+    } else if constexpr (PS::kEnabled) {
+      return ps->recorder(tid);
+    } else {
+      return stats::NullStats::Recorder{};
+    }
+  };
   const std::size_t nq = queries.size();
   std::vector<QueryResult> results(nq);
   std::vector<std::vector<UngappedAlignment>> ungapped(nq);
@@ -499,14 +533,16 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   // stage 1 runs the classic two-level scan unchanged.
   std::vector<FlatNeighborhood> flats;
   if (options_.kernel != simd::KernelPath::kScalar) {
-    stats::LapTimer<PS::kEnabled> flat_lap;
+    stats::LapTimer<kObserve> flat_lap;
+    auto frec = recorder_for(0, trace::kNoId);
+    frec.mark();
     flats.resize(nq);
     for (std::size_t i = 0; i < nq; ++i) {
       flats[i].build(queries.sequence(static_cast<SeqId>(i)),
                      view_.neighbors());
     }
-    if constexpr (PS::kEnabled) {
-      ps->recorder(0).hit_kernel(
+    if constexpr (kObserve) {
+      frec.hit_kernel(
           {static_cast<std::uint64_t>(nq), flat_lap.lap(), 0, 0});
     }
   }
@@ -547,16 +583,10 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
       Timer query_timer;
       try {
         const FlatNeighborhood* flat = flats.empty() ? nullptr : &flats[i];
-        if constexpr (PS::kEnabled) {
-          search_block(queries.sequence(static_cast<SeqId>(i)), block,
-                       block_id, results[i].stats, ungapped[i], ws, flat,
-                       memsim::NullMemoryModel{}, ps->recorder(tid));
-        } else {
-          search_block(queries.sequence(static_cast<SeqId>(i)), block,
-                       block_id, results[i].stats, ungapped[i], ws, flat,
-                       memsim::NullMemoryModel{},
-                       stats::NullStats::Recorder{});
-        }
+        search_block(queries.sequence(static_cast<SeqId>(i)), block,
+                     block_id, results[i].stats, ungapped[i], ws, flat,
+                     memsim::NullMemoryModel{},
+                     recorder_for(tid, static_cast<std::uint32_t>(i)));
       } catch (...) {
 #pragma omp critical(mublastp_batch_error)
         {
@@ -586,6 +616,16 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
       degraded->partial = true;
     }
     if constexpr (PS::kEnabled) ps->merge_block(block_id);
+    if constexpr (Traced) tracer->flush();
+    if (options_.progress) {
+      MuBlastpOptions::BatchProgress p;
+      p.blocks_done = block_id + 1;
+      p.blocks_total = static_cast<std::uint32_t>(view_.blocks().size());
+      p.queries = nq;
+      p.quarantined_blocks =
+          degraded == nullptr ? 0 : degraded->quarantined.size();
+      options_.progress(p);
+    }
     ++block_id;
   }
 
@@ -629,21 +669,22 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
           queries.sequence(static_cast<SeqId>(i));
       [[maybe_unused]] StageStats before;
       if constexpr (PS::kEnabled) before = results[i].stats;
-      stats::LapTimer<PS::kEnabled> lap;
+      stats::LapTimer<kObserve> lap;
+      auto prec = recorder_for(omp_get_thread_num(),
+                               static_cast<std::uint32_t>(i));
+      prec.mark();
       auto gapped = gapped_stage(query, lookup, std::move(u), matrix,
                                  params_, &results[i].stats, options_.kernel);
-      if constexpr (PS::kEnabled) {
-        auto prec = ps->recorder(omp_get_thread_num());
-        prec.add(stats::counters_between(results[i].stats, before));
+      if constexpr (kObserve) {
+        if constexpr (PS::kEnabled) {
+          prec.add(stats::counters_between(results[i].stats, before));
+        }
         prec.stage(stats::Stage::kGapped, lap.lap());
       }
       results[i].alignments =
           finalize_stage(query, lookup, std::move(gapped), matrix, params_,
                          karlin_, statistical_db_residues());
-      if constexpr (PS::kEnabled) {
-        ps->recorder(omp_get_thread_num())
-            .stage(stats::Stage::kFinalize, lap.lap());
-      }
+      if constexpr (kObserve) prec.stage(stats::Stage::kFinalize, lap.lap());
     } catch (...) {
 #pragma omp critical(mublastp_batch_error)
       {
@@ -655,6 +696,7 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
   // (the catch above only exists so the exception cannot escape the OpenMP
   // region, which would terminate the process).
   if (tail_error != nullptr) std::rethrow_exception(tail_error);
+  if constexpr (Traced) tracer->flush();
   if constexpr (PS::kEnabled) {
     stats::GappedKernelStats gk;
     for (const QueryResult& r : results) {
@@ -670,10 +712,22 @@ std::vector<QueryResult> MuBlastpEngine::batch_impl(
 
 std::vector<QueryResult> MuBlastpEngine::search_batch(
     const SequenceStore& queries, int threads, stats::PipelineStats* ps,
-    stats::DegradedStats* degraded) const {
-  if (ps != nullptr) return batch_impl(queries, threads, ps, degraded);
+    stats::DegradedStats* degraded, trace::Tracer* tracer) const {
   stats::NullStats* off = nullptr;
-  return batch_impl(queries, threads, off, degraded);
+  if (tracer != nullptr) {
+    if (ps != nullptr) {
+      return batch_impl<stats::PipelineStats, true>(queries, threads, ps,
+                                                    degraded, tracer);
+    }
+    return batch_impl<stats::NullStats, true>(queries, threads, off, degraded,
+                                              tracer);
+  }
+  if (ps != nullptr) {
+    return batch_impl<stats::PipelineStats, false>(queries, threads, ps,
+                                                   degraded, nullptr);
+  }
+  return batch_impl<stats::NullStats, false>(queries, threads, off, degraded,
+                                             nullptr);
 }
 
 }  // namespace mublastp

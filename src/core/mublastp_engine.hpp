@@ -21,6 +21,7 @@
 // so all threads share the block in the LLC.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/hit_record.hpp"
@@ -37,6 +38,10 @@
 #include "stats/stats.hpp"
 
 namespace mublastp {
+
+namespace trace {
+class Tracer;
+}
 
 /// Pipeline variants, exposed for the paper's ablations.
 struct MuBlastpOptions {
@@ -87,6 +92,18 @@ struct MuBlastpOptions {
   /// results are unchanged — only the high-water retention is bounded. Each
   /// release counts one mem_budget_trip in DegradedStats.
   std::uint64_t mem_budget_bytes = 0;
+
+  /// Fired at each block's serial point during search_batch (the same
+  /// barrier that merges telemetry and flushes the tracer).
+  struct BatchProgress {
+    std::uint32_t blocks_done = 0;
+    std::uint32_t blocks_total = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t quarantined_blocks = 0;  ///< so far, degraded mode only
+  };
+  /// Batch-progress callback (the --progress heartbeat). Called from serial
+  /// code only; empty (the default) costs nothing on the hot path.
+  std::function<void(const BatchProgress&)> progress;
 };
 
 /// The muBLASTP engine.
@@ -109,6 +126,12 @@ class MuBlastpEngine {
   QueryResult search_traced(std::span<const Residue> query,
                             memsim::MemoryHierarchy& mem) const;
 
+  /// Single-query search recording stage spans (attributed to `query_id`)
+  /// into `tracer`. The single-threaded leg fork-process shard workers run;
+  /// the caller flushes the tracer when the batch is done.
+  QueryResult search(std::span<const Residue> query, std::uint32_t query_id,
+                     trace::Tracer& tracer) const;
+
   /// Algorithm 3: block loop outermost, OpenMP dynamic-for over queries for
   /// stages 1-2, then a second dynamic-for over queries for stages 3-4.
   /// When `ps` is non-null, telemetry is collected into it: per-thread
@@ -124,10 +147,15 @@ class MuBlastpEngine {
   /// continues over the remaining blocks. Budget trips
   /// (options().time_budget_seconds / mem_budget_bytes) are reported the
   /// same way.
+  /// When `tracer` is non-null, every stage boundary is additionally
+  /// recorded as a span (per-thread ring buffers, drained at the same
+  /// serial point that merges `ps`).
   std::vector<QueryResult> search_batch(const SequenceStore& queries,
                                         int threads,
                                         stats::PipelineStats* ps = nullptr,
                                         stats::DegradedStats* degraded
+                                        = nullptr,
+                                        trace::Tracer* tracer
                                         = nullptr) const;
 
   const DbIndexView& view() const { return view_; }
@@ -185,10 +213,11 @@ class MuBlastpEngine {
   QueryResult search_impl(std::span<const Residue> query, Mem mem,
                           Rec rec) const;
 
-  template <typename PS>
+  template <typename PS, bool Traced>
   std::vector<QueryResult> batch_impl(const SequenceStore& queries,
                                       int threads, PS* ps,
-                                      stats::DegradedStats* degraded) const;
+                                      stats::DegradedStats* degraded,
+                                      trace::Tracer* tracer) const;
 
   void sort_records(std::vector<HitRecord>& records, int key_bits) const;
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/json_writer.hpp"
 
 namespace mublastp::stats {
 
@@ -58,6 +59,7 @@ void PipelineSnapshot::merge(const PipelineSnapshot& o) {
   }
   gapped_kernel += o.gapped_kernel;
   hit_kernel += o.hit_kernel;
+  perf_counters += o.perf_counters;
   // Shard breakdowns accumulate per shard id (batched sharded runs fold one
   // snapshot per batch); the measured imbalance is recomputed over the
   // summed worker seconds.
@@ -169,6 +171,7 @@ PipelineSnapshot PipelineStats::snapshot() const {
   s.degraded = degraded_;
   s.gapped_kernel = gapped_kernel_;
   s.hit_kernel = hit_kernel_;
+  s.perf_counters = perf_counters_;
   s.per_block = blocks_;
   s.totals = extra_counters_;
   s.stage_seconds = extra_seconds_;
@@ -195,9 +198,11 @@ void append_f(std::string& out, const char* fmt, ...) {
   out += buf;
 }
 
-// %.17g prints doubles with round-trip precision (shortest is nicer, but
-// 17 significant digits guarantee strtod gives back the exact bits).
-void append_double(std::string& out, double v) { append_f(out, "%.17g", v); }
+// Round-trip precision, locale-independent (byte-identical to the C-locale
+// "%.17g" this schema was originally emitted with).
+void append_double(std::string& out, double v) {
+  jsonw::append_double(out, v);
+}
 
 // Quarantine reasons are produced from our own error messages, but they
 // flow into a JSON string and our minimal reader supports no escapes, so
@@ -239,6 +244,16 @@ void append_seconds(std::string& out, const StageSeconds& sec,
     append_double(out, sec[s]);
   }
   (void)indent;
+  out += "}";
+}
+
+void append_u64_stages(std::string& out,
+                       const std::array<std::uint64_t, kNumStages>& v) {
+  out += "{";
+  for (int s = 0; s < kNumStages; ++s) {
+    append_f(out, "%s\"%s\": %" PRIu64, s == 0 ? "" : ", ",
+             stage_name(static_cast<Stage>(s)), v[s]);
+  }
   out += "}";
 }
 
@@ -290,6 +305,19 @@ std::string to_json(const PipelineSnapshot& s) {
     append_double(out, s.hit_kernel.flatten_seconds);
     append_f(out, ", \"tiles\": %" PRIu64 ", \"tail_entries\": %" PRIu64 "}",
              s.hit_kernel.tiles, s.hit_kernel.tail_entries);
+  }
+  if (s.perf_counters.recorded()) {
+    append_f(out, ",\n  \"perf_counters\": {\"sampled_spans\": %" PRIu64
+                  ", \"cycles\": ",
+             s.perf_counters.sampled_spans);
+    append_u64_stages(out, s.perf_counters.cycles);
+    out += ", \"instructions\": ";
+    append_u64_stages(out, s.perf_counters.instructions);
+    out += ", \"llc_misses\": ";
+    append_u64_stages(out, s.perf_counters.llc_misses);
+    out += ", \"branch_misses\": ";
+    append_u64_stages(out, s.perf_counters.branch_misses);
+    out += "}";
   }
   if (s.shards.recorded()) {
     append_f(out, ",\n  \"shards\": {\"count\": %u, \"mode\": \"%s\","
@@ -414,7 +442,7 @@ struct Parser {
     if (p == start) fail("expected a number");
     return std::string(start, p);
   }
-  double number_double() { return std::strtod(number().c_str(), nullptr); }
+  double number_double() { return jsonw::parse_double(number()); }
   std::uint64_t number_u64() {
     return std::strtoull(number().c_str(), nullptr, 10);
   }
@@ -504,6 +532,20 @@ StageSeconds parse_seconds(Parser& ps) {
   return sec;
 }
 
+std::array<std::uint64_t, kNumStages> parse_u64_stages(Parser& ps) {
+  std::array<std::uint64_t, kNumStages> v{};
+  ps.object([&](const std::string& key) {
+    for (int s = 0; s < kNumStages; ++s) {
+      if (key == stage_name(static_cast<Stage>(s))) {
+        v[s] = ps.number_u64();
+        return;
+      }
+    }
+    ps.skip_value();
+  });
+  return v;
+}
+
 }  // namespace
 
 PipelineSnapshot from_json(const std::string& json) {
@@ -559,6 +601,22 @@ PipelineSnapshot from_json(const std::string& json) {
           s.hit_kernel.tiles = ps.number_u64();
         } else if (hkey == "tail_entries") {
           s.hit_kernel.tail_entries = ps.number_u64();
+        } else {
+          ps.skip_value();
+        }
+      });
+    } else if (key == "perf_counters") {
+      ps.object([&](const std::string& pkey) {
+        if (pkey == "sampled_spans") {
+          s.perf_counters.sampled_spans = ps.number_u64();
+        } else if (pkey == "cycles") {
+          s.perf_counters.cycles = parse_u64_stages(ps);
+        } else if (pkey == "instructions") {
+          s.perf_counters.instructions = parse_u64_stages(ps);
+        } else if (pkey == "llc_misses") {
+          s.perf_counters.llc_misses = parse_u64_stages(ps);
+        } else if (pkey == "branch_misses") {
+          s.perf_counters.branch_misses = parse_u64_stages(ps);
         } else {
           ps.skip_value();
         }
@@ -709,6 +767,19 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                  stage_name(static_cast<Stage>(st)), s.stage_seconds[st]);
   }
   std::fprintf(out, "  %-22s %14.4fs\n", "total", s.total_seconds);
+  if (s.perf_counters.recorded()) {
+    std::fprintf(out, "  perf counters (%" PRIu64 " sampled spans):\n",
+                 s.perf_counters.sampled_spans);
+    for (int st = 0; st < kNumStages; ++st) {
+      std::fprintf(out,
+                   "    %-12s cycles=%-14" PRIu64 " instr=%-14" PRIu64
+                   " llc_miss=%-12" PRIu64 " br_miss=%" PRIu64 "\n",
+                   stage_name(static_cast<Stage>(st)),
+                   s.perf_counters.cycles[st], s.perf_counters.instructions[st],
+                   s.perf_counters.llc_misses[st],
+                   s.perf_counters.branch_misses[st]);
+    }
+  }
   if (s.index_load.recorded()) {
     std::fprintf(out, "  index load: mode=%s load=%.4fs file=%" PRIu64
                       "B resident=%" PRIu64 "B\n",

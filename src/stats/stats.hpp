@@ -196,6 +196,34 @@ struct HitKernelStats {
                          const HitKernelStats&) = default;
 };
 
+/// Per-stage hardware-counter totals sampled by the tracer's perf_event
+/// groups (src/trace/perfctr). Optional like GappedKernelStats: populated
+/// only when a run was traced with counters enabled AND perf_event_open
+/// succeeded; omitted from the JSON otherwise, so untraced (and
+/// counter-unavailable) runs stay byte-identical to prior output. These are
+/// measurements, not deterministic counters — values vary run to run.
+struct PerfCounterStats {
+  std::uint64_t sampled_spans = 0;  ///< spans that carried counter deltas
+  std::array<std::uint64_t, kNumStages> cycles{};
+  std::array<std::uint64_t, kNumStages> instructions{};
+  std::array<std::uint64_t, kNumStages> llc_misses{};
+  std::array<std::uint64_t, kNumStages> branch_misses{};
+
+  bool recorded() const { return sampled_spans != 0; }
+  PerfCounterStats& operator+=(const PerfCounterStats& o) {
+    sampled_spans += o.sampled_spans;
+    for (int i = 0; i < kNumStages; ++i) {
+      cycles[i] += o.cycles[i];
+      instructions[i] += o.instructions[i];
+      llc_misses[i] += o.llc_misses[i];
+      branch_misses[i] += o.branch_misses[i];
+    }
+    return *this;
+  }
+  friend bool operator==(const PerfCounterStats&,
+                         const PerfCounterStats&) = default;
+};
+
 /// Everything a degraded-mode run wants the caller (and the JSON consumer)
 /// to know about how it deviated from a clean run. Default-constructed ==
 /// "nothing degraded", and the whole object is omitted from the JSON then,
@@ -268,6 +296,7 @@ struct PipelineSnapshot {
   DegradedStats degraded;      ///< optional; omitted from JSON when !any()
   GappedKernelStats gapped_kernel;  ///< optional; omitted when !any()
   HitKernelStats hit_kernel;   ///< optional; omitted when !any()
+  PerfCounterStats perf_counters;  ///< optional; omitted when !recorded()
   ShardsStats shards;          ///< optional; omitted when !recorded()
 
   double survival_ratio() const { return totals.survival_ratio(); }
@@ -300,6 +329,9 @@ struct NullStats {
     void add(const StageCounters&) const {}
     void workspace(std::uint64_t) const {}
     void hit_kernel(const HitKernelStats&) const {}
+    /// Stage-boundary timestamp hook; only the tracing recorder wrapper
+    /// (trace::TracingRecorder) gives it a body.
+    void mark() const {}
   };
   void begin_run(int, std::size_t, std::uint64_t) const {}
   Recorder recorder(int) const { return {}; }
@@ -389,6 +421,9 @@ class PipelineStats {
     }
     /// Books hit-scan kernel telemetry (flatten builds, tile/tail split).
     void hit_kernel(const HitKernelStats& d) { accum_->hit_kernel += d; }
+    /// Stage-boundary timestamp hook; a no-op here — only the tracing
+    /// recorder wrapper (trace::TracingRecorder) gives it a body.
+    void mark() const {}
 
    private:
     friend class PipelineStats;
@@ -430,6 +465,12 @@ class PipelineStats {
   /// gapped DP" and is omitted from the JSON.
   void set_gapped_kernel(GappedKernelStats g) { gapped_kernel_ = g; }
 
+  /// Stamps the per-stage hardware-counter totals sampled by the tracer
+  /// (tools fold trace::Tracer::perf_totals() in after the run); carried
+  /// into every subsequent snapshot(). Zero sampled_spans means "no
+  /// counters" and is omitted from the JSON.
+  void set_perf_counters(PerfCounterStats p) { perf_counters_ = p; }
+
   const std::string& engine() const { return engine_; }
 
  private:
@@ -438,6 +479,7 @@ class PipelineStats {
   IndexLoadStats index_load_;
   DegradedStats degraded_;
   GappedKernelStats gapped_kernel_;
+  PerfCounterStats perf_counters_;
   int threads_ = 0;
   std::uint64_t queries_ = 0;
   double total_seconds_ = 0.0;

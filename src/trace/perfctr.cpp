@@ -1,0 +1,109 @@
+#include "trace/perfctr.hpp"
+
+#include "common/faultinject.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace mublastp::trace::perfctr {
+
+#ifdef __linux__
+
+namespace {
+
+int perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                    unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+int open_event(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled, armed below
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1, group_fd, 0);
+}
+
+}  // namespace
+
+bool PerfCounterGroup::open() {
+  if (ok()) return true;
+  if (MUBLASTP_FI_FAIL("trace.perfctr_open")) return false;
+  leader_fd_ = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader_fd_ < 0) return false;
+  const std::uint64_t sibling_configs[3] = {
+      PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES,       // "LLC misses" in perf-stat terms
+      PERF_COUNT_HW_BRANCH_MISSES,
+  };
+  for (int i = 0; i < 3; ++i) {
+    sibling_fds_[i] =
+        open_event(PERF_TYPE_HARDWARE, sibling_configs[i], leader_fd_);
+    if (sibling_fds_[i] < 0) {
+      close();
+      return false;
+    }
+  }
+  if (ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+      ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool PerfCounterGroup::read(PerfCounts* out) const {
+  *out = {};
+  if (!ok()) return false;
+  // PERF_FORMAT_GROUP layout: nr, then one value per event in open order.
+  std::uint64_t buf[1 + 4];
+  const ssize_t n = ::read(leader_fd_, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf)) || buf[0] != 4) return false;
+  out->cycles = buf[1];
+  out->instructions = buf[2];
+  out->llc_misses = buf[3];
+  out->branch_misses = buf[4];
+  return true;
+}
+
+void PerfCounterGroup::close() {
+  for (int i = 0; i < 3; ++i) {
+    if (sibling_fds_[i] >= 0) ::close(sibling_fds_[i]);
+    sibling_fds_[i] = -1;
+  }
+  if (leader_fd_ >= 0) ::close(leader_fd_);
+  leader_fd_ = -1;
+}
+
+#else  // !__linux__
+
+bool PerfCounterGroup::open() {
+  // Still consult the fault site so the graceful-degradation test is
+  // portable (the site's call count advances on every platform).
+  (void)MUBLASTP_FI_FAIL("trace.perfctr_open");
+  return false;
+}
+
+bool PerfCounterGroup::read(PerfCounts* out) const {
+  *out = {};
+  return false;
+}
+
+void PerfCounterGroup::close() {}
+
+#endif  // __linux__
+
+}  // namespace mublastp::trace::perfctr

@@ -1,0 +1,74 @@
+// Per-thread hardware-counter groups for the tracer (cycles, instructions,
+// LLC misses, branch mispredicts) via perf_event_open(2).
+//
+// This is strictly best-effort telemetry: perf_event_open is Linux-only and
+// commonly forbidden (perf_event_paranoid >= 2 in containers, seccomp, no
+// PMU in VMs). open() therefore never throws — it returns false and the
+// group stays disabled, so every caller degrades to plain timestamped
+// spans. The "trace.perfctr_open" fault-injection site forces that path
+// deterministically in tests.
+//
+// One PerfCounterGroup is owned by one tracer lane (== one thread): the
+// events are opened with pid=0/cpu=-1 on the owning thread, so read()
+// observes exactly that thread's work, following the counters across CPU
+// migrations. The four events are opened as a single group (one leader,
+// PERF_FORMAT_GROUP) so a sample is one read(2) and all four values come
+// from the same scheduling interval.
+#pragma once
+
+#include <cstdint>
+
+namespace mublastp::trace::perfctr {
+
+/// One sample (or delta) of the four tracked events.
+struct PerfCounts {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  PerfCounts operator-(const PerfCounts& o) const {
+    return {cycles - o.cycles, instructions - o.instructions,
+            llc_misses - o.llc_misses, branch_misses - o.branch_misses};
+  }
+  PerfCounts& operator+=(const PerfCounts& o) {
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_misses += o.llc_misses;
+    branch_misses += o.branch_misses;
+    return *this;
+  }
+  friend bool operator==(const PerfCounts&, const PerfCounts&) = default;
+};
+
+/// A grouped set of per-thread counters. Not copyable (owns fds); safe to
+/// destroy without open() ever having succeeded.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup() { close(); }
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// Opens the event group on the calling thread. Returns true when all
+  /// four events opened and counting started; false (with everything
+  /// closed again) on any failure — including the "trace.perfctr_open"
+  /// injected fault and non-Linux builds, where it is a constant no-op.
+  bool open();
+
+  /// True after a successful open().
+  bool ok() const { return leader_fd_ >= 0; }
+
+  /// Samples the four counters. Returns false (zeroed *out) when the group
+  /// is not open or the read fails.
+  bool read(PerfCounts* out) const;
+
+  /// Closes all fds; ok() is false afterwards. Idempotent.
+  void close();
+
+ private:
+  int leader_fd_ = -1;
+  int sibling_fds_[3] = {-1, -1, -1};
+};
+
+}  // namespace mublastp::trace::perfctr

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare two mublastp-bench-v1 JSON files and flag perf regressions.
+
+Usage:
+  bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10] [--absolute]
+
+Compares the per-kernel speedup_vs_scalar ratios (the machine-independent
+signal perf_regress.cpp computes: vector kernel time relative to the scalar
+kernel in the SAME run, so a slow CI box cancels out) over the kernels and
+stages present in BOTH files, and prints the delta for each.
+
+A cell regresses when the candidate's speedup falls more than THRESHOLD
+(default 0.10 = 10%) below the baseline's. Any regression makes the exit
+code 1, so the CI perf-smoke job can gate on it.
+
+--absolute additionally compares raw per-kernel stage_seconds — only
+meaningful when both files came from the same machine (e.g. a before/after
+pair from one box), so it never affects the exit code across files from
+different machines unless you ask for it.
+
+Exit codes: 0 no regressions, 1 regression found, 2 usage / bad input.
+
+Stdlib-only by design.
+"""
+
+import json
+import sys
+
+STAGES = ("hit_detect", "ungapped", "gapped", "total")
+
+
+def load_bench(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "mublastp-bench-v1":
+        raise ValueError("%s: not a mublastp-bench-v1 file (schema=%r)"
+                         % (path, doc.get("schema")))
+    return doc
+
+
+def main(argv):
+    paths = []
+    threshold = 0.10
+    absolute = False
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--absolute":
+            absolute = True
+        elif arg.startswith("--"):
+            print("error: unknown option %r" % arg, file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print("usage: bench_diff.py BASELINE.json CANDIDATE.json"
+              " [--threshold=0.10] [--absolute]", file=sys.stderr)
+        return 2
+
+    try:
+        base = load_bench(paths[0])
+        cand = load_bench(paths[1])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 2
+
+    base_speed = base.get("speedup_vs_scalar", {})
+    cand_speed = cand.get("speedup_vs_scalar", {})
+    kernels = [k for k in base_speed if k in cand_speed]
+    if not kernels:
+        print("error: no common kernels between %s and %s"
+              % (paths[0], paths[1]), file=sys.stderr)
+        return 2
+    skipped = sorted(set(base_speed) ^ set(cand_speed))
+    if skipped:
+        print("note: kernels present in only one file are skipped: %s"
+              % ", ".join(skipped))
+
+    print("speedup_vs_scalar: %s -> %s (regression threshold %.0f%%)"
+          % (paths[0], paths[1], 100.0 * threshold))
+    print("  %-16s %-10s %9s %9s %8s  %s"
+          % ("kernel", "stage", "baseline", "candidate", "delta", "verdict"))
+    regressions = 0
+    for kernel in kernels:
+        for stage in STAGES:
+            b = base_speed[kernel].get(stage)
+            c = cand_speed[kernel].get(stage)
+            if b is None or c is None:
+                continue
+            delta = (c - b) / b if b > 0 else 0.0
+            regressed = b > 0 and delta < -threshold
+            verdict = "REGRESSED" if regressed else "ok"
+            regressions += regressed
+            print("  %-16s %-10s %8.3fx %8.3fx %+7.1f%%  %s"
+                  % (kernel, stage, b, c, 100.0 * delta, verdict))
+
+    if absolute:
+        base_runs = {r["kernel"]: r for r in base.get("runs", [])}
+        cand_runs = {r["kernel"]: r for r in cand.get("runs", [])}
+        print("\nabsolute stage_seconds (same-machine comparisons only):")
+        print("  %-16s %-10s %10s %10s %8s"
+              % ("kernel", "stage", "baseline", "candidate", "ratio"))
+        for kernel in sorted(set(base_runs) & set(cand_runs)):
+            b_secs = base_runs[kernel].get("stage_seconds", {})
+            c_secs = cand_runs[kernel].get("stage_seconds", {})
+            rows = list(b_secs) + ["total"]
+            for stage in rows:
+                b = (base_runs[kernel].get("total_seconds")
+                     if stage == "total" else b_secs.get(stage))
+                c = (cand_runs[kernel].get("total_seconds")
+                     if stage == "total" else c_secs.get(stage))
+                if b is None or c is None:
+                    continue
+                ratio = "%.3fx" % (c / b) if b > 0 else "n/a"
+                print("  %-16s %-10s %9.4fs %9.4fs %8s"
+                      % (kernel, stage, b, c, ratio))
+
+    if regressions:
+        print("\n%d regression(s) beyond the %.0f%% threshold"
+              % (regressions, 100.0 * threshold))
+        return 1
+    print("\nno regressions beyond the %.0f%% threshold"
+          % (100.0 * threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Piped into head/grep that exited early: not an error.
+        sys.exit(0)

@@ -9,8 +9,24 @@
 //                   [--strict] [--inject=site:Nth[:errno]]
 //                   [--time-budget=SEC] [--mem-budget-mb=N]
 //                   [--out=FILE] [--checkpoint=FILE] [--batch-size=16]
+//                   [--trace=FILE] [--trace-counters] [--progress[=force]]
 //   mublastp_search --shards-manifest=db.mbi --query=q.fasta
 //                   [--shard-mode=thread|process] [...common flags...]
+//
+// --trace=FILE records a span timeline of the whole run (index load, every
+// stage of every (block, query) round, shard workers, the cross-shard
+// merge) and writes it as Chrome trace-event JSON (schema
+// "mublastp-trace-v1", loadable in Perfetto / chrome://tracing; see
+// docs/OBSERVABILITY.md). --trace-counters additionally samples hardware
+// counters (cycles, instructions, LLC misses, branch mispredicts) per
+// stage span via perf_event_open(2) — silently degrading to plain
+// timestamps where the kernel forbids it — and folds per-stage totals into
+// the stats-v1 "perf_counters" object.
+//
+// --progress prints a one-line heartbeat to stderr at each block's serial
+// point (blocks done, quarantines, ETA). It is suppressed when stdout or
+// stderr is not a TTY so piped output stays clean; --progress=force prints
+// regardless.
 //
 // Sharded mode (--shards-manifest, exclusive with --index): loads the
 // MUSHARD01 manifest written by `mublastp_makedb --shards=N`, fans the
@@ -74,6 +90,7 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -91,6 +108,7 @@
 #include "report/report.hpp"
 #include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -294,6 +312,77 @@ stats::PipelineSnapshot sharded_snapshot(
   return snap;
 }
 
+/// Builds the run's tracer from --trace= / --trace-counters, or a null
+/// pointer when tracing is off. (--trace-counters without --trace is
+/// rejected in main before either run path starts.)
+std::unique_ptr<trace::Tracer> make_tracer(int argc, char** argv) {
+  const std::string path = arg_str(argc, argv, "trace", "");
+  if (path.empty()) return nullptr;
+  trace::TracerOptions opts;
+  opts.counters = arg_flag(argc, argv, "trace-counters");
+  return std::make_unique<trace::Tracer>(opts);
+}
+
+/// Serializes the tracer to --trace=FILE as mublastp-trace-v1. Returns the
+/// exit code contribution: 0, or 4 on an unwritable file.
+int write_trace_file(trace::Tracer& tracer, const std::string& path,
+                     const trace::TraceMeta& meta) {
+  const std::string json = trace::to_chrome_json(tracer, meta);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f.good()) {
+    std::fprintf(stderr, "error: cannot open trace file '%s'\n",
+                 path.c_str());
+    return 4;
+  }
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.put('\n');
+  f.flush();
+  if (f.bad()) {
+    std::fprintf(stderr, "error: write failure on trace file '%s'\n",
+                 path.c_str());
+    return 4;
+  }
+  std::fprintf(stderr, "wrote trace: %s (%zu spans, %llu dropped%s)\n",
+               path.c_str(), tracer.spans().size(),
+               static_cast<unsigned long long>(tracer.dropped()),
+               tracer.counters_available() ? ", hardware counters" : "");
+  return 0;
+}
+
+/// --progress gating: heartbeats are suppressed when stdout or stderr is
+/// redirected (they would pollute piped output), unless --progress=force.
+bool progress_enabled(int argc, char** argv) {
+  const bool bare = arg_flag(argc, argv, "progress");
+  const std::string mode =
+      arg_str(argc, argv, "progress", bare ? "tty" : "");
+  if (mode.empty()) return false;
+  if (mode == "force") return true;
+  return ::isatty(STDOUT_FILENO) == 1 && ::isatty(STDERR_FILENO) == 1;
+}
+
+/// The --progress heartbeat: one stderr line, rewritten in place with \r,
+/// fired from the block loop's serial point. The last block ends the line.
+struct ProgressPrinter {
+  Timer timer;
+  void operator()(const MuBlastpOptions::BatchProgress& p) {
+    const double elapsed = timer.seconds();
+    const double eta =
+        p.blocks_done > 0
+            ? elapsed / static_cast<double>(p.blocks_done) *
+                  static_cast<double>(p.blocks_total - p.blocks_done)
+            : 0.0;
+    std::fprintf(stderr,
+                 "\rprogress: %u/%u blocks, %llu queries, %llu quarantined,"
+                 " %.1fs elapsed, ETA %.1fs ",
+                 p.blocks_done, p.blocks_total,
+                 static_cast<unsigned long long>(p.queries),
+                 static_cast<unsigned long long>(p.quarantined_blocks),
+                 elapsed, eta);
+    if (p.blocks_done == p.blocks_total) std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+};
+
 /// RAII for the POSIX output fd used by the checkpointed path (the report
 /// stream must be durable before its batch is journaled, which needs
 /// fsync — hence a raw fd instead of an ofstream).
@@ -332,9 +421,18 @@ int run_sharded(int argc, char** argv, const std::string& manifest_path,
     int threads = 0;
     if (!parse_threads(argc, argv, &threads)) return 2;
 
+    const std::unique_ptr<trace::Tracer> tracer = make_tracer(argc, argv);
+    const bool progress = progress_enabled(argc, argv);
+
     Timer t;
+    const std::uint64_t load_begin =
+        tracer != nullptr ? tracer->now_ns() : 0;
     const cluster::ShardSet set =
         cluster::ShardSet::load(manifest_path, sopts, &deg.stats);
+    if (tracer != nullptr) {
+      tracer->record(trace::SpanKind::kIndexLoad, load_begin,
+                     tracer->now_ns());
+    }
     std::fprintf(stderr,
                  "loaded shard manifest (%u shards, %s, %s workers):"
                  " %llu sequences, %llu residues (%.2fs)\n",
@@ -357,7 +455,7 @@ int run_sharded(int argc, char** argv, const std::string& manifest_path,
     stats::PipelineSnapshot merged_snap;
     if (checkpoint_path.empty()) {
       cluster::ShardedSearchResult res =
-          cluster::search_sharded(set, queries, threads, mode);
+          cluster::search_sharded(set, queries, threads, mode, tracer.get());
       absorb_shard_degradation(deg.stats, res.degraded);
       std::fprintf(stderr, "searched in %.2fs (%d thread(s), %u shards)\n",
                    t.seconds(), threads, set.shard_count());
@@ -427,8 +525,11 @@ int run_sharded(int argc, char** argv, const std::string& manifest_path,
           batch.add(queries.sequence(q), queries.name(q));
         }
         Timer bt;
+        if (tracer != nullptr) {
+          tracer->set_batch(static_cast<std::uint32_t>(b));
+        }
         cluster::ShardedSearchResult res =
-            cluster::search_sharded(set, batch, threads, mode);
+            cluster::search_sharded(set, batch, threads, mode, tracer.get());
         absorb_shard_degradation(deg.stats, res.degraded);
 
         std::ostringstream os;
@@ -453,9 +554,36 @@ int run_sharded(int argc, char** argv, const std::string& manifest_path,
           merged_snap.merge(
               sharded_snapshot(res, threads, bt.seconds(), sopts.engine));
         }
+        if (progress) {
+          // Sharded runs have no global block loop; the heartbeat ticks at
+          // checkpoint-batch granularity instead.
+          std::fprintf(stderr,
+                       "\rprogress: %llu/%llu batches, %zu shard(s)"
+                       " quarantined, %.1fs elapsed ",
+                       static_cast<unsigned long long>(b + 1),
+                       static_cast<unsigned long long>(nbatches),
+                       deg.stats.quarantined_shards.size(), t.seconds());
+          if (b + 1 == nbatches) std::fputc('\n', stderr);
+          std::fflush(stderr);
+        }
       }
       std::fprintf(stderr, "searched in %.2fs (%d thread(s), %u shards)\n",
                    t.seconds(), threads, set.shard_count());
+    }
+
+    if (tracer != nullptr && want_stats) {
+      tracer->flush();
+      merged_snap.perf_counters = tracer->perf_totals();
+    }
+    if (tracer != nullptr) {
+      trace::TraceMeta meta;
+      meta.engine = "mublastp-sharded";
+      meta.kernel = simd::kernel_name(sopts.engine.kernel);
+      meta.threads = threads;
+      meta.shards = set.shard_count();
+      const int rc = write_trace_file(
+          *tracer, arg_str(argc, argv, "trace", ""), meta);
+      if (rc != 0) return rc;
     }
 
     if (want_stats) {
@@ -514,7 +642,9 @@ int main(int argc, char** argv) {
                  " [--kernel=auto|scalar|sse42|avx2[+ungapped]]"
                  " [--strict] [--inject=site:Nth]"
                  " [--time-budget=SEC] [--mem-budget-mb=N]"
-                 " [--out=FILE] [--checkpoint=FILE] [--batch-size=16]\n");
+                 " [--out=FILE] [--checkpoint=FILE] [--batch-size=16]"
+                 " [--trace=FILE] [--trace-counters]"
+                 " [--progress[=force]]\n");
     return 2;
   }
   if (force_mmap && force_copy) {
@@ -536,6 +666,20 @@ int main(int argc, char** argv) {
                  "error: --checkpoint requires --out=FILE (resume truncates"
                  " the output back to the last durable batch)\n");
     return 2;
+  }
+  if (arg_flag(argc, argv, "trace-counters") &&
+      arg_str(argc, argv, "trace", "").empty()) {
+    std::fprintf(stderr, "error: --trace-counters requires --trace=FILE\n");
+    return 2;
+  }
+  {
+    const std::string progress_mode = arg_str(argc, argv, "progress", "");
+    if (!progress_mode.empty() && progress_mode != "force") {
+      std::fprintf(stderr, "error: unknown --progress mode '%s'"
+                   " (expected --progress or --progress=force)\n",
+                   progress_mode.c_str());
+      return 2;
+    }
   }
   const std::size_t batch_size = arg_num(argc, argv, "batch-size", 16);
   if (batch_size == 0) {
@@ -574,6 +718,8 @@ int main(int argc, char** argv) {
 
   RunDegradation deg;
   try {
+    const std::unique_ptr<trace::Tracer> tracer = make_tracer(argc, argv);
+
     // Pick the load path: v3 files are mapped unless --no-mmap; v2 files
     // only have the copy loader. The probe reads just header + table.
     const DbIndexFileInfo info = describe_db_index_file(index_path);
@@ -588,8 +734,14 @@ int main(int argc, char** argv) {
     }
 
     Timer t;
+    const std::uint64_t load_begin =
+        tracer != nullptr ? tracer->now_ns() : 0;
     const LoadedIndex loaded =
         load_index(index_path, use_mmap, strict, deg);
+    if (tracer != nullptr) {
+      tracer->record(trace::SpanKind::kIndexLoad, load_begin,
+                     tracer->now_ns());
+    }
     const DbIndexView view = loaded.view();
     stats::IndexLoadStats load_stats;
     load_stats.mode = loaded.mode;
@@ -621,6 +773,7 @@ int main(int argc, char** argv) {
     options.time_budget_seconds = time_budget;
     options.mem_budget_bytes =
         static_cast<std::uint64_t>(mem_budget_mb) << 20;
+    if (progress_enabled(argc, argv)) options.progress = ProgressPrinter{};
     if (!simd::kernel_supported(options.kernel)) {
       std::fprintf(stderr, "error: kernel '%s' is not supported on this"
                    " CPU\n", simd::kernel_name(options.kernel));
@@ -653,7 +806,8 @@ int main(int argc, char** argv) {
       // Plain path: one batch over all queries, reports to --out or stdout.
       stats::PipelineStats pipeline_stats;
       const std::vector<QueryResult> results = engine.search_batch(
-          queries, threads, want_stats ? &pipeline_stats : nullptr, deg_sink);
+          queries, threads, want_stats ? &pipeline_stats : nullptr, deg_sink,
+          tracer.get());
       std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
                    threads);
 
@@ -721,8 +875,12 @@ int main(int argc, char** argv) {
           batch.add(queries.sequence(q), queries.name(q));
         }
         stats::PipelineStats pipeline_stats;
+        if (tracer != nullptr) {
+          tracer->set_batch(static_cast<std::uint32_t>(b));
+        }
         const std::vector<QueryResult> results = engine.search_batch(
-            batch, threads, want_stats ? &pipeline_stats : nullptr, deg_sink);
+            batch, threads, want_stats ? &pipeline_stats : nullptr, deg_sink,
+            tracer.get());
 
         std::ostringstream os;
         for (SeqId q = begin; q < end; ++q) {
@@ -745,6 +903,20 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "searched in %.2fs (%d thread(s))\n", t.seconds(),
                    threads);
+    }
+
+    if (tracer != nullptr && want_stats) {
+      tracer->flush();
+      merged_snap.perf_counters = tracer->perf_totals();
+    }
+    if (tracer != nullptr) {
+      trace::TraceMeta meta;
+      meta.engine = "mublastp";
+      meta.kernel = simd::kernel_name(options.kernel);
+      meta.threads = threads;
+      const int rc = write_trace_file(
+          *tracer, arg_str(argc, argv, "trace", ""), meta);
+      if (rc != 0) return rc;
     }
 
     if (want_stats) {
