@@ -20,19 +20,32 @@
 // A second section times the striped Smith-Waterman kernel against the
 // scalar DP on query-vs-sampled-subject pairs — the alignment kernel is
 // where int16-lane SIMD pays off regardless of extension length.
+//
+// A third section covers the incremental-build path: DbIndex::build
+// throughput at 1 thread vs all threads (the OpenMP block construction),
+// and the search overhead of a 2-member base+delta generation chain on
+// disk versus one canonical index over the same sequences — the price of
+// skipping --compact. Alignment counts are asserted identical between the
+// two, so this section too doubles as an equivalence check.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "baseline/smith_waterman.hpp"
 #include "bench_common.hpp"
+#include "cluster/gen_chain.hpp"
 #include "common/faultinject.hpp"
 #include "common/json_writer.hpp"
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
 #include "index/db_index.hpp"
+#include "index/db_index_io.hpp"
+#include "index/generation.hpp"
 #include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
 
@@ -296,6 +309,85 @@ int main(int argc, char** argv) {
               sw_ok ? "identical across kernels" : "MISMATCH");
   counters_ok = counters_ok && sw_ok;
 
+  // ---- Incremental builds: parallel index construction + chain price. ---
+  double build_sec_1 = 1e100;
+  double build_sec_n = 1e100;
+  int build_threads_n = 1;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    DbIndexConfig cfg1;
+    cfg1.build_threads = 1;
+    BuildTelemetry tele1;
+    (void)DbIndex::build(db, cfg1, &tele1);
+    build_sec_1 = std::min(build_sec_1, tele1.total_seconds);
+    DbIndexConfig cfgn;
+    cfgn.build_threads = 0;  // all available
+    BuildTelemetry telen;
+    (void)DbIndex::build(db, cfgn, &telen);
+    build_sec_n = std::min(build_sec_n, telen.total_seconds);
+    build_threads_n = telen.threads;
+  }
+  std::printf("\nindex build (%zu residues):\n", residues);
+  std::printf("%-10s %9.4fs %12.0f residues/s\n", "1 thread", build_sec_1,
+              build_sec_1 > 0 ? static_cast<double>(residues) / build_sec_1
+                              : 0.0);
+  std::printf("%-10s %9.4fs %12.0f residues/s %8.2fx\n",
+              (std::to_string(build_threads_n) + " threads").c_str(),
+              build_sec_n,
+              build_sec_n > 0 ? static_cast<double>(residues) / build_sec_n
+                              : 0.0,
+              build_sec_n > 0 ? build_sec_1 / build_sec_n : 0.0);
+
+  // The chain price: base (first 2/3) + appended delta (last 1/3) searched
+  // through the on-disk generation protocol vs one canonical index. Same
+  // sequences in the same global order, so the merged output must agree.
+  const std::filesystem::path chain_base =
+      std::filesystem::temp_directory_path() /
+      ("mublastp_perf_chain_" + std::to_string(::getpid()) + ".mbi");
+  SequenceStore db_base;
+  SequenceStore db_delta;
+  const SeqId split = static_cast<SeqId>(db.size() * 2 / 3);
+  for (SeqId sid = 0; sid < db.size(); ++sid) {
+    (sid < split ? db_base : db_delta).add(db.sequence(sid), db.name(sid));
+  }
+  save_db_index_file_durable(chain_base.string(), DbIndex::build(db_base, {}));
+  const AppendResult appended =
+      append_generation(chain_base.string(), db_delta);
+  const cluster::GenerationChain chain = cluster::GenerationChain::load(
+      chain_base.string(), {SearchParams{}, MuBlastpOptions{}, true}, nullptr);
+  std::filesystem::remove(chain_base);
+  std::filesystem::remove(appended.delta_path);
+  std::filesystem::remove(appended.manifest_path);
+
+  const MuBlastpEngine full_engine(index, {}, {});
+  double full_sec = 1e100;
+  double chain_sec = 1e100;
+  std::uint64_t full_alignments = 0;
+  std::uint64_t chain_alignments = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Timer ft;
+    const std::vector<QueryResult> full =
+        full_engine.search_batch(queries, threads);
+    full_sec = std::min(full_sec, ft.seconds());
+    Timer ct;
+    const cluster::ChainSearchResult chained =
+        cluster::search_chain(chain, queries, threads);
+    chain_sec = std::min(chain_sec, ct.seconds());
+    full_alignments = chain_alignments = 0;
+    for (const QueryResult& r : full) full_alignments += r.alignments.size();
+    for (const QueryResult& r : chained.results) {
+      chain_alignments += r.alignments.size();
+    }
+  }
+  const bool chain_ok = full_alignments == chain_alignments;
+  std::printf("\ndelta-search overhead (%u-member chain vs canonical):\n",
+              chain.member_count());
+  std::printf("%-10s %9.4fs\n", "canonical", full_sec);
+  std::printf("%-10s %9.4fs %8.2fx\n", "chain", chain_sec,
+              full_sec > 0 ? chain_sec / full_sec : 0.0);
+  std::printf("alignments: %s\n",
+              chain_ok ? "identical" : "MISMATCH");
+  counters_ok = counters_ok && chain_ok;
+
   if (!json_path.empty()) {
     std::string out;
     out += "{\n  \"schema\": \"mublastp-bench-v1\",\n";
@@ -357,6 +449,36 @@ int main(int argc, char** argv) {
     }
     std::snprintf(buf, sizeof(buf), "], \"scores_identical\": %s},\n",
                   sw_ok ? "true" : "false");
+    out += buf;
+    out += "  \"incremental_build\": {\"index_build\": {";
+    std::snprintf(buf, sizeof(buf), "\"residues\": %zu, ", residues);
+    out += buf;
+    out += "\"serial_seconds\": ";
+    jsonw::append_fixed(out, build_sec_1, 6);
+    std::snprintf(buf, sizeof(buf), ", \"parallel_threads\": %d,"
+                  " \"parallel_seconds\": ", build_threads_n);
+    out += buf;
+    jsonw::append_fixed(out, build_sec_n, 6);
+    out += ", \"residues_per_sec\": ";
+    jsonw::append_fixed(out,
+                        build_sec_n > 0
+                            ? static_cast<double>(residues) / build_sec_n
+                            : 0.0, 0);
+    out += ", \"parallel_speedup\": ";
+    jsonw::append_fixed(out, build_sec_n > 0 ? build_sec_1 / build_sec_n
+                                             : 0.0, 3);
+    std::snprintf(buf, sizeof(buf),
+                  "}, \"chain_search\": {\"members\": %u, ",
+                  chain.member_count());
+    out += buf;
+    out += "\"canonical_seconds\": ";
+    jsonw::append_fixed(out, full_sec, 6);
+    out += ", \"chain_seconds\": ";
+    jsonw::append_fixed(out, chain_sec, 6);
+    out += ", \"overhead_ratio\": ";
+    jsonw::append_fixed(out, full_sec > 0 ? chain_sec / full_sec : 0.0, 3);
+    std::snprintf(buf, sizeof(buf), ", \"alignments_identical\": %s}},\n",
+                  chain_ok ? "true" : "false");
     out += buf;
     out += "  \"analysis\": \"docs/ALGORITHMS.md section 'SIMD kernels and"
            " dispatch' discusses these numbers: the banded tiered int8/int16"

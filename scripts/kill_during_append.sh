@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Kill-anywhere campaign for incremental index builds: SIGKILL
+# `mublastp_makedb --append` (and --compact) at every build-path fault
+# site via MUBLASTP_FAULTS_KILL, then require that the database reloads
+# and searches BIT-IDENTICALLY to one of the two adjacent generations —
+# never a torn in-between state. Orphaned temp files must be cleaned by
+# the retried build. Run from anywhere:
+#
+#   scripts/kill_during_append.sh [BUILD_DIR]
+#
+# Exits nonzero (with a diff) on any divergence. Used by the CI
+# incremental-crash-matrix job; cheap enough to run locally.
+# docs/INCREMENTAL.md walks through the publish ordering this proves.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+TOOLS="$BUILD_DIR/tools"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/mublastp_killgen.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+for tool in mublastp_synthgen mublastp_makedb mublastp_search mublastp_dbinfo; do
+  if [[ ! -x "$TOOLS/$tool" ]]; then
+    echo "error: $TOOLS/$tool not built" >&2
+    exit 2
+  fi
+done
+
+echo "== generating workload =="
+"$TOOLS/mublastp_synthgen" --preset=sprot --residues=200000 --seed=71 \
+  --out="$WORK/base.fasta" --queries=8 --qlen=96 --qout="$WORK/q.fasta"
+"$TOOLS/mublastp_synthgen" --preset=sprot --residues=80000 --seed=72 \
+  --out="$WORK/delta.fasta"
+
+search() { # search <dir> <out>
+  "$TOOLS/mublastp_search" --index="$1/db.mbi" --query="$WORK/q.fasta" \
+    --outfmt=tabular --threads=1 --out="$2" 2>/dev/null
+}
+
+echo "== references (pre-append and post-append generations) =="
+mkdir "$WORK/ref"
+"$TOOLS/mublastp_makedb" --in="$WORK/base.fasta" --out="$WORK/ref/db.mbi" \
+  >/dev/null 2>&1
+search "$WORK/ref" "$WORK/pre.tab"
+"$TOOLS/mublastp_makedb" --append="$WORK/delta.fasta" \
+  --out="$WORK/ref/db.mbi" >/dev/null 2>&1
+search "$WORK/ref" "$WORK/post.tab"
+if cmp -s "$WORK/pre.tab" "$WORK/post.tab"; then
+  echo "error: pre/post references are identical — workload too small" >&2
+  exit 2
+fi
+
+# The per-site loop: clone the pre-append state, kill the append at the
+# site, then check the recovery invariant.
+failures=0
+check_site() { # check_site <phase> <killspec>
+  local phase=$1 killspec=$2
+  local dir="$WORK/${phase}_${killspec//[:.]/_}"
+  mkdir "$dir"
+  cp "$WORK/ref_pre/"db.mbi* "$dir/" 2>/dev/null || true
+
+  local rc=0
+  if [[ "$phase" == append ]]; then
+    MUBLASTP_FAULTS_KILL="$killspec" "$TOOLS/mublastp_makedb" \
+      --append="$WORK/delta.fasta" --out="$dir/db.mbi" \
+      >/dev/null 2>&1 || rc=$?
+  else
+    cp "$WORK/ref_post/"db.mbi* "$dir/" 2>/dev/null || true
+    MUBLASTP_FAULTS_KILL="$killspec" "$TOOLS/mublastp_makedb" \
+      --compact --out="$dir/db.mbi" >/dev/null 2>&1 || rc=$?
+  fi
+  if [[ "$rc" -ne 137 ]]; then
+    # The site was never evaluated in this phase (e.g. gc_unlink with no
+    # orphans): the build completed — still a valid state, fall through.
+    echo "  [$phase $killspec] not evaluated (exit $rc)"
+  else
+    echo "  [$phase $killspec] SIGKILL fired"
+  fi
+
+  # Invariant 1: the database reloads.
+  if ! "$TOOLS/mublastp_dbinfo" --index="$dir/db.mbi" >/dev/null 2>&1; then
+    echo "FAIL [$phase $killspec]: database does not reload after kill" >&2
+    failures=$((failures + 1))
+    return 0
+  fi
+  # Invariant 2: search output equals one of the two adjacent generations.
+  search "$dir" "$dir/got.tab"
+  if ! cmp -s "$dir/got.tab" "$WORK/pre.tab" && \
+     ! cmp -s "$dir/got.tab" "$WORK/post.tab"; then
+    echo "FAIL [$phase $killspec]: output matches NEITHER adjacent" \
+         "generation" >&2
+    diff "$dir/got.tab" "$WORK/post.tab" | head -20 >&2 || true
+    failures=$((failures + 1))
+    return 0
+  fi
+  # Invariant 3: the retried build heals — orphan temps cleaned, the next
+  # generation published, output equal to the post-append reference.
+  if [[ "$phase" == append ]]; then
+    if ! cmp -s "$dir/got.tab" "$WORK/post.tab"; then
+      "$TOOLS/mublastp_makedb" --append="$WORK/delta.fasta" \
+        --out="$dir/db.mbi" >/dev/null 2>&1
+    fi
+  else
+    "$TOOLS/mublastp_makedb" --compact --out="$dir/db.mbi" >/dev/null 2>&1
+  fi
+  if compgen -G "$dir/db.mbi*.tmp" >/dev/null; then
+    echo "FAIL [$phase $killspec]: orphan temps survived the retried" \
+         "build" >&2
+    failures=$((failures + 1))
+    return 0
+  fi
+  search "$dir" "$dir/healed.tab"
+  if ! cmp -s "$dir/healed.tab" "$WORK/post.tab"; then
+    echo "FAIL [$phase $killspec]: retried build output differs" >&2
+    diff "$dir/healed.tab" "$WORK/post.tab" | head -20 >&2 || true
+    failures=$((failures + 1))
+    return 0
+  fi
+  echo "  [$phase $killspec] OK (reload + adjacent-generation + heal)"
+}
+
+echo "== pristine pre-append state =="
+mkdir "$WORK/ref_pre"
+"$TOOLS/mublastp_makedb" --in="$WORK/base.fasta" \
+  --out="$WORK/ref_pre/db.mbi" >/dev/null 2>&1
+mkdir "$WORK/ref_post"
+cp "$WORK/ref_pre/"db.mbi* "$WORK/ref_post/"
+"$TOOLS/mublastp_makedb" --append="$WORK/delta.fasta" \
+  --out="$WORK/ref_post/db.mbi" >/dev/null 2>&1
+
+echo "== kill matrix: append =="
+for spec in build.block_write:1 build.fsync:1 build.fsync:2 build.fsync:3 \
+            build.fsync:4 build.manifest_write:1 build.publish_rename:1 \
+            build.publish_rename:2; do
+  check_site append "$spec"
+done
+
+echo "== kill matrix: compact =="
+for spec in build.block_write:1 build.fsync:1 build.fsync:2 \
+            build.manifest_write:1 build.publish_rename:1 \
+            build.publish_rename:2 build.gc_unlink:1 build.gc_unlink:2; do
+  check_site compact "$spec"
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "FAIL: $failures kill site(s) violated the recovery invariant" >&2
+  exit 1
+fi
+echo "PASS: every kill site left an adjacent, reloadable, healable generation"

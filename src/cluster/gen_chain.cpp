@@ -1,0 +1,254 @@
+#include "cluster/gen_chain.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "cluster/orchestrator.hpp"
+#include "common/checksum.hpp"
+#include "common/error.hpp"
+#include "index/db_index_format.hpp"
+#include "index/db_index_io.hpp"
+
+namespace mublastp::cluster {
+namespace {
+
+MuBlastpOptions chain_engine_options(const GenChainOptions& opts,
+                                     std::uint64_t combined_residues) {
+  MuBlastpOptions engine = opts.engine;
+  // The invariant chains live on (same as sharding): every member prices
+  // E-values over the combined search space, exactly like a full rebuild.
+  engine.effective_db_residues = combined_residues;
+  return engine;
+}
+
+/// What resolve_generations + the manifest promise about one member before
+/// it is loaded. num_sequences == 0 means "unknown" (bare generation 0 has
+/// no manifest to promise anything).
+struct MemberPlan {
+  std::string path;
+  std::uint64_t num_sequences = 0;
+  std::uint64_t num_residues = 0;
+  std::uint64_t id_offset = 0;
+  std::uint32_t index_crc32 = 0;
+  bool have_manifest_entry = false;
+};
+
+}  // namespace
+
+GenerationChain GenerationChain::load(const std::string& base_path,
+                                      const GenChainOptions& opts,
+                                      stats::DegradedStats* degraded) {
+  MUBLASTP_CHECK(opts.strict || degraded != nullptr,
+                 "non-strict GenerationChain::load needs a DegradedStats"
+                 " sink");
+  const ResolvedGeneration resolved = resolve_generations(base_path);
+
+  GenerationChain chain;
+  chain.options_ = opts;
+  chain.generation_ = resolved.generation;
+
+  std::vector<MemberPlan> plans;
+  if (resolved.manifest.has_value()) {
+    const GenerationManifest& m = *resolved.manifest;
+    chain.total_sequences_ = m.total_sequences;
+    chain.total_residues_ = m.total_residues;
+    for (std::size_t k = 0; k < m.members.size(); ++k) {
+      const GenerationMember& gm = m.members[k];
+      plans.push_back({resolved.member_paths[k], gm.num_sequences,
+                       gm.num_residues, gm.id_offset, gm.index_crc32, true});
+    }
+  } else {
+    MUBLASTP_CHECK_KIND(!resolved.member_paths.empty(), ErrorKind::kIo,
+                        "no index found at " + base_path +
+                            " (no base file, no generation manifest)");
+    plans.push_back({resolved.member_paths[0], 0, 0, 0, 0, false});
+  }
+
+  // Pass 1: load every member index (engines come after — a bare
+  // generation 0 only learns the combined totals from the loaded base).
+  chain.members_.resize(plans.size());
+  for (std::uint32_t k = 0; k < plans.size(); ++k) {
+    const MemberPlan& plan = plans[k];
+    Member& member = chain.members_[k];
+    member.path = plan.path;
+    try {
+      std::unique_ptr<DbIndex> index;
+      if (opts.strict) {
+        if (plan.have_manifest_entry) {
+          std::ifstream in(plan.path, std::ios::binary);
+          MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                              "cannot open chain member: " + plan.path);
+          std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+          MUBLASTP_CHECK_KIND(!in.bad(), ErrorKind::kIo,
+                              "failed reading chain member: " + plan.path);
+          // Whole-file CRC against the manifest: names a rotted member
+          // before the (section-level) index loader even runs.
+          const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+          MUBLASTP_CHECK_KIND(
+              crc == plan.index_crc32, ErrorKind::kCorrupt,
+              "chain member " + std::to_string(k) +
+                  " index checksum mismatch (manifest says " +
+                  std::to_string(plan.index_crc32) + ", file has " +
+                  std::to_string(crc) + ")");
+          std::istringstream stream(std::move(bytes));
+          index = std::make_unique<DbIndex>(load_db_index(stream));
+        } else {
+          index = std::make_unique<DbIndex>(load_db_index_file(plan.path));
+        }
+      } else {
+        // Degraded mode skips the whole-file CRC on purpose: a single
+        // rotted block would fail it and quarantine the entire member,
+        // defeating the block-level quarantine the tolerant loader gives.
+        std::vector<BlockQuarantine> quarantined;
+        IndexLoadOptions lopts;
+        lopts.tolerate_block_corruption = true;
+        lopts.quarantined = &quarantined;
+        index = std::make_unique<DbIndex>(load_db_index_file(plan.path,
+                                                             lopts));
+        for (const BlockQuarantine& q : quarantined) {
+          degraded->quarantined.push_back(
+              {q.block, "chain member " + std::to_string(k) + " (" +
+                            plan.path + "): " + q.reason});
+          degraded->partial = true;
+        }
+      }
+      // Structural cross-check: the member must describe the slice the
+      // manifest promised (block quarantine never touches the sequence
+      // store sections, so this holds in degraded mode too).
+      const DbIndexView view(*index);
+      if (plan.have_manifest_entry) {
+        MUBLASTP_CHECK_KIND(view.num_sequences() == plan.num_sequences &&
+                                view.total_residues() == plan.num_residues,
+                            ErrorKind::kCorrupt,
+                            "chain member " + std::to_string(k) +
+                                " index does not match its manifest entry");
+      }
+      member.to_global.reserve(view.num_sequences());
+      for (SeqId local = 0; local < view.num_sequences(); ++local) {
+        member.to_global.push_back(
+            static_cast<SeqId>(plan.id_offset + local));
+      }
+      member.index = std::move(index);
+    } catch (const Error& e) {
+      if (opts.strict) throw;
+      degraded->quarantined_shards.push_back({k, e.what()});
+      degraded->partial = true;
+      member.index.reset();
+    }
+  }
+
+  if (!resolved.manifest.has_value() &&
+      chain.members_.front().index != nullptr) {
+    const DbIndexView view(*chain.members_.front().index);
+    chain.total_sequences_ = view.num_sequences();
+    chain.total_residues_ = view.total_residues();
+  }
+
+  // Pass 2: engines, now that the combined residue total is known.
+  for (Member& member : chain.members_) {
+    if (member.index == nullptr) continue;
+    member.engine = std::make_unique<MuBlastpEngine>(
+        DbIndexView(*member.index), opts.params,
+        chain_engine_options(opts, chain.total_residues_));
+  }
+
+  // Rebuild the database in global original-id order for report rendering.
+  // Members are contiguous id ranges in chain order, so this is a plain
+  // walk. Quarantined members contribute placeholders (never rendered:
+  // they contribute no alignments either).
+  for (std::uint32_t k = 0; k < plans.size(); ++k) {
+    const Member& member = chain.members_[k];
+    if (member.index == nullptr) {
+      const Residue placeholder{};
+      for (std::uint64_t i = 0; i < plans[k].num_sequences; ++i) {
+        chain.global_db_.add({&placeholder, 1}, {});
+      }
+      continue;
+    }
+    const DbIndex& index = *member.index;
+    for (SeqId local = 0; local < index.db().size(); ++local) {
+      const SeqId sorted = index.sorted_id(local);
+      chain.global_db_.add(index.db().sequence(sorted),
+                           index.db().name(sorted));
+    }
+  }
+  return chain;
+}
+
+ChainSearchResult search_chain(const GenerationChain& chain,
+                               const SequenceStore& queries, int threads,
+                               trace::Tracer* tracer) {
+  MUBLASTP_CHECK(chain.member_count() > 0, "generation chain is empty");
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+
+  ChainSearchResult out;
+  std::vector<std::vector<QueryResult>> per_member(chain.member_count());
+  std::vector<std::span<const SeqId>> remaps(chain.member_count());
+  for (std::uint32_t k = 0; k < chain.member_count(); ++k) {
+    remaps[k] = chain.to_global(k);
+    const MuBlastpEngine* engine = chain.engine(k);
+    if (engine == nullptr) continue;  // quarantined at load time
+
+    // Same child-tracer scheme as thread-mode shard workers: the child
+    // shares the parent's clock epoch, so absorbed spans need no re-basing,
+    // and every span carries the chain position in the shard lane.
+    std::unique_ptr<trace::Tracer> child;
+    if (tracer != nullptr) {
+      child = std::make_unique<trace::Tracer>(tracer->options(),
+                                              tracer->epoch_raw_ns(), k);
+    }
+    const std::uint64_t span_begin = child != nullptr ? child->now_ns() : 0;
+    try {
+      stats::DegradedStats member_degraded;
+      per_member[k] = engine->search_batch(
+          queries, threads,
+          /*ps=*/nullptr,
+          chain.options().strict ? nullptr : &member_degraded, child.get());
+      for (const stats::QuarantinedBlock& q : member_degraded.quarantined) {
+        out.degraded.quarantined.push_back(
+            {q.block,
+             "chain member " + std::to_string(k) + ": " + q.reason});
+      }
+      out.degraded.load_retries += member_degraded.load_retries;
+      out.degraded.time_budget_trips += member_degraded.time_budget_trips;
+      out.degraded.mem_budget_trips += member_degraded.mem_budget_trips;
+      out.degraded.partial = out.degraded.partial || member_degraded.partial;
+    } catch (const std::exception& e) {
+      if (chain.options().strict) {
+        throw Error("chain member " + std::to_string(k) +
+                        " failed: " + e.what(),
+                    ErrorKind::kIo);
+      }
+      out.degraded.quarantined_shards.push_back({k, e.what()});
+      out.degraded.partial = true;
+      per_member[k].clear();
+    }
+    if (child != nullptr) {
+      child->record(trace::SpanKind::kShardWorker, span_begin,
+                    child->now_ns(), trace::kNoId, trace::kNoId, k);
+      child->flush();
+      tracer->absorb(child->spans().data(), child->spans().size(), 0, k);
+      tracer->add_dropped(child->dropped());
+    }
+  }
+
+  const std::uint64_t merge_begin = tracer != nullptr ? tracer->now_ns() : 0;
+  out.results =
+      merge_partition_results(per_member, remaps, queries.size(),
+                              chain.options().params.max_alignments);
+  if (tracer != nullptr) {
+    tracer->record(trace::SpanKind::kMerge, merge_begin, tracer->now_ns());
+    tracer->flush();
+  }
+  return out;
+}
+
+}  // namespace mublastp::cluster

@@ -200,55 +200,16 @@ bool read_all(int fd, void* data, std::size_t size) {
 // Merge
 // ---------------------------------------------------------------------------
 
-// finalize_stage's exact ranking order (core/results.cpp): score desc, then
-// subject asc, q_start asc, s_start asc. Re-sorting the concatenated
-// per-shard lists with this comparator and truncating reproduces the
-// unsharded final list (see orchestrator.hpp for why).
-bool final_order(const GappedAlignment& a, const GappedAlignment& b) {
-  if (a.score != b.score) return a.score > b.score;
-  if (a.subject != b.subject) return a.subject < b.subject;
-  if (a.q_start != b.q_start) return a.q_start < b.q_start;
-  return a.s_start < b.s_start;
-}
-
 std::vector<QueryResult> merge_shard_results(
     const ShardSet& set,
     const std::vector<std::vector<QueryResult>>& per_shard,
     std::size_t num_queries, std::size_t max_alignments) {
-  std::vector<QueryResult> merged(num_queries);
-  for (std::size_t q = 0; q < num_queries; ++q) {
-    QueryResult& out = merged[q];
-    std::size_t total_alignments = 0;
-    std::size_t total_ungapped = 0;
-    for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
-      if (per_shard[k].empty()) continue;
-      total_alignments += per_shard[k][q].alignments.size();
-      total_ungapped += per_shard[k][q].ungapped.size();
-    }
-    out.alignments.reserve(total_alignments);
-    out.ungapped.reserve(total_ungapped);
-    for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
-      if (per_shard[k].empty()) continue;  // quarantined or empty shard
-      const QueryResult& r = per_shard[k][q];
-      const std::span<const SeqId> remap = set.to_global(k);
-      for (GappedAlignment a : r.alignments) {
-        a.subject = remap[a.subject];
-        out.alignments.push_back(std::move(a));
-      }
-      for (UngappedAlignment u : r.ungapped) {
-        u.subject = remap[u.subject];
-        out.ungapped.push_back(u);
-      }
-      out.stats += r.stats;
-    }
-    std::stable_sort(out.alignments.begin(), out.alignments.end(),
-                     final_order);
-    if (out.alignments.size() > max_alignments) {
-      out.alignments.resize(max_alignments);
-    }
-    canonicalize_ungapped(out.ungapped);
+  std::vector<std::span<const SeqId>> remaps(set.shard_count());
+  for (std::uint32_t k = 0; k < set.shard_count(); ++k) {
+    remaps[k] = set.to_global(k);
   }
-  return merged;
+  return merge_partition_results(per_shard, remaps, num_queries,
+                                 max_alignments);
 }
 
 // ---------------------------------------------------------------------------
@@ -272,6 +233,53 @@ std::string dirname_of(const std::string& path) {
 }
 
 }  // namespace
+
+bool final_ranking_less(const GappedAlignment& a, const GappedAlignment& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.subject != b.subject) return a.subject < b.subject;
+  if (a.q_start != b.q_start) return a.q_start < b.q_start;
+  return a.s_start < b.s_start;
+}
+
+std::vector<QueryResult> merge_partition_results(
+    const std::vector<std::vector<QueryResult>>& per_member,
+    const std::vector<std::span<const SeqId>>& to_global,
+    std::size_t num_queries, std::size_t max_alignments) {
+  std::vector<QueryResult> merged(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    QueryResult& out = merged[q];
+    std::size_t total_alignments = 0;
+    std::size_t total_ungapped = 0;
+    for (std::size_t k = 0; k < per_member.size(); ++k) {
+      if (per_member[k].empty()) continue;
+      total_alignments += per_member[k][q].alignments.size();
+      total_ungapped += per_member[k][q].ungapped.size();
+    }
+    out.alignments.reserve(total_alignments);
+    out.ungapped.reserve(total_ungapped);
+    for (std::size_t k = 0; k < per_member.size(); ++k) {
+      if (per_member[k].empty()) continue;  // quarantined or empty member
+      const QueryResult& r = per_member[k][q];
+      const std::span<const SeqId> remap = to_global[k];
+      for (GappedAlignment a : r.alignments) {
+        a.subject = remap[a.subject];
+        out.alignments.push_back(std::move(a));
+      }
+      for (UngappedAlignment u : r.ungapped) {
+        u.subject = remap[u.subject];
+        out.ungapped.push_back(u);
+      }
+      out.stats += r.stats;
+    }
+    std::stable_sort(out.alignments.begin(), out.alignments.end(),
+                     final_ranking_less);
+    if (out.alignments.size() > max_alignments) {
+      out.alignments.resize(max_alignments);
+    }
+    canonicalize_ungapped(out.ungapped);
+  }
+  return merged;
+}
 
 const char* shard_mode_name(ShardWorkerMode mode) {
   switch (mode) {

@@ -50,6 +50,24 @@ enum class ShardWorkerMode {
   kProcess,  ///< one fork(2)ed child per shard, results over a pipe
 };
 
+/// finalize_stage's exact ranking order (core/results.cpp): score desc,
+/// then subject asc, q_start asc, s_start asc. Any disjoint-subject
+/// partition of the database (shards, generation chains) merges back to
+/// the unpartitioned final list by re-sorting with this comparator.
+bool final_ranking_less(const GappedAlignment& a, const GappedAlignment& b);
+
+/// Merges per-member results of ANY disjoint-subject partition of one
+/// logical database back into single-database output: remaps each member's
+/// local subject ids through its `to_global` slice, concatenates, sums
+/// stage counters, re-sorts with final_ranking_less, truncates to
+/// `max_alignments`, and canonicalizes the ungapped lists. An empty
+/// per-member vector means that member was quarantined and contributes
+/// nothing. Shared by sharded search and generation-chain search.
+std::vector<QueryResult> merge_partition_results(
+    const std::vector<std::vector<QueryResult>>& per_member,
+    const std::vector<std::span<const SeqId>>& to_global,
+    std::size_t num_queries, std::size_t max_alignments);
+
 /// "thread" or "process".
 const char* shard_mode_name(ShardWorkerMode mode);
 

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "common/checksum.hpp"
+#include "common/durable.hpp"
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
 #include "index/db_index_format.hpp"
@@ -156,13 +157,13 @@ void save_shard_manifest(const std::string& path,
   }
   image.resize(cursor, '\0');
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  MUBLASTP_CHECK_KIND(out.good(), ErrorKind::kIo,
-                      "cannot open shard manifest for writing: " + path);
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
-  out.flush();
-  MUBLASTP_CHECK_KIND(out.good(), ErrorKind::kIo,
-                      "failed writing shard manifest: " + path);
+  // Publish with the durable protocol (temp → fsync → atomic rename → dir
+  // fsync): a crash while makedb writes the manifest leaves either the old
+  // manifest (or none) plus an orphaned .tmp, never a torn MUSHARD01.
+  const std::string tmp = durable::temp_path_for(path);
+  durable::write_file_durable(tmp, image, "build.manifest_write",
+                              "build.fsync");
+  durable::publish_rename(tmp, path, "build.publish_rename", "build.fsync");
 }
 
 ShardManifest parse_shard_manifest(std::span<const std::byte> image) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/checksum.hpp"
+#include "common/durable.hpp"
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
 
@@ -86,6 +87,10 @@ CheckpointJournal::CheckpointJournal(const std::string& path,
                     std::fflush(file_) == 0 && ::fsync(fileno(file_)) == 0;
     MUBLASTP_CHECK_KIND(ok, ErrorKind::kIo,
                         "cannot write checkpoint header: " + path_);
+    // The header fsync makes the *content* durable but not the *name*: a
+    // crash before the parent directory is synced can lose the freshly
+    // created journal entirely, silently restarting the run from batch 0.
+    durable::fsync_parent_dir(path_, "checkpoint.dirsync");
     return;
   }
 

@@ -1,5 +1,7 @@
 #include "common/faultinject.hpp"
 
+#include <csignal>
+
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
@@ -13,9 +15,15 @@ namespace {
 // The registry. Sorted for readability; lookup is a linear strcmp scan
 // (the list is tiny and only walked while faults are armed).
 constexpr const char* kSites[] = {
-    "alloc.workspace",   // engine workspace growth (simulated bad_alloc)
-    "checkpoint.write",  // checkpoint journal append
-    "index.crc",         // v3 section checksum verification
+    "alloc.workspace",       // engine workspace growth (simulated bad_alloc)
+    "build.block_write",     // index data-file write during a build/publish
+    "build.fsync",           // fsync of a build artifact (file or directory)
+    "build.gc_unlink",       // unlink of a stale generation during GC
+    "build.manifest_write",  // MUGEN01 generation-manifest temp write
+    "build.publish_rename",  // atomic rename publishing a build artifact
+    "checkpoint.dirsync",    // parent-dir fsync after journal creation
+    "checkpoint.write",      // checkpoint journal append
+    "index.crc",             // v3 section checksum verification
     "index.mmap",        // mmap(2) of an index file
     "index.open",        // open(2)/ifstream of an index file
     "index.prefault",    // SIGBUS during guarded first-touch prefault
@@ -37,6 +45,10 @@ struct SiteState {
   // Written only while arming (single-threaded, before evaluation starts);
   // read lock-free during evaluation.
   std::vector<ArmedEntry> armed;
+  // Kill-arming (MUBLASTP_FAULTS_KILL): evaluations at which the process
+  // SIGKILLs itself — the scripted half of the kill-anywhere campaign,
+  // deterministic where an external `kill -9` would race the publish.
+  std::vector<std::uint64_t> kill_at;
 };
 
 SiteState g_sites[kNumSites];
@@ -49,11 +61,16 @@ int site_index(std::string_view site) noexcept {
   return -1;
 }
 
-// Arms from MUBLASTP_FAULTS once, before main() runs, so every binary in
-// the repo honours the env without per-tool wiring.
+// Arms from MUBLASTP_FAULTS / MUBLASTP_FAULTS_KILL once, before main()
+// runs, so every binary in the repo honours the env without per-tool
+// wiring.
 const bool g_env_armed = [] {
   const char* spec = std::getenv("MUBLASTP_FAULTS");
   if (spec != nullptr && *spec != '\0') arm_from_spec(spec);
+  const char* kill_spec = std::getenv("MUBLASTP_FAULTS_KILL");
+  if (kill_spec != nullptr && *kill_spec != '\0') {
+    arm_kill_from_spec(kill_spec);
+  }
   return true;
 }();
 
@@ -69,6 +86,13 @@ bool should_fail(const char* site) noexcept {
   SiteState& s = g_sites[static_cast<std::size_t>(idx)];
   const std::uint64_t n =
       s.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const std::uint64_t kill_nth : s.kill_at) {
+    if (kill_nth == n) {
+      // A real crash, not an exception: the point is to leave whatever is
+      // on disk exactly as a power failure at this instant would.
+      ::raise(SIGKILL);
+    }
+  }
   for (const ArmedEntry& e : s.armed) {
     if (e.nth == n) {
       if (e.err != 0) errno = e.err;
@@ -85,6 +109,36 @@ void arm(std::string_view site, std::uint64_t nth, int err) {
   MUBLASTP_CHECK(nth > 0, "fault-injection Nth must be >= 1");
   g_sites[static_cast<std::size_t>(idx)].armed.push_back({nth, err});
   g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_kill(std::string_view site, std::uint64_t nth) {
+  const int idx = site_index(site);
+  MUBLASTP_CHECK(idx >= 0, "unknown fault-injection site: '" +
+                               std::string(site) + "'");
+  MUBLASTP_CHECK(nth > 0, "fault-injection Nth must be >= 1");
+  g_sites[static_cast<std::size_t>(idx)].kill_at.push_back(nth);
+  g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_kill_from_spec(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t c1 = entry.find(':');
+    MUBLASTP_CHECK(c1 != std::string_view::npos,
+                   "kill spec entry needs 'site:nth': '" + std::string(entry) +
+                       "'");
+    const std::string nth_str(entry.substr(c1 + 1));
+    char* endp = nullptr;
+    const std::uint64_t nth = std::strtoull(nth_str.c_str(), &endp, 10);
+    MUBLASTP_CHECK(endp != nth_str.c_str() && *endp == '\0' && nth > 0,
+                   "bad kill-injection Nth in '" + std::string(entry) + "'");
+    arm_kill(entry.substr(0, c1), nth);
+  }
 }
 
 void arm_from_spec(std::string_view spec) {
@@ -125,6 +179,7 @@ void arm_from_spec(std::string_view spec) {
 void reset() noexcept {
   for (SiteState& s : g_sites) {
     s.armed.clear();
+    s.kill_at.clear();
     s.calls.store(0, std::memory_order_relaxed);
   }
   g_any_armed.store(false, std::memory_order_relaxed);

@@ -52,6 +52,16 @@ void arm(std::string_view site, std::uint64_t nth, int err = 0);
 /// Throws mublastp::Error(kInvalid) on malformed specs or unknown sites.
 void arm_from_spec(std::string_view spec);
 
+/// Arms `site` to SIGKILL the process at its `nth` evaluation — the
+/// scripted half of the kill-anywhere campaign (env MUBLASTP_FAULTS_KILL).
+/// Unlike a fired error entry, nothing is thrown and no cleanup runs: the
+/// on-disk state is exactly what a power failure at that instant leaves.
+void arm_kill(std::string_view site, std::uint64_t nth);
+
+/// Parses and arms a comma-separated kill spec ("site:nth,...").
+/// Throws mublastp::Error(kInvalid) on malformed specs or unknown sites.
+void arm_kill_from_spec(std::string_view spec);
+
 /// Disarms everything and zeroes all call counters.
 void reset() noexcept;
 

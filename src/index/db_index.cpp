@@ -42,7 +42,9 @@ std::size_t DbIndex::optimal_block_bytes(std::size_t l3_bytes, int threads) {
   return l3_bytes / (2 * static_cast<std::size_t>(threads) + 1);
 }
 
-DbIndex DbIndex::build(const SequenceStore& db, const DbIndexConfig& config) {
+DbIndex DbIndex::build(const SequenceStore& db, const DbIndexConfig& config,
+                       BuildTelemetry* telemetry) {
+  const double t_start = omp_get_wtime();
   MUBLASTP_CHECK(!db.empty(), "cannot index an empty database");
   MUBLASTP_CHECK(config.block_bytes >= 4096, "block_bytes too small");
   MUBLASTP_CHECK(config.long_seq_limit > config.long_seq_overlap,
@@ -96,11 +98,14 @@ DbIndex DbIndex::build(const SequenceStore& db, const DbIndexConfig& config) {
   index.blocks_.resize(ranges.size());
   const int threads = config.build_threads > 0 ? config.build_threads
                                                : omp_get_max_threads();
+  const double t_plan = omp_get_wtime();
+  std::vector<double> block_seconds(telemetry != nullptr ? ranges.size() : 0);
   // Exceptions must not escape the parallel region (that would terminate);
   // capture the first one and rethrow afterwards.
   std::exception_ptr build_error = nullptr;
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t b = 0; b < ranges.size(); ++b) {
+    const double t_block = telemetry != nullptr ? omp_get_wtime() : 0.0;
     try {
     DbIndexBlock& block = index.blocks_[b];
     block.fragments_.assign(all_frags.begin() + ranges[b].first,
@@ -154,9 +159,16 @@ DbIndex DbIndex::build(const SequenceStore& db, const DbIndexConfig& config) {
 #pragma omp critical(mublastp_index_build_error)
       if (!build_error) build_error = std::current_exception();
     }
+    if (telemetry != nullptr) block_seconds[b] = omp_get_wtime() - t_block;
   }
   if (build_error) std::rethrow_exception(build_error);
 
+  if (telemetry != nullptr) {
+    telemetry->total_seconds = omp_get_wtime() - t_start;
+    telemetry->plan_seconds = t_plan - t_start;
+    telemetry->threads = threads;
+    telemetry->block_seconds = std::move(block_seconds);
+  }
   return index;
 }
 

@@ -49,6 +49,17 @@ struct DbIndexConfig {
   int build_threads = 0;
 };
 
+/// Per-build telemetry filled by DbIndex::build when the caller passes an
+/// out-param: how long the parallel block construction took, with how much
+/// parallelism, and where the time went per block. Feeds the "build"
+/// stats-v1 object.
+struct BuildTelemetry {
+  double total_seconds = 0.0;          ///< wall time of the whole build
+  double plan_seconds = 0.0;           ///< serial sort + block planning
+  int threads = 0;                     ///< OpenMP threads the build used
+  std::vector<double> block_seconds;   ///< per-block construction wall time
+};
+
 /// A fragment of a subject sequence as stored in a block: a window
 /// [start, start+len) of sequence `seq` in the index's sorted store.
 struct FragmentRef {
@@ -121,8 +132,11 @@ class DbIndexBlock {
 class DbIndex {
  public:
   /// Builds the index. The input store is copied in ascending length order;
-  /// original ids are retrievable via sorted_to_original().
-  static DbIndex build(const SequenceStore& db, const DbIndexConfig& config);
+  /// original ids are retrievable via sorted_to_original(). With a non-null
+  /// `telemetry`, per-block timings and the parallelism used are recorded
+  /// (the result is identical either way).
+  static DbIndex build(const SequenceStore& db, const DbIndexConfig& config,
+                       BuildTelemetry* telemetry = nullptr);
 
   /// The length-sorted sequence store the blocks reference.
   const SequenceStore& db() const { return db_; }

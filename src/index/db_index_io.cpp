@@ -7,8 +7,10 @@
 #include <istream>
 #include <iterator>
 #include <ostream>
+#include <sstream>
 
 #include "common/checksum.hpp"
+#include "common/durable.hpp"
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
 #include "index/db_index_format.hpp"
@@ -299,6 +301,19 @@ void save_db_index_file(const std::string& path, const DbIndex& index) {
   std::ofstream out(path, std::ios::binary);
   MUBLASTP_CHECK(out.good(), "cannot open for writing: " + path);
   save_db_index(out, index);
+}
+
+void save_db_index_file_durable(const std::string& path,
+                                const DbIndex& index) {
+  // Serialize in memory, then follow the publish protocol (temp → fsync →
+  // rename → dir fsync) so a crash at any instant leaves either no trace
+  // (plus an orphaned .tmp) or the complete file under its final name.
+  std::ostringstream buf(std::ios::binary);
+  save_db_index(buf, index);
+  const std::string tmp = durable::temp_path_for(path);
+  durable::write_file_durable(tmp, buf.str(), "build.block_write",
+                              "build.fsync");
+  durable::publish_rename(tmp, path, "build.publish_rename", "build.fsync");
 }
 
 // ---------------------------------------------------------------------------
@@ -872,6 +887,46 @@ DbIndex load_db_index_file(const std::string& path,
 
 DbIndex load_db_index_file(const std::string& path) {
   return load_db_index_file(path, IndexLoadOptions{});
+}
+
+IndexConfigSummary read_index_config_file(const std::string& path) {
+  const DbIndexFileInfo info = describe_db_index_file(path);
+  MUBLASTP_CHECK_KIND(info.version == kDbIndexFormatV3, ErrorKind::kInvalid,
+                      "index config summary needs a v3 file: " + path);
+  const IndexSectionInfo* cfg = nullptr;
+  for (const IndexSectionInfo& s : info.sections) {
+    if (s.id == static_cast<std::uint32_t>(SectionId::kConfig)) cfg = &s;
+  }
+  MUBLASTP_CHECK_KIND(cfg != nullptr, ErrorKind::kCorrupt,
+                      "index section 'config' is missing from the file");
+  std::ifstream in(path, std::ios::binary);
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kIo,
+                      "cannot open index file: " + path);
+  in.seekg(static_cast<std::streamoff>(cfg->offset));
+  std::string payload(cfg->length, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  MUBLASTP_CHECK_KIND(in.good(), ErrorKind::kCorrupt,
+                      "index section 'config' is out of bounds"
+                      " (truncated file?)");
+  if (crc32(payload.data(), payload.size()) != cfg->crc32) {
+    fail_section(SectionId::kConfig, "checksum mismatch (corrupt file)");
+  }
+  SectionReader r{SectionId::kConfig,
+                  {reinterpret_cast<const std::byte*>(payload.data()),
+                   payload.size()}};
+  IndexConfigSummary out;
+  out.block_bytes = r.read<std::uint64_t>();
+  out.neighbor_threshold = r.read<std::int32_t>();
+  const auto name_len = r.read<std::uint32_t>();
+  if (name_len > (1u << 10)) {
+    fail_section(SectionId::kConfig, "has an implausible matrix name");
+  }
+  out.matrix_name = std::string(r.read_string(name_len));
+  out.long_seq_limit = r.read<std::uint64_t>();
+  out.long_seq_overlap = r.read<std::uint64_t>();
+  out.num_seqs = r.read<std::uint64_t>();
+  out.num_blocks = r.read<std::uint64_t>();
+  return out;
 }
 
 DbIndexFileInfo describe_db_index_file(const std::string& path) {

@@ -50,6 +50,15 @@ void save_db_index(std::ostream& out, const DbIndex& index);
 /// Writes `index` to a file (format v3).
 void save_db_index_file(const std::string& path, const DbIndex& index);
 
+/// Writes `index` to a file (format v3) with crash-safe publication:
+/// serialize to `path + ".tmp"`, fsync it, atomically rename() onto `path`,
+/// fsync the parent directory. A crash at any instant leaves `path` either
+/// absent/old or complete — never torn. Injection sites:
+/// "build.block_write" (data write), "build.fsync" (file/dir fsync),
+/// "build.publish_rename" (the atomic rename).
+void save_db_index_file_durable(const std::string& path,
+                                const DbIndex& index);
+
 /// Writes `index` in the legacy v2 streamed format. Kept so backward
 /// compatibility of the v2 reader stays testable and old deployments can be
 /// fed from new builds; new files should use save_db_index.
@@ -95,5 +104,22 @@ struct DbIndexFileInfo {
 /// payload is touched, no checksum verified beyond the table's own). Used
 /// by tools to print the layout and to pick the mmap vs copy load path.
 DbIndexFileInfo describe_db_index_file(const std::string& path);
+
+/// The build configuration an index file was created with, as stored in
+/// its 'config' section. Incremental builds (--append) read this from the
+/// chain head so every delta is built with identical parameters.
+struct IndexConfigSummary {
+  std::uint64_t block_bytes = 0;
+  std::int32_t neighbor_threshold = 0;
+  std::string matrix_name;
+  std::uint64_t long_seq_limit = 0;
+  std::uint64_t long_seq_overlap = 0;
+  std::uint64_t num_seqs = 0;
+  std::uint64_t num_blocks = 0;
+};
+
+/// Reads (and CRC-verifies) just the 'config' section of a v3 index file.
+/// Throws Error(kCorrupt) on damage, kInvalid for v2 files.
+IndexConfigSummary read_index_config_file(const std::string& path);
 
 }  // namespace mublastp

@@ -63,6 +63,7 @@ void PipelineSnapshot::merge(const PipelineSnapshot& o) {
   // Shard breakdowns accumulate per shard id (batched sharded runs fold one
   // snapshot per batch); the measured imbalance is recomputed over the
   // summed worker seconds.
+  if (!build.recorded()) build = o.build;
   if (!shards.recorded()) {
     shards = o.shards;
   } else if (o.shards.recorded()) {
@@ -335,6 +336,23 @@ std::string to_json(const PipelineSnapshot& s) {
       append_double(out, sh.seconds);
       append_f(out, ", \"hits\": %" PRIu64 ", \"alignments\": %" PRIu64 "}",
                sh.hits, sh.alignments);
+    }
+    out += "]}";
+  }
+  if (s.build.recorded()) {
+    append_f(out,
+             ",\n  \"build\": {\"generation\": %u, \"chain_length\": %u,"
+             " \"sequences\": %" PRIu64 ", \"residues\": %" PRIu64
+             ", \"threads\": %d, \"plan_seconds\": ",
+             s.build.generation, s.build.chain_length, s.build.sequences,
+             s.build.residues, s.build.threads);
+    append_double(out, s.build.plan_seconds);
+    out += ", \"total_seconds\": ";
+    append_double(out, s.build.total_seconds);
+    out += ", \"block_seconds\": [";
+    for (std::size_t i = 0; i < s.build.block_seconds.size(); ++i) {
+      if (i != 0) out += ", ";
+      append_double(out, s.build.block_seconds[i]);
     }
     out += "]}";
   }
@@ -621,6 +639,28 @@ PipelineSnapshot from_json(const std::string& json) {
           ps.skip_value();
         }
       });
+    } else if (key == "build") {
+      ps.object([&](const std::string& bkey) {
+        if (bkey == "generation") {
+          s.build.generation = static_cast<std::uint32_t>(ps.number_u64());
+        } else if (bkey == "chain_length") {
+          s.build.chain_length = static_cast<std::uint32_t>(ps.number_u64());
+        } else if (bkey == "sequences") {
+          s.build.sequences = ps.number_u64();
+        } else if (bkey == "residues") {
+          s.build.residues = ps.number_u64();
+        } else if (bkey == "threads") {
+          s.build.threads = static_cast<int>(ps.number_u64());
+        } else if (bkey == "plan_seconds") {
+          s.build.plan_seconds = ps.number_double();
+        } else if (bkey == "total_seconds") {
+          s.build.total_seconds = ps.number_double();
+        } else if (bkey == "block_seconds") {
+          ps.array([&] { s.build.block_seconds.push_back(ps.number_double()); });
+        } else {
+          ps.skip_value();
+        }
+      });
     } else if (key == "degraded") {
       ps.object([&](const std::string& dkey) {
         if (dkey == "partial") {
@@ -799,6 +839,16 @@ void print_table(std::FILE* out, const PipelineSnapshot& s) {
                    " alignments\n",
                    sh.shard, sh.seconds, sh.hits, sh.alignments);
     }
+  }
+  if (s.build.recorded()) {
+    std::fprintf(out,
+                 "  build: generation=%u chain_length=%u sequences=%" PRIu64
+                 " residues=%" PRIu64 " threads=%d\n",
+                 s.build.generation, s.build.chain_length, s.build.sequences,
+                 s.build.residues, s.build.threads);
+    std::fprintf(out, "    plan=%.4fs total=%.4fs blocks=%zu\n",
+                 s.build.plan_seconds, s.build.total_seconds,
+                 s.build.block_seconds.size());
   }
   if (s.degraded.any()) {
     std::fprintf(out,

@@ -245,6 +245,26 @@ struct DegradedStats {
                          const DegradedStats&) = default;
 };
 
+/// Telemetry of one index build (mublastp_makedb; the stats-v1 "build"
+/// object). Covers full builds, --append delta builds and --compact
+/// rebuilds alike: the counts describe what THIS build indexed (for an
+/// append, the delta only), generation/chain_length describe the published
+/// result. Default-constructed == "not a build run"; omitted from the JSON
+/// then, so search snapshots are byte-identical to before.
+struct BuildStats {
+  std::uint32_t generation = 0;    ///< generation published (0 = plain build)
+  std::uint32_t chain_length = 1;  ///< members in the published generation
+  std::uint64_t sequences = 0;     ///< sequences this build indexed
+  std::uint64_t residues = 0;      ///< residues this build indexed
+  int threads = 0;                 ///< per-block build parallelism used
+  double plan_seconds = 0.0;       ///< serial sort + block-range planning
+  double total_seconds = 0.0;      ///< whole DbIndex::build wall time
+  std::vector<double> block_seconds;  ///< per-block construction wall time
+
+  bool recorded() const { return threads != 0; }
+  friend bool operator==(const BuildStats&, const BuildStats&) = default;
+};
+
 /// One shard's contribution to a sharded run: wall time of its worker and
 /// what it found. A quarantined shard keeps its entry with zeros.
 struct ShardStats {
@@ -298,6 +318,7 @@ struct PipelineSnapshot {
   HitKernelStats hit_kernel;   ///< optional; omitted when !any()
   PerfCounterStats perf_counters;  ///< optional; omitted when !recorded()
   ShardsStats shards;          ///< optional; omitted when !recorded()
+  BuildStats build;            ///< optional; omitted when !recorded()
 
   double survival_ratio() const { return totals.survival_ratio(); }
 

@@ -184,5 +184,26 @@ TEST_F(Checkpoint, InjectedWriteFailureLosesOnlyThatRecord) {
   EXPECT_EQ(journal.resume_offset(), 200u);
 }
 
+// Site "checkpoint.dirsync": a fresh journal is only durable once its NAME
+// is — the parent-directory fsync after creation. An injected failure there
+// is kIo, and a clean retry produces a valid empty journal.
+TEST_F(Checkpoint, InjectedDirsyncFailureIsIoAndRetryable) {
+  fi::arm("checkpoint.dirsync", 1);
+  try {
+    CheckpointJournal journal(path_, kFp);
+    ADD_FAILURE() << "armed checkpoint.dirsync did not fire";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIo);
+    EXPECT_NE(std::string(e.what()).find("checkpoint.dirsync"),
+              std::string::npos)
+        << e.what();
+  }
+  // Retry from scratch: the half-created file (header already written and
+  // fsynced) replays as a valid empty journal.
+  CheckpointJournal retry(path_, kFp);
+  EXPECT_EQ(retry.num_completed(), 0u);
+  EXPECT_EQ(retry.resume_offset(), 0u);
+}
+
 }  // namespace
 }  // namespace mublastp

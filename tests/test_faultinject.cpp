@@ -66,7 +66,10 @@ TEST_F(FaultInject, RegistryIsSortedAndSelfConsistent) {
   for (const char* s : {"index.crc", "index.mmap", "index.open",
                         "index.prefault", "io.read", "alloc.workspace",
                         "stage.ungapped", "checkpoint.write",
-                        "shard.manifest", "shard.worker"}) {
+                        "checkpoint.dirsync", "shard.manifest",
+                        "shard.worker", "build.block_write", "build.fsync",
+                        "build.manifest_write", "build.publish_rename",
+                        "build.gc_unlink"}) {
     EXPECT_TRUE(fi::is_registered(s)) << s;
   }
   EXPECT_FALSE(fi::is_registered("no.such.site"));
@@ -126,6 +129,19 @@ TEST_F(FaultInject, ShardSitesCountAndFireIndependently) {
   EXPECT_FALSE(fi::should_fail("shard.worker"));  // single-shot
   EXPECT_EQ(fi::call_count("shard.manifest"), 1u);
   EXPECT_EQ(fi::call_count("shard.worker"), 3u);
+}
+
+TEST_F(FaultInject, BuildSitesCountAndFireIndependently) {
+  // The incremental-build sites share the registry semantics; their
+  // recovery paths (kill-anywhere publish, orphan cleanup, GC) are proven
+  // end-to-end in tests/test_incremental.cpp and
+  // scripts/kill_during_append.sh.
+  fi::arm_from_spec("build.fsync:1,build.publish_rename:2");
+  EXPECT_TRUE(fi::should_fail("build.fsync"));
+  EXPECT_FALSE(fi::should_fail("build.publish_rename"));  // data rename
+  EXPECT_TRUE(fi::should_fail("build.publish_rename"));   // manifest rename
+  EXPECT_EQ(fi::call_count("build.fsync"), 1u);
+  EXPECT_EQ(fi::call_count("build.publish_rename"), 2u);
 }
 
 TEST_F(FaultInject, DisarmedSitesAreNoops) {

@@ -5,7 +5,38 @@
 // Usage:
 //   mublastp_makedb --in=db.fasta --out=db.mbi [--block-kb=512]
 //                   [--threshold=11] [--long-limit=8192]
+//                   [--build-threads=N] [--stats[=json]]
 //   mublastp_makedb --synth=sprot|envnr --residues=N --seed=S --out=db.mbi
+//   mublastp_makedb --append=new.fasta --out=db.mbi
+//   mublastp_makedb --compact --out=db.mbi
+//
+// Every index and manifest this tool writes is published crash-safely
+// (common/durable.hpp): bytes go to `<final>.tmp`, are fsynced, atomically
+// rename(2)d onto the final name, and the directory is fsynced — a kill -9
+// at any instant leaves either the old state or the new one, never a torn
+// file. Orphaned `*.tmp` files from a crashed run are removed by the next
+// incremental operation.
+//
+// Incremental builds (--append, exclusive with --in/--synth/--shards):
+// reads the chain's build configuration from the newest MUGEN01 generation
+// manifest next to --out (or from the base index's config section when no
+// manifest exists yet), builds a self-contained delta index over the new
+// sequences with identical parameters, writes it as <out>.dNNNNNN, and
+// publishes generation manifest <out>.genNNNNNN as the single commit
+// point. mublastp_search --index=<out> transparently searches the whole
+// chain with output bit-identical to a from-scratch rebuild (see
+// docs/INCREMENTAL.md).
+//
+// --compact folds the whole chain back into one canonical length-sorted
+// member (<out>.cNNNNNN), publishes it as a new single-member generation,
+// and only then garbage-collects the stale members and manifests.
+//
+// --build-threads=N bounds the OpenMP per-block build parallelism (0 = all
+// cores, the default). --stats prints a build-telemetry table to stderr;
+// --stats=json emits the machine-readable "mublastp-stats-v1" snapshot
+// (with the "build" object: per-block seconds, parallelism, generation
+// chain length) to stdout — the informational progress lines move to
+// stderr then, so stdout is pure JSON.
 //
 // With --shards=N the database is partitioned (--strategy=rr|lpt|contig,
 // default rr — the paper's length-sort + round-robin deal) into N
@@ -17,6 +48,7 @@
 // --inject=site:Nth[:errno] arms a fault-injection site (see
 // docs/ROBUSTNESS.md); exit codes map the typed error taxonomy:
 // 0 ok, 1 generic, 2 usage, 4 I/O, 5 corrupt input, 6 resources.
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +65,8 @@
 #include "fasta/fasta.hpp"
 #include "index/db_index.hpp"
 #include "index/db_index_io.hpp"
+#include "index/generation.hpp"
+#include "stats/stats.hpp"
 #include "synth/synth.hpp"
 
 namespace {
@@ -54,6 +88,14 @@ std::size_t arg_num(int argc, char** argv, const std::string& key,
   return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
 }
 
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  return false;
+}
+
 std::string basename_of(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
@@ -66,6 +108,17 @@ std::uint32_t file_crc32(const std::string& path) {
   const std::string bytes((std::istreambuf_iterator<char>(in)),
                           std::istreambuf_iterator<char>());
   return mublastp::crc32(bytes.data(), bytes.size());
+}
+
+/// Informational output: stdout normally, stderr when --stats=json owns
+/// stdout (so the JSON snapshot is the only thing on it).
+std::FILE* g_info = stdout;
+
+void info(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(g_info, fmt, ap);
+  va_end(ap);
 }
 
 // Builds + writes the N shard indexes and the MUSHARD01 manifest.
@@ -105,19 +158,53 @@ void make_sharded(const mublastp::SequenceStore& db,
     }
     const DbIndex index = DbIndex::build(shard_db, config);
     const std::string shard_path = out_path + ".shard" + std::to_string(k);
-    save_db_index_file(shard_path, index);
+    // Shard members publish durably too: the manifest (written last, also
+    // durably) must never name a shard file that could be torn by a crash.
+    save_db_index_file_durable(shard_path, index);
     shard.path = basename_of(shard_path);
     shard.index_crc32 = file_crc32(shard_path);
-    std::printf("shard %d: %zu sequences, %llu residues, %zu blocks -> %s\n",
-                k, shard.to_global.size(),
-                static_cast<unsigned long long>(shard.num_residues),
-                index.blocks().size(), shard_path.c_str());
+    info("shard %d: %zu sequences, %llu residues, %zu blocks -> %s\n",
+         k, shard.to_global.size(),
+         static_cast<unsigned long long>(shard.num_residues),
+         index.blocks().size(), shard_path.c_str());
   }
   cl::save_shard_manifest(out_path, manifest);
-  std::printf(
-      "wrote manifest %s: %d shards (%s), imbalance %.3f, in %.2fs\n",
-      out_path.c_str(), shards, cl::strategy_name(strategy),
-      manifest.predicted_imbalance(), t.seconds());
+  info("wrote manifest %s: %d shards (%s), imbalance %.3f, in %.2fs\n",
+       out_path.c_str(), shards, cl::strategy_name(strategy),
+       manifest.predicted_imbalance(), t.seconds());
+}
+
+/// Emits the --stats output (table to stderr, or stats-v1 JSON to stdout).
+void emit_stats(const std::string& stats_mode,
+                const mublastp::stats::BuildStats& build) {
+  namespace stats = mublastp::stats;
+  stats::PipelineSnapshot snap;
+  snap.engine = "mublastp-makedb";
+  snap.threads = build.threads;
+  snap.build = build;
+  if (stats_mode == "json") {
+    const std::string json = stats::to_json(snap);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    stats::print_table(stderr, snap);
+  }
+}
+
+mublastp::stats::BuildStats build_stats_of(
+    const mublastp::BuildTelemetry& telemetry, std::uint32_t generation,
+    std::uint32_t chain_length, std::uint64_t sequences,
+    std::uint64_t residues) {
+  mublastp::stats::BuildStats b;
+  b.generation = generation;
+  b.chain_length = chain_length;
+  b.sequences = sequences;
+  b.residues = residues;
+  b.threads = telemetry.threads;
+  b.plan_seconds = telemetry.plan_seconds;
+  b.total_seconds = telemetry.total_seconds;
+  b.block_seconds = telemetry.block_seconds;
+  return b;
 }
 
 }  // namespace
@@ -127,17 +214,43 @@ int main(int argc, char** argv) {
   const std::string in_path = arg_str(argc, argv, "in", "");
   const std::string synth_preset = arg_str(argc, argv, "synth", "");
   const std::string out_path = arg_str(argc, argv, "out", "");
-  if (out_path.empty() || (in_path.empty() && synth_preset.empty())) {
+  const std::string append_path = arg_str(argc, argv, "append", "");
+  const bool compact = arg_flag(argc, argv, "compact");
+  const std::string stats_mode =
+      arg_flag(argc, argv, "stats") ? "table"
+                                    : arg_str(argc, argv, "stats", "");
+  const bool have_input = !in_path.empty() || !synth_preset.empty();
+  // Exactly one of: plain build (--in/--synth), --append, --compact.
+  const int modes = (have_input ? 1 : 0) + (append_path.empty() ? 0 : 1) +
+                    (compact ? 1 : 0);
+  if (out_path.empty() || modes != 1) {
     std::fprintf(stderr,
                  "usage: mublastp_makedb (--in=db.fasta | --synth=sprot|envnr"
-                 " --residues=N) --out=db.mbi [--block-kb=512]"
+                 " --residues=N | --append=new.fasta | --compact)"
+                 " --out=db.mbi [--block-kb=512]"
                  " [--threshold=11] [--long-limit=8192] [--seed=42]"
+                 " [--build-threads=N] [--stats[=json]]"
                  " [--shards=N [--strategy=rr|lpt|contig]]"
-                 " [--inject=site:Nth]\n");
+                 " [--inject=site:Nth]\n"
+                 "       (--append/--compact are exclusive with --in/--synth"
+                 " and --shards)\n");
     return 2;
   }
+  if (!stats_mode.empty() && stats_mode != "table" && stats_mode != "json") {
+    std::fprintf(stderr, "error: unknown --stats mode '%s'"
+                 " (expected --stats or --stats=json)\n", stats_mode.c_str());
+    return 2;
+  }
+  if (stats_mode == "json") g_info = stderr;
   const std::size_t shards = arg_num(argc, argv, "shards", 0);
+  if (shards > 0 && (!append_path.empty() || compact)) {
+    std::fprintf(stderr,
+                 "error: --shards is exclusive with --append/--compact\n");
+    return 2;
+  }
   const std::string strategy_spec = arg_str(argc, argv, "strategy", "rr");
+  const int build_threads =
+      static_cast<int>(arg_num(argc, argv, "build-threads", 0));
   const std::string inject = arg_str(argc, argv, "inject", "");
   if (!inject.empty()) {
     try {
@@ -150,12 +263,36 @@ int main(int argc, char** argv) {
   }
 
   try {
-    SequenceStore db;
-    if (!in_path.empty()) {
+    if (compact) {
       Timer t;
-      const std::size_t n = read_fasta_file(in_path, db);
-      std::printf("read %zu sequences (%zu residues) from %s in %.2fs\n", n,
-                  db.total_residues(), in_path.c_str(), t.seconds());
+      const CompactResult res = compact_generations(out_path, build_threads);
+      info("compacted chain -> %s (generation %u) in %.2fs\n",
+           res.compact_path.c_str(), res.generation, t.seconds());
+      for (const std::string& gone : res.removed) {
+        info("removed stale %s\n", gone.c_str());
+      }
+      if (!stats_mode.empty()) {
+        // The compacted member holds the whole database; its totals come
+        // from the freshly published manifest.
+        const ResolvedGeneration now = resolve_generations(out_path);
+        emit_stats(stats_mode,
+                   build_stats_of(res.telemetry, res.generation, 1,
+                                  now.manifest ? now.manifest->total_sequences
+                                               : 0,
+                                  now.manifest ? now.manifest->total_residues
+                                               : 0));
+      }
+      return 0;
+    }
+
+    SequenceStore db;
+    const std::string read_path =
+        append_path.empty() ? in_path : append_path;
+    if (!read_path.empty()) {
+      Timer t;
+      const std::size_t n = read_fasta_file(read_path, db);
+      info("read %zu sequences (%zu residues) from %s in %.2fs\n", n,
+           db.total_residues(), read_path.c_str(), t.seconds());
     } else {
       const std::size_t residues = arg_num(argc, argv, "residues", 1 << 22);
       const std::uint64_t seed = arg_num(argc, argv, "seed", 42);
@@ -163,9 +300,29 @@ int main(int argc, char** argv) {
                                            ? synth::envnr_like(residues)
                                            : synth::sprot_like(residues);
       db = synth::generate_database(spec, seed);
-      std::printf("generated %s: %zu sequences, %zu residues (seed %llu)\n",
-                  spec.name.c_str(), db.size(), db.total_residues(),
-                  static_cast<unsigned long long>(seed));
+      info("generated %s: %zu sequences, %zu residues (seed %llu)\n",
+           spec.name.c_str(), db.size(), db.total_residues(),
+           static_cast<unsigned long long>(seed));
+    }
+
+    if (!append_path.empty()) {
+      Timer t;
+      const AppendResult res =
+          append_generation(out_path, db, build_threads);
+      if (res.orphans_removed != 0) {
+        info("removed %zu orphaned temp file(s)\n", res.orphans_removed);
+      }
+      info("appended %zu sequences -> %s, published generation %u"
+           " (%u member chain) in %.2fs\n",
+           db.size(), res.delta_path.c_str(), res.generation,
+           res.chain_length, t.seconds());
+      if (!stats_mode.empty()) {
+        emit_stats(stats_mode,
+                   build_stats_of(res.telemetry, res.generation,
+                                  res.chain_length, db.size(),
+                                  db.total_residues()));
+      }
+      return 0;
     }
 
     DbIndexConfig config;
@@ -173,6 +330,7 @@ int main(int argc, char** argv) {
     config.neighbor_threshold =
         static_cast<Score>(arg_num(argc, argv, "threshold", 11));
     config.long_seq_limit = arg_num(argc, argv, "long-limit", 8192);
+    config.build_threads = build_threads;
 
     if (shards > 0) {
       make_sharded(db, config, out_path, static_cast<int>(shards),
@@ -181,14 +339,22 @@ int main(int argc, char** argv) {
     }
 
     Timer t;
-    const DbIndex index = DbIndex::build(db, config);
-    std::printf("built %zu blocks (T=%d, block %zu KB) in %.2fs\n",
-                index.blocks().size(), config.neighbor_threshold,
-                config.block_bytes / 1024, t.seconds());
+    BuildTelemetry telemetry;
+    const DbIndex index = DbIndex::build(db, config, &telemetry);
+    info("built %zu blocks (T=%d, block %zu KB, %d thread(s)) in %.2fs\n",
+         index.blocks().size(), config.neighbor_threshold,
+         config.block_bytes / 1024, telemetry.threads, t.seconds());
 
     t.reset();
-    save_db_index_file(out_path, index);
-    std::printf("wrote %s in %.2fs\n", out_path.c_str(), t.seconds());
+    // Durable publish (temp -> fsync -> rename -> dir fsync): exit 0 means
+    // the index survives a crash or power loss the instant we return.
+    save_db_index_file_durable(out_path, index);
+    info("wrote %s in %.2fs\n", out_path.c_str(), t.seconds());
+    if (!stats_mode.empty()) {
+      emit_stats(stats_mode,
+                 build_stats_of(telemetry, 0, 1, db.size(),
+                                db.total_residues()));
+    }
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

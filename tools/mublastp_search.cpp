@@ -55,6 +55,15 @@
 // are copy-loaded. --mmap forces the mapped path (errors on v2 files);
 // --no-mmap forces the copy loader for either version.
 //
+// Incremental databases (docs/INCREMENTAL.md): when `mublastp_makedb
+// --append` has published a MUGEN01 generation next to --index, the tool
+// transparently resolves the newest generation and searches the whole
+// base+delta chain — E-values priced over the combined database, output
+// bit-identical to a from-scratch rebuild. A corrupt newest manifest fails
+// closed (exit 5). In degraded mode a rotted chain member is quarantined
+// (exit 3, named in the stats-v1 "degraded" object) and the surviving
+// members complete.
+//
 // Degraded mode (the default; see docs/ROBUSTNESS.md): an index block whose
 // checksum fails is quarantined and the search continues over the surviving
 // blocks; a failed mmap load is retried once after a short backoff and then
@@ -95,6 +104,7 @@
 #include <sstream>
 #include <string>
 
+#include "cluster/gen_chain.hpp"
 #include "cluster/orchestrator.hpp"
 #include "common/checkpoint.hpp"
 #include "common/checksum.hpp"
@@ -104,6 +114,7 @@
 #include "core/mublastp_engine.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index_io.hpp"
+#include "index/generation.hpp"
 #include "index/mapped_db_index.hpp"
 #include "report/report.hpp"
 #include "simd/dispatch.hpp"
@@ -613,6 +624,255 @@ int run_sharded(int argc, char** argv, const std::string& manifest_path,
   }
 }
 
+/// Builds the stats-v1 snapshot of one generation-chain search call. Like
+/// sharded_snapshot: per-stage seconds/blocks are member-internal, so only
+/// the deterministic counters (bit-identical to a from-scratch rebuild)
+/// and the wall time are recorded.
+stats::PipelineSnapshot chain_snapshot(const cluster::ChainSearchResult& res,
+                                       int threads, double seconds,
+                                       const MuBlastpOptions& options) {
+  stats::PipelineSnapshot snap;
+  snap.engine = "mublastp-chain";
+  snap.kernel = simd::kernel_name(options.kernel);
+  snap.threads = threads;
+  snap.queries = res.results.size();
+  snap.total_seconds = seconds;
+  for (const QueryResult& r : res.results) {
+    snap.totals += stats::counters_of(r.stats);
+    snap.gapped_kernel.int8_runs += r.stats.gapped_int8_runs;
+    snap.gapped_kernel.int16_reruns += r.stats.gapped_int16_reruns;
+    snap.gapped_kernel.scalar_fallbacks += r.stats.gapped_scalar_fallbacks;
+  }
+  return snap;
+}
+
+/// Folds one chain search's degraded report into the run's (same dedup
+/// logic as shards; quarantined "shards" here are chain member slots).
+void absorb_chain_degradation(stats::DegradedStats& into,
+                              const stats::DegradedStats& from) {
+  absorb_shard_degradation(into, from);
+  for (const stats::QuarantinedBlock& q : from.quarantined) {
+    bool seen = false;
+    for (const stats::QuarantinedBlock& have : into.quarantined) {
+      if (have.block == q.block && have.reason == q.reason) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) into.quarantined.push_back(q);
+  }
+  into.load_retries += from.load_retries;
+  into.time_budget_trips += from.time_budget_trips;
+  into.mem_budget_trips += from.mem_budget_trips;
+}
+
+/// The whole generation-chain run (--index resolving to a multi-member
+/// MUGEN01 generation): load every member, search them sequentially with
+/// the full thread budget, merge, render, report. Output is bit-identical
+/// to searching a from-scratch rebuild of the same database (the same
+/// disjoint-partition argument as sharding; see docs/INCREMENTAL.md).
+int run_chain(int argc, char** argv, const std::string& base_path,
+              const std::string& query_path, const std::string& outfmt,
+              const std::string& stats_mode, const std::string& out_path,
+              const std::string& checkpoint_path, bool strict,
+              std::size_t batch_size) {
+  RunDegradation deg;
+  try {
+    cluster::GenChainOptions copts;
+    copts.params.max_alignments = arg_num(argc, argv, "max-alignments", 25);
+    const simd::KernelSpec kspec =
+        simd::parse_kernel_spec(arg_str(argc, argv, "kernel", "auto"));
+    copts.engine.kernel = kspec.path;
+    copts.engine.vector_ungapped = kspec.vector_ungapped;
+    copts.strict = strict;
+    if (!simd::kernel_supported(copts.engine.kernel)) {
+      std::fprintf(stderr, "error: kernel '%s' is not supported on this"
+                   " CPU\n", simd::kernel_name(copts.engine.kernel));
+      return 2;
+    }
+    int threads = 0;
+    if (!parse_threads(argc, argv, &threads)) return 2;
+    const bool want_stats = !stats_mode.empty();
+
+    const std::unique_ptr<trace::Tracer> tracer = make_tracer(argc, argv);
+
+    Timer t;
+    const std::uint64_t load_begin =
+        tracer != nullptr ? tracer->now_ns() : 0;
+    const cluster::GenerationChain chain =
+        cluster::GenerationChain::load(base_path, copts, &deg.stats);
+    if (tracer != nullptr) {
+      tracer->record(trace::SpanKind::kIndexLoad, load_begin,
+                     tracer->now_ns());
+    }
+    std::fprintf(stderr,
+                 "loaded generation %u chain (%u member(s)):"
+                 " %llu sequences, %llu residues (%.2fs)\n",
+                 chain.generation(), chain.member_count(),
+                 static_cast<unsigned long long>(chain.total_sequences()),
+                 static_cast<unsigned long long>(chain.total_residues()),
+                 t.seconds());
+    for (const stats::QuarantinedShard& q : deg.stats.quarantined_shards) {
+      std::fprintf(stderr, "warning: quarantined chain member %u: %s\n",
+                   q.shard, q.reason.c_str());
+    }
+    for (const stats::QuarantinedBlock& q : deg.stats.quarantined) {
+      std::fprintf(stderr, "warning: quarantined block %u: %s\n", q.block,
+                   q.reason.c_str());
+    }
+
+    SequenceStore queries;
+    read_fasta_file(query_path, queries);
+    std::fprintf(stderr, "read %zu queries\n", queries.size());
+    t.reset();
+
+    stats::PipelineSnapshot merged_snap;
+    if (checkpoint_path.empty()) {
+      cluster::ChainSearchResult res =
+          cluster::search_chain(chain, queries, threads, tracer.get());
+      absorb_chain_degradation(deg.stats, res.degraded);
+      std::fprintf(stderr,
+                   "searched in %.2fs (%d thread(s), %u chain member(s))\n",
+                   t.seconds(), threads, chain.member_count());
+
+      std::ofstream out_file;
+      if (!out_path.empty()) {
+        out_file.open(out_path, std::ios::binary | std::ios::trunc);
+        MUBLASTP_CHECK_KIND(out_file.good(), ErrorKind::kIo,
+                            "cannot open output file: " + out_path);
+      }
+      std::ostream& os = out_path.empty() ? std::cout : out_file;
+      for (SeqId q = 0; q < queries.size(); ++q) {
+        render_store(os, outfmt, queries, q, chain.global_db(),
+                     res.results[q]);
+      }
+      os.flush();
+      MUBLASTP_CHECK_KIND(!os.bad(), ErrorKind::kIo,
+                          "write failure on search output");
+      if (want_stats) {
+        merged_snap = chain_snapshot(res, threads, t.seconds(),
+                                     chain.options().engine);
+      }
+    } else {
+      // Checkpointed chain run: the same durable-output-then-journal
+      // protocol as the other two paths, at batch granularity.
+      const std::uint64_t nq = queries.size();
+      const std::uint64_t nbatches = (nq + batch_size - 1) / batch_size;
+      const std::uint32_t generation = chain.generation();
+      std::uint32_t fp = crc32(&batch_size, sizeof(batch_size));
+      fp = crc32(&nq, sizeof(nq), fp);
+      fp = crc32(&generation, sizeof(generation), fp);
+      CheckpointJournal journal(checkpoint_path, fp);
+
+      OutFile out;
+      out.fd = ::open(out_path.c_str(), O_RDWR | O_CREAT, 0644);
+      MUBLASTP_CHECK_KIND(out.fd >= 0, ErrorKind::kIo,
+                          "cannot open output file: " + out_path);
+      std::uint64_t offset = journal.resume_offset();
+      MUBLASTP_CHECK_KIND(
+          ::ftruncate(out.fd, static_cast<off_t>(offset)) == 0,
+          ErrorKind::kIo, "cannot truncate output file: " + out_path);
+      MUBLASTP_CHECK_KIND(
+          ::lseek(out.fd, static_cast<off_t>(offset), SEEK_SET) >= 0,
+          ErrorKind::kIo, "cannot seek output file: " + out_path);
+      if (journal.num_completed() != 0) {
+        std::fprintf(stderr,
+                     "resuming: %zu of %llu batches already complete"
+                     " (output offset %llu)\n",
+                     journal.num_completed(),
+                     static_cast<unsigned long long>(nbatches),
+                     static_cast<unsigned long long>(offset));
+      }
+
+      for (std::uint64_t b = 0; b < nbatches; ++b) {
+        if (journal.completed(b)) continue;
+        const SeqId begin = static_cast<SeqId>(b * batch_size);
+        const SeqId end =
+            static_cast<SeqId>(std::min<std::uint64_t>(nq,
+                                                       (b + 1) * batch_size));
+        SequenceStore batch;
+        for (SeqId q = begin; q < end; ++q) {
+          batch.add(queries.sequence(q), queries.name(q));
+        }
+        Timer bt;
+        if (tracer != nullptr) {
+          tracer->set_batch(static_cast<std::uint32_t>(b));
+        }
+        cluster::ChainSearchResult res =
+            cluster::search_chain(chain, batch, threads, tracer.get());
+        absorb_chain_degradation(deg.stats, res.degraded);
+
+        std::ostringstream os;
+        for (SeqId q = begin; q < end; ++q) {
+          render_store(os, outfmt, queries, q, chain.global_db(),
+                       res.results[q - begin]);
+        }
+        const std::string bytes = os.str();
+        std::size_t written = 0;
+        while (written < bytes.size()) {
+          const ssize_t n = ::write(out.fd, bytes.data() + written,
+                                    bytes.size() - written);
+          MUBLASTP_CHECK_KIND(n >= 0, ErrorKind::kIo,
+                              "write failure on output file: " + out_path);
+          written += static_cast<std::size_t>(n);
+        }
+        MUBLASTP_CHECK_KIND(::fsync(out.fd) == 0, ErrorKind::kIo,
+                            "fsync failure on output file: " + out_path);
+        offset += bytes.size();
+        journal.append(b, offset);
+        if (want_stats) {
+          merged_snap.merge(chain_snapshot(res, threads, bt.seconds(),
+                                           chain.options().engine));
+        }
+      }
+      std::fprintf(stderr,
+                   "searched in %.2fs (%d thread(s), %u chain member(s))\n",
+                   t.seconds(), threads, chain.member_count());
+    }
+
+    if (tracer != nullptr && want_stats) {
+      tracer->flush();
+      merged_snap.perf_counters = tracer->perf_totals();
+    }
+    if (tracer != nullptr) {
+      trace::TraceMeta meta;
+      meta.engine = "mublastp-chain";
+      meta.kernel = simd::kernel_name(chain.options().engine.kernel);
+      meta.threads = threads;
+      meta.shards = chain.member_count();
+      const int rc = write_trace_file(
+          *tracer, arg_str(argc, argv, "trace", ""), meta);
+      if (rc != 0) return rc;
+    }
+
+    if (want_stats) {
+      merged_snap.degraded = deg.stats;
+      if (stats_mode == "json") {
+        const std::string json = stats::to_json(merged_snap);
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        stats::print_table(stderr, merged_snap);
+      }
+    }
+    if (deg.stats.partial) {
+      std::fprintf(stderr,
+                   "warning: results are PARTIAL (%zu member(s), %zu"
+                   " block(s) quarantined)\n",
+                   deg.stats.quarantined_shards.size(),
+                   deg.stats.quarantined.size());
+      return 3;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.kind());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -707,12 +967,46 @@ int main(int argc, char** argv) {
                        batch_size);
   }
 
+  // Generation resolution: --index transparently follows the newest
+  // published MUGEN01 generation (mublastp_makedb --append / --compact;
+  // see docs/INCREMENTAL.md). No manifest → the classic single-file path
+  // below, untouched. A single-member generation (e.g. right after
+  // --compact) routes its member file through the full single-index
+  // machinery (mmap, degraded mode, checkpointing). A multi-member chain
+  // gets the chain runner. A corrupt newest manifest fails closed (exit 5)
+  // — silently searching a stale generation would be worse than failing.
+  std::string effective_index = index_path;
+  try {
+    const ResolvedGeneration resolved = resolve_generations(index_path);
+    if (resolved.manifest.has_value()) {
+      if (!resolved.orphan_temps.empty()) {
+        std::fprintf(stderr,
+                     "warning: %zu orphaned temp file(s) from a crashed"
+                     " build next to '%s' (the next mublastp_makedb"
+                     " --append or --compact removes them)\n",
+                     resolved.orphan_temps.size(), index_path.c_str());
+      }
+      if (resolved.member_paths.size() > 1) {
+        return run_chain(argc, argv, index_path, query_path, outfmt,
+                         stats_mode, out_path, checkpoint_path, strict,
+                         batch_size);
+      }
+      effective_index = resolved.member_paths[0];
+      std::fprintf(stderr, "resolved generation %u: %s\n",
+                   resolved.generation, effective_index.c_str());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e.kind());
+  }
+  const std::string& index_file = effective_index;
+
   // Fail fast with a precise message on an unreadable index path; the binary
   // loader's own errors are kept for files that exist but are corrupt.
-  if (!std::ifstream(index_path, std::ios::binary).good()) {
+  if (!std::ifstream(index_file, std::ios::binary).good()) {
     std::fprintf(stderr, "error: cannot read index file '%s'"
                  " (missing file or insufficient permissions)\n",
-                 index_path.c_str());
+                 index_file.c_str());
     return 2;
   }
 
@@ -722,14 +1016,14 @@ int main(int argc, char** argv) {
 
     // Pick the load path: v3 files are mapped unless --no-mmap; v2 files
     // only have the copy loader. The probe reads just header + table.
-    const DbIndexFileInfo info = describe_db_index_file(index_path);
+    const DbIndexFileInfo info = describe_db_index_file(index_file);
     const bool use_mmap =
         force_mmap || (!force_copy && info.version >= kDbIndexFormatVersion);
     if (force_mmap && info.version < kDbIndexFormatVersion) {
       std::fprintf(stderr,
                    "error: --mmap requires a format v%u index; '%s' is v%u"
                    " (rebuild it with mublastp_makedb)\n",
-                   kDbIndexFormatVersion, index_path.c_str(), info.version);
+                   kDbIndexFormatVersion, index_file.c_str(), info.version);
       return 2;
     }
 
@@ -737,7 +1031,7 @@ int main(int argc, char** argv) {
     const std::uint64_t load_begin =
         tracer != nullptr ? tracer->now_ns() : 0;
     const LoadedIndex loaded =
-        load_index(index_path, use_mmap, strict, deg);
+        load_index(index_file, use_mmap, strict, deg);
     if (tracer != nullptr) {
       tracer->record(trace::SpanKind::kIndexLoad, load_begin,
                      tracer->now_ns());

@@ -14,6 +14,12 @@
 // results must match every other engine, per-query stage stats must equal
 // the single-index run exactly, and the per-shard hit counters must sum to
 // the single-index total.
+// An eleventh run proves the incremental-build contract
+// (docs/INCREMENTAL.md): the database is split, the prefix saved as a base
+// index, the remainder published as a delta generation with
+// append_generation, and the base+delta chain searched through
+// GenerationChain — merged results AND per-query stage stats must equal
+// the from-scratch single-index run exactly, field for field.
 //
 // Usage:
 //   mublastp_verify [--residues=N] [--queries=K] [--qlen=L] [--seed=S]
@@ -42,12 +48,14 @@
 
 #include "baseline/interleaved_engine.hpp"
 #include "baseline/query_engine.hpp"
+#include "cluster/gen_chain.hpp"
 #include "cluster/orchestrator.hpp"
 #include "common/rng.hpp"
 #include "core/mublastp_engine.hpp"
 #include "fasta/fasta.hpp"
 #include "index/db_index.hpp"
 #include "index/db_index_io.hpp"
+#include "index/generation.hpp"
 #include "index/mapped_db_index.hpp"
 #include "simd/dispatch.hpp"
 #include "stats/stats.hpp"
@@ -201,13 +209,44 @@ int main(int argc, char** argv) {
     const cl::ShardedSearchResult sharded = cl::search_sharded(
         shard_set, queries, 1, cl::ShardWorkerMode::kThread);
 
+    // The incremental-build run: prefix of the database published as a base
+    // index, the remainder appended as a delta generation through the real
+    // on-disk protocol (durable publish, MUGEN01 manifest), the chain
+    // loaded strictly and searched. Files are removed right after the load
+    // — the chain owns in-memory copies.
+    const std::size_t base_count =
+        db.size() > 1 ? std::max<std::size_t>(1, db.size() * 2 / 3)
+                      : db.size();
+    SequenceStore db_base;
+    SequenceStore db_delta;
+    for (SeqId s = 0; s < db.size(); ++s) {
+      (s < base_count ? db_base : db_delta).add(db.sequence(s), db.name(s));
+    }
+    const std::filesystem::path gen_base =
+        std::filesystem::temp_directory_path() /
+        ("mublastp_verify_gen_" + std::to_string(::getpid()) + ".mbi");
+    save_db_index_file_durable(gen_base.string(), DbIndex::build(db_base, {}));
+    std::vector<std::filesystem::path> gen_files = {gen_base};
+    if (db_delta.size() != 0) {
+      const AppendResult appended =
+          append_generation(gen_base.string(), db_delta);
+      gen_files.emplace_back(appended.delta_path);
+      gen_files.emplace_back(appended.manifest_path);
+    }
+    const cl::GenerationChain chain = cl::GenerationChain::load(
+        gen_base.string(), {{}, scalar_opts, /*strict=*/true}, nullptr);
+    for (const std::filesystem::path& f : gen_files) {
+      std::filesystem::remove(f);
+    }
+    const cl::ChainSearchResult chained = cl::search_chain(chain, queries, 1);
+
     struct Named {
       const char* name;
       QueryResult result;
       stats::PipelineSnapshot snap;
     };
 
-    constexpr int kRuns = 10;
+    constexpr int kRuns = 11;
     stats::PipelineSnapshot agg[kRuns];
     bool all_ok = true;
     for (SeqId q = 0; q < queries.size(); ++q) {
@@ -228,6 +267,15 @@ int main(int argc, char** argv) {
         n.snap.totals = stats::counters_of(n.result.stats);
         return n;
       };
+      const auto chain_run = [&] {
+        Named n;
+        n.name = "mublastp-chain";
+        n.result = chained.results[q];
+        n.snap.engine = "mublastp-chain";
+        n.snap.queries = 1;
+        n.snap.totals = stats::counters_of(n.result.stats);
+        return n;
+      };
       const Named runs[kRuns] = {
           run("ncbi", ncbi),
           run("ncbi-db", ncbi_db),
@@ -239,6 +287,7 @@ int main(int argc, char** argv) {
           run("mublastp-simd+ungapped", mu_simd_ug),
           sharded_run(),
           run("mublastp-alg1-simd", mu_alg1_simd),
+          chain_run(),
       };
       bool ok = true;
       for (std::size_t i = 1; i < kRuns; ++i) {
@@ -347,6 +396,14 @@ int main(int argc, char** argv) {
                     runs[8].name, runs[2].name);
         ok = false;
       }
+      // Same contract for the base+delta chain: the merge sums per-member
+      // stage stats over disjoint subject sets — every field must equal the
+      // from-scratch single-index run, not just the deterministic subset.
+      if (runs[10].result.stats != runs[2].result.stats) {
+        std::printf("query %u: CHAIN STAGE-STATS MISMATCH %s vs %s\n", q,
+                    runs[10].name, runs[2].name);
+        ok = false;
+      }
       for (int i = 0; i < kRuns; ++i) agg[i].merge(runs[i].snap);
       std::printf("query %-3u %-40s %s (%zu ungapped, %zu alignments)\n", q,
                   queries.name(q).c_str(), ok ? "OK" : "MISMATCH",
@@ -371,6 +428,9 @@ int main(int argc, char** argv) {
                   sharded.shards.count, sharded.shards.strategy.c_str(),
                   static_cast<unsigned long long>(shard_hits));
     }
+    std::printf("generation chain: %u member(s) at generation %u searched"
+                " through the on-disk base+delta protocol\n",
+                chain.member_count(), chain.generation());
     if (!stats_mode.empty()) {
       for (int i = 0; i < kRuns; ++i) {
         if (stats_mode == "json") {
